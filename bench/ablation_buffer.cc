@@ -1,0 +1,90 @@
+// Ablation: data buffer pool size vs route-evaluation I/O.
+//
+// The paper's route-evaluation model assumes a single one-page buffer
+// (Section 3.2); this ablation shows how the CCAM advantage persists (and
+// every method improves) as the buffer pool grows — until the whole file
+// fits and I/O collapses to compulsory misses.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/graph/route.h"
+#include "src/query/route_eval.h"
+
+namespace ccam {
+namespace bench {
+namespace {
+
+int Run() {
+  Network net = PaperNetwork();
+  auto routes = GenerateRandomWalkRoutes(net, 100, 30, 99);
+  std::printf("Ablation: route-evaluation I/O (100 routes, L = 30, block = "
+              "1 KiB) vs buffer-pool pages\n\n");
+
+  const std::vector<size_t> pool_sizes = {1, 2, 4, 8, 16, 32, 64};
+  std::vector<std::string> headers{"Method"};
+  for (size_t p : pool_sizes) headers.push_back("B=" + std::to_string(p));
+  TablePrinter table(std::move(headers));
+
+  for (Method m : {Method::kCcamS, Method::kDfs, Method::kGrid,
+                   Method::kBfs}) {
+    std::vector<std::string> row{MethodName(m)};
+    for (size_t pool : pool_sizes) {
+      AccessMethodOptions options;
+      options.page_size = 1024;
+      options.buffer_pool_pages = pool;
+      auto am = MakeMethod(m, options);
+      if (!am->Create(net).ok()) return 1;
+      uint64_t total = 0;
+      for (const Route& r : routes) {
+        // The pool persists across routes: larger pools amortize.
+        auto res = EvaluateRoute(am.get(), r);
+        if (res.ok()) total += res->page_accesses;
+      }
+      row.push_back(Fmt(static_cast<double>(total) / routes.size(), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: monotone decrease with pool size for every "
+      "method; CCAM-S lowest at small pools where clustering matters "
+      "most.\n");
+
+  // --- Replacement policy sweep (CCAM-S file, pool of 8). ----------------
+  std::printf("\nReplacement policy (CCAM-S, B = 8): mean route-eval I/O "
+              "and buffer hit rate\n\n");
+  TablePrinter policy_table({"Policy", "io/route", "hit rate"});
+  for (ReplacementPolicy policy :
+       {ReplacementPolicy::kLru, ReplacementPolicy::kClock,
+        ReplacementPolicy::kFifo}) {
+    AccessMethodOptions options;
+    options.page_size = 1024;
+    options.buffer_pool_pages = 8;
+    options.replacement = policy;
+    Ccam am(options, CcamCreateMode::kStatic);
+    if (!am.Create(net).ok()) return 1;
+    am.buffer_pool()->ResetCounters();
+    uint64_t total = 0;
+    for (const Route& r : routes) {
+      auto res = EvaluateRoute(&am, r);
+      if (res.ok()) total += res->page_accesses;
+    }
+    double hits = static_cast<double>(am.buffer_pool()->hits());
+    double misses = static_cast<double>(am.buffer_pool()->misses());
+    policy_table.AddRow({ReplacementPolicyName(policy),
+                         Fmt(static_cast<double>(total) / routes.size(), 2),
+                         Fmt(hits / (hits + misses), 3)});
+  }
+  policy_table.Print();
+  std::printf(
+      "\nExpected shape: LRU ~= CLOCK (its approximation) with FIFO "
+      "slightly behind — route locality re-references recent pages.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ccam
+
+int main() { return ccam::bench::Run(); }

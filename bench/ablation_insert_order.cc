@@ -1,0 +1,60 @@
+// Ablation: the Add-node() stream order of CCAM-D's incremental create.
+//
+// The paper's incremental Create() processes nodes as they arrive; it
+// never says in which order a bulk load should stream them. This ablation
+// shows the order matters: spatially coherent streams (Z-order node-ids)
+// and topologically coherent streams (BFS) give every Add-node() useful
+// neighbor pages to join, while a random stream approaches the quality of
+// random clustering until the per-insert reorganization digs it out.
+// Also sweeps the create-time reorganization policy.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace ccam {
+namespace bench {
+namespace {
+
+int Run() {
+  Network net = PaperNetwork();
+  std::printf("Ablation: CCAM-D Add-node() stream order x create policy "
+              "(block = 1 KiB). Cells: resulting CRR\n\n");
+
+  TablePrinter table({"Stream order", "first-order", "second-order",
+                      "higher-order"});
+  for (CcamInsertOrder order :
+       {CcamInsertOrder::kNodeId, CcamInsertOrder::kBfs,
+        CcamInsertOrder::kRandom}) {
+    std::vector<std::string> row{CcamInsertOrderName(order)};
+    for (ReorgPolicy policy :
+         {ReorgPolicy::kFirstOrder, ReorgPolicy::kSecondOrder,
+          ReorgPolicy::kHigherOrder}) {
+      AccessMethodOptions options;
+      options.page_size = 1024;
+      options.buffer_pool_pages = 8;
+      Ccam am(options, CcamCreateMode::kIncremental, policy);
+      am.SetIncrementalOrder(order);
+      Status s = am.Create(net);
+      if (!s.ok()) {
+        row.push_back("n/a");
+        continue;
+      }
+      row.push_back(Fmt(ComputeCrr(net, am.PageMap()), 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: Z-order and BFS streams within a few points of "
+      "each other and of CCAM-S; the random stream clearly behind under "
+      "first-order, rescued progressively by second/higher-order "
+      "reclustering.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ccam
+
+int main() { return ccam::bench::Run(); }

@@ -1,0 +1,119 @@
+#ifndef CCAM_BENCH_BENCH_UTIL_H_
+#define CCAM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/grid_am.h"
+#include "src/baseline/order_am.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace bench {
+
+/// The access methods compared throughout the paper's Section 4.
+enum class Method {
+  kCcamS,
+  kCcamD,
+  kDfs,
+  kWdfs,
+  kGrid,
+  kBfs,
+};
+
+inline const char* MethodName(Method m) {
+  switch (m) {
+    case Method::kCcamS:
+      return "CCAM-S";
+    case Method::kCcamD:
+      return "CCAM-D";
+    case Method::kDfs:
+      return "DFS-AM";
+    case Method::kWdfs:
+      return "WDFS-AM";
+    case Method::kGrid:
+      return "Grid File";
+    case Method::kBfs:
+      return "BFS-AM";
+  }
+  return "?";
+}
+
+inline std::vector<Method> AllMethods() {
+  return {Method::kCcamS, Method::kCcamD, Method::kDfs,
+          Method::kWdfs,  Method::kGrid,  Method::kBfs};
+}
+
+inline std::unique_ptr<NetworkFile> MakeMethod(
+    Method m, const AccessMethodOptions& options) {
+  switch (m) {
+    case Method::kCcamS:
+      return std::make_unique<Ccam>(options, CcamCreateMode::kStatic);
+    case Method::kCcamD:
+      return std::make_unique<Ccam>(options, CcamCreateMode::kIncremental);
+    case Method::kDfs:
+      return std::make_unique<OrderAm>(options, NodeOrderKind::kDfs);
+    case Method::kWdfs:
+      return std::make_unique<OrderAm>(options, NodeOrderKind::kWeightedDfs);
+    case Method::kGrid:
+      return std::make_unique<GridAm>(options);
+    case Method::kBfs:
+      return std::make_unique<OrderAm>(options, NodeOrderKind::kBfs);
+  }
+  return nullptr;
+}
+
+/// The paper's evaluation network (see DESIGN.md for the substitution).
+inline Network PaperNetwork() { return GenerateMinneapolisLikeMap(1995); }
+
+/// Markdown-style table printer for the experiment binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int decimals = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace ccam
+
+#endif  // CCAM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Scale sweep: CRR and create cost as the network grows.
+//
+// The paper motivates incremental create with "road-maps are really large
+// databases ... and thus may not fit inside main memory". This bench
+// grows a synthetic road map from ~256 to ~8k nodes and reports, for
+// CCAM-S and CCAM-D: CRR, data pages and creation wall-clock, confirming
+// that connectivity clustering holds its CRR advantage at every size.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace ccam {
+namespace bench {
+namespace {
+
+int Run() {
+  std::printf("Scale: CRR and creation cost vs network size (block = 1 "
+              "KiB)\n\n");
+  TablePrinter table({"nodes", "edges", "CCAM-S CRR", "CCAM-S ms",
+                      "CCAM-D CRR", "CCAM-D ms", "BFS-AM CRR"});
+  for (int side : {16, 23, 32, 45, 64, 91}) {
+    RoadMapOptions gen;
+    gen.rows = side;
+    gen.cols = side;
+    gen.nodes_to_remove = side / 4;
+    gen.seed = 1000 + side;
+    Network net = GenerateRoadMap(gen);
+
+    auto build = [&](Method m, double* crr, double* ms) {
+      AccessMethodOptions options;
+      options.page_size = 1024;
+      auto am = MakeMethod(m, options);
+      auto t0 = std::chrono::steady_clock::now();
+      Status s = am->Create(net);
+      auto t1 = std::chrono::steady_clock::now();
+      if (!s.ok()) {
+        *crr = -1;
+        *ms = -1;
+        return;
+      }
+      *crr = ComputeCrr(net, am->PageMap());
+      *ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    };
+    double crr_s, ms_s, crr_d, ms_d, crr_b, ms_b;
+    build(Method::kCcamS, &crr_s, &ms_s);
+    build(Method::kCcamD, &crr_d, &ms_d);
+    build(Method::kBfs, &crr_b, &ms_b);
+    table.AddRow({std::to_string(net.NumNodes()),
+                  std::to_string(net.NumEdges()), Fmt(crr_s, 4),
+                  Fmt(ms_s, 1), Fmt(crr_d, 4), Fmt(ms_d, 1),
+                  Fmt(crr_b, 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: CCAM-S CRR roughly flat across sizes (clustering "
+      "quality is local); CCAM-D close behind at a fraction of no cost "
+      "beyond the insert stream; BFS-AM CRR degrades with size.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ccam
+
+int main() { return ccam::bench::Run(); }

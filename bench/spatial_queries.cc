@@ -1,0 +1,97 @@
+// Spatial workload sweep (Sequoia-2000-flavored, per the paper's future
+// work: "we will evaluate CCAM for various aggregate computations over
+// networks and benchmarks (such as the sequoia benchmark)").
+//
+// Window queries of increasing selectivity and k-nearest queries run over
+// each access method's data file through the Z-order B+ tree / R-tree
+// secondary indexes. The data-page I/O of fetching the result records
+// exposes the flip side of the paper's Table 5 insert result: proximity
+// clustering (Grid File) is the best layout for *spatial* queries, while
+// connectivity clustering (CCAM) wins the *network* operations — on road
+// maps the two are correlated enough that CCAM stays competitive.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/query/spatial.h"
+
+namespace ccam {
+namespace bench {
+namespace {
+
+int Run() {
+  Network net = PaperNetwork();
+  // Coordinate extent of the generated map (33 x 33 grid at spacing 100).
+  const double extent = 3300.0;
+  const std::vector<double> window_fracs = {0.05, 0.1, 0.2, 0.4};
+
+  std::printf("Spatial queries: data-page I/O per query (block = 1 KiB, "
+              "Z-order B+ tree index, 50 queries per cell)\n\n");
+  std::vector<std::string> headers{"Method"};
+  for (double f : window_fracs) {
+    headers.push_back("win " + Fmt(100 * f, 0) + "%");
+  }
+  headers.push_back("kNN k=8");
+  headers.push_back("scan/rslt");
+  TablePrinter table(std::move(headers));
+
+  for (Method m : {Method::kCcamS, Method::kDfs, Method::kGrid,
+                   Method::kBfs}) {
+    AccessMethodOptions options;
+    options.page_size = 1024;
+    options.buffer_pool_pages = 8;
+    auto am = MakeMethod(m, options);
+    if (!am->Create(net).ok()) return 1;
+    auto engine = SpatialQueryEngine::Build(am.get());
+    if (!engine.ok()) return 1;
+
+    std::vector<std::string> row{MethodName(m)};
+    double scanned = 0, results = 0;
+    for (double frac : window_fracs) {
+      Random rng(99);
+      uint64_t io = 0;
+      const int kQueries = 50;
+      for (int q = 0; q < kQueries; ++q) {
+        double w = extent * frac;
+        double x0 = rng.NextDouble() * (extent - w);
+        double y0 = rng.NextDouble() * (extent - w);
+        (void)am->buffer_pool()->Reset();
+        auto res = (*engine)->WindowQuery(x0, y0, x0 + w, y0 + w);
+        if (!res.ok()) return 1;
+        io += res->data_page_accesses;
+        scanned += static_cast<double>(res->entries_scanned);
+        results += static_cast<double>(res->records.size());
+      }
+      row.push_back(Fmt(static_cast<double>(io) / kQueries, 1));
+    }
+    {
+      Random rng(7);
+      uint64_t io = 0;
+      const int kQueries = 50;
+      for (int q = 0; q < kQueries; ++q) {
+        (void)am->buffer_pool()->Reset();
+        auto res = (*engine)->NearestNeighbors(rng.NextDouble() * extent,
+                                               rng.NextDouble() * extent, 8);
+        if (!res.ok()) return 1;
+        io += res->data_page_accesses;
+      }
+      row.push_back(Fmt(static_cast<double>(io) / kQueries, 1));
+    }
+    row.push_back(Fmt(results > 0 ? scanned / results : 0.0, 2));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: Grid File (proximity clustering) lowest on window "
+      "queries; CCAM close behind (connectivity correlates with proximity "
+      "on road maps); BFS-AM worst everywhere. scan/rslt ~ 1 shows the "
+      "BIGMIN Z-scan inspects few dead index entries.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ccam
+
+int main() { return ccam::bench::Run(); }

@@ -1,0 +1,95 @@
+// Topology sweep: CCAM on "general networks" beyond road maps.
+//
+// The paper positions CCAM for *general* networks (the restricted prior
+// art handled only DAGs / limited cycles). This bench runs the CRR
+// comparison on four structurally different networks: the Minneapolis-like
+// road grid, a ring-radial (European) city, a random geometric graph, and
+// a scale-free (hub-dominated) network. Includes the min-fill ablation:
+// relaxing the paper's half-page MinPgSize buys CRR with extra pages.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/partition/recursive_bisection.h"
+#include "src/storage/page.h"
+
+namespace ccam {
+namespace bench {
+namespace {
+
+int Run() {
+  struct Topology {
+    const char* name;
+    Network net;
+    size_t page_size;  // scale-free hub records need large blocks
+  };
+  std::vector<Topology> topologies;
+  topologies.push_back({"road grid", PaperNetwork(), 1024});
+  topologies.push_back({"ring-radial", GenerateRingRadialCity(10, 32), 1024});
+  topologies.push_back(
+      {"geometric", GenerateRandomGeometricNetwork(1000, 60.0), 1024});
+  topologies.push_back({"scale-free", GenerateScaleFreeNetwork(1000, 2), 4096});
+
+  std::printf("Topology sweep: CRR (1 KiB pages; scale-free uses 4 KiB for "
+              "its hub records)\n\n");
+  TablePrinter table({"Topology", "nodes", "edges", "avg deg", "CCAM-S",
+                      "CCAM-D", "DFS-AM", "Grid File", "BFS-AM", "bound"});
+  for (Topology& t : topologies) {
+    std::vector<std::string> row{t.name, std::to_string(t.net.NumNodes()),
+                                 std::to_string(t.net.NumEdges()),
+                                 Fmt(t.net.AvgOutDegree(), 2)};
+    for (Method m : {Method::kCcamS, Method::kCcamD, Method::kDfs,
+                     Method::kGrid, Method::kBfs}) {
+      AccessMethodOptions options;
+      options.page_size = t.page_size;
+      auto am = MakeMethod(m, options);
+      Status s = am->Create(t.net);
+      row.push_back(s.ok() ? Fmt(ComputeCrr(t.net, am->PageMap()), 3)
+                           : std::string("n/a"));
+    }
+    row.push_back(Fmt(
+        CrrUpperBound(t.net, t.page_size - SlottedPage::kHeaderSize,
+                      SlottedPage::kSlotOverhead),
+        3));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf("\nMin-fill ablation (road grid): MinPgSize fraction vs CRR "
+              "and page count\n\n");
+  TablePrinter fill_table({"min fill", "CRR", "pages", "avg fill"});
+  Network net = PaperNetwork();
+  size_t total_bytes = 0;
+  for (NodeId id : net.NodeIds()) {
+    total_bytes += RecordSizeOf(id, net.node(id)) + 4;
+  }
+  for (double fill : {0.5, 0.4, 0.3, 0.2}) {
+    ClusterOptions options;
+    options.page_capacity = 1024 - SlottedPage::kHeaderSize;
+    options.per_record_overhead = SlottedPage::kSlotOverhead;
+    options.min_fill_fraction = fill;
+    auto pages = ClusterNodesIntoPages(net, net.NodeIds(), options);
+    if (!pages.ok()) return 1;
+    NodePageMap map;
+    for (size_t p = 0; p < pages->size(); ++p) {
+      for (NodeId id : (*pages)[p]) map[id] = static_cast<PageId>(p);
+    }
+    fill_table.AddRow({Fmt(fill, 2), Fmt(ComputeCrr(net, map), 4),
+                       std::to_string(pages->size()),
+                       Fmt(static_cast<double>(total_bytes) /
+                               (pages->size() * options.page_capacity),
+                           3)});
+  }
+  fill_table.Print();
+  std::printf(
+      "\nExpected shape: CCAM-S best on every topology; the scale-free "
+      "hubs depress everyone's CRR; relaxing min fill trades pages for "
+      "CRR.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ccam
+
+int main() { return ccam::bench::Run(); }

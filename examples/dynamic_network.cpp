@@ -1,0 +1,119 @@
+// Living with change: maintenance operations and reorganization policies.
+//
+//   $ ./build/examples/dynamic_network
+//
+// A season of city works hits the road network: street closures (edge
+// deletes), a new subdivision (node inserts), demolitions (node deletes).
+// The same update stream is applied under the paper's three reorganization
+// policies (Table 1), tracking the I/O paid per update and the CRR the
+// file retains — the trade-off at the heart of the paper's Section 4.4.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+
+using namespace ccam;
+
+namespace {
+
+struct Outcome {
+  double avg_io;
+  double crr;
+  size_t pages;
+};
+
+Outcome RunSeason(ReorgPolicy policy) {
+  Network city = GenerateMinneapolisLikeMap(33);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  options.buffer_pool_pages = 8;
+  Ccam am(options, CcamCreateMode::kStatic);
+  if (!am.Create(city).ok()) return {};
+
+  // Mirror the logical network so we can measure CRR afterwards.
+  Network current = city;
+  Random rng(9);
+  uint64_t io = 0;
+  int updates = 0;
+  auto charge = [&](const Status& s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "update failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    io += am.DataIoStats().Accesses();
+    ++updates;
+  };
+
+  // --- 60 street closures. ---------------------------------------------
+  for (int i = 0; i < 60; ++i) {
+    auto edges = current.Edges();
+    const auto& e = edges[rng.Uniform(static_cast<uint32_t>(edges.size()))];
+    am.ResetIoStats();
+    charge(am.DeleteEdge(e.from, e.to, policy));
+    (void)current.RemoveEdge(e.from, e.to);
+  }
+
+  // --- A new 30-lot subdivision, wired to the nearest intersections. ----
+  for (NodeId lot = 5000; lot < 5030; ++lot) {
+    NodeId anchor = rng.Uniform(1000);
+    if (!current.HasNode(anchor)) continue;
+    NodeRecord rec;
+    rec.id = lot;
+    rec.x = current.node(anchor).x + 5.0 + (lot % 3);
+    rec.y = current.node(anchor).y + 5.0;
+    rec.payload = "lot";
+    rec.succ = {{anchor, 15.0f}};
+    rec.pred = {{anchor, 15.0f}};
+    if (lot > 5000 && current.HasNode(lot - 1)) {
+      rec.succ.push_back({lot - 1, 5.0f});
+      rec.pred.push_back({lot - 1, 5.0f});
+    }
+    am.ResetIoStats();
+    charge(am.InsertNode(rec, policy));
+    (void)current.AddNode(lot, rec.x, rec.y, rec.payload);
+    for (const AdjEntry& e : rec.succ) {
+      if (current.HasNode(e.node)) (void)current.AddEdge(lot, e.node, e.cost);
+    }
+    for (const AdjEntry& e : rec.pred) {
+      if (current.HasNode(e.node)) (void)current.AddEdge(e.node, lot, e.cost);
+    }
+  }
+
+  // --- 40 demolitions. ----------------------------------------------------
+  for (int i = 0; i < 40; ++i) {
+    auto ids = current.NodeIds();
+    NodeId victim = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+    am.ResetIoStats();
+    charge(am.DeleteNode(victim, policy));
+    (void)current.RemoveNode(victim);
+  }
+
+  Outcome out;
+  out.avg_io = static_cast<double>(io) / updates;
+  out.crr = ComputeCrr(current, am.PageMap());
+  out.pages = am.NumDataPages();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A season of updates (60 closures, 30 new lots, 40 "
+              "demolitions) under each reorganization policy:\n\n");
+  std::printf("%-14s %12s %8s %8s\n", "policy", "avg io/op", "CRR", "pages");
+  for (ReorgPolicy policy :
+       {ReorgPolicy::kFirstOrder, ReorgPolicy::kSecondOrder,
+        ReorgPolicy::kHigherOrder}) {
+    Outcome out = RunSeason(policy);
+    std::printf("%-14s %12.2f %8.3f %8zu\n", ReorgPolicyName(policy),
+                out.avg_io, out.crr, out.pages);
+  }
+  std::printf(
+      "\nThe paper's conclusion (Section 4.4): second-order is the sweet "
+      "spot — I/O close to first-order, CRR competitive with "
+      "higher-order.\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the ablations.
+# Usage: scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+for bench in "$BUILD"/bench/*; do
+  [ -x "$bench" ] || continue
+  echo
+  echo "===== $(basename "$bench") ====="
+  "$bench"
+done

@@ -1,0 +1,270 @@
+#include "src/baseline/grid_am.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccam {
+
+/// A node of the in-memory bucket tree. Leaves own one data page; interior
+/// nodes split space at `split` along `split_x` (x when true, else y).
+struct GridAm::Bucket {
+  bool leaf = true;
+  PageId page = kInvalidPageId;
+  bool split_x = true;
+  double split = 0.0;
+  std::unique_ptr<Bucket> lo;
+  std::unique_ptr<Bucket> hi;
+};
+
+GridAm::GridAm(const AccessMethodOptions& options) : NetworkFile(options) {}
+
+GridAm::~GridAm() = default;
+
+GridAm::Bucket* GridAm::LeafFor(double x, double y) const {
+  Bucket* cur = root_.get();
+  while (cur != nullptr && !cur->leaf) {
+    double v = cur->split_x ? x : y;
+    cur = (v < cur->split) ? cur->lo.get() : cur->hi.get();
+  }
+  return cur;
+}
+
+namespace {
+
+struct CreateItem {
+  NodeId id;
+  double x;
+  double y;
+  size_t bytes;
+};
+
+}  // namespace
+
+Status GridAm::Create(const Network& network) {
+  // Recursively split the node set along the wider dimension's median until
+  // each subset's records fit on one page; build the bucket tree alongside.
+  std::vector<CreateItem> items;
+  for (NodeId id : network.NodeIds()) {
+    const NetworkNode& node = network.node(id);
+    items.push_back({id, node.x, node.y,
+                     RecordSizeOf(id, node) + SlottedPage::kSlotOverhead});
+  }
+  const size_t capacity = PageCapacity();
+  for (const CreateItem& item : items) {
+    if (item.bytes > capacity) {
+      return Status::NoSpace("record larger than a page");
+    }
+  }
+
+  std::vector<std::vector<NodeId>> pages;
+  struct Task {
+    std::vector<CreateItem> items;
+    Bucket* bucket;
+  };
+  root_ = std::make_unique<Bucket>();
+  std::vector<Task> stack;
+  stack.push_back({std::move(items), root_.get()});
+  while (!stack.empty()) {
+    Task task = std::move(stack.back());
+    stack.pop_back();
+    size_t bytes = 0;
+    for (const CreateItem& item : task.items) bytes += item.bytes;
+    if (bytes <= capacity) {
+      task.bucket->leaf = true;
+      // Page id assigned after BuildFromAssignment; remember the subset
+      // index via the page order (pages are created in push order).
+      std::vector<NodeId> subset;
+      for (const CreateItem& item : task.items) subset.push_back(item.id);
+      pages.push_back(std::move(subset));
+      // Temporarily stash the subset index in `split` (patched below).
+      task.bucket->split = static_cast<double>(pages.size() - 1);
+      continue;
+    }
+    // Split along the wider extent's median coordinate.
+    double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+    for (const CreateItem& item : task.items) {
+      xmin = std::min(xmin, item.x);
+      xmax = std::max(xmax, item.x);
+      ymin = std::min(ymin, item.y);
+      ymax = std::max(ymax, item.y);
+    }
+    bool split_x = (xmax - xmin) >= (ymax - ymin);
+    auto coord = [&split_x](const CreateItem& item) {
+      return split_x ? item.x : item.y;
+    };
+    std::sort(task.items.begin(), task.items.end(),
+              [&](const CreateItem& a, const CreateItem& b) {
+                return coord(a) < coord(b);
+              });
+    size_t mid = task.items.size() / 2;
+    double split_at = coord(task.items[mid]);
+    if (split_at == coord(task.items.front())) {
+      // Degenerate along this dimension; try the other one.
+      split_x = !split_x;
+      std::sort(task.items.begin(), task.items.end(),
+                [&](const CreateItem& a, const CreateItem& b) {
+                  return coord(a) < coord(b);
+                });
+      split_at = coord(task.items[task.items.size() / 2]);
+      if (split_at == coord(task.items.front())) {
+        return Status::NoSpace("coincident nodes exceed a page");
+      }
+    }
+    std::vector<CreateItem> lo_items, hi_items;
+    for (CreateItem& item : task.items) {
+      (coord(item) < split_at ? lo_items : hi_items)
+          .push_back(std::move(item));
+    }
+    task.bucket->leaf = false;
+    task.bucket->split_x = split_x;
+    task.bucket->split = split_at;
+    task.bucket->lo = std::make_unique<Bucket>();
+    task.bucket->hi = std::make_unique<Bucket>();
+    stack.push_back({std::move(lo_items), task.bucket->lo.get()});
+    stack.push_back({std::move(hi_items), task.bucket->hi.get()});
+  }
+
+  CCAM_RETURN_NOT_OK(BuildFromAssignment(network, pages));
+
+  // Patch the leaves: subset i landed on the page of its first node.
+  std::vector<Bucket*> leaves;
+  std::vector<Bucket*> walk{root_.get()};
+  while (!walk.empty()) {
+    Bucket* b = walk.back();
+    walk.pop_back();
+    if (b->leaf) {
+      leaves.push_back(b);
+    } else {
+      walk.push_back(b->lo.get());
+      walk.push_back(b->hi.get());
+    }
+  }
+  for (Bucket* leaf : leaves) {
+    size_t subset = static_cast<size_t>(leaf->split);
+    leaf->split = 0.0;
+    if (subset < pages.size() && !pages[subset].empty()) {
+      leaf->page = page_of_.at(pages[subset][0]);
+      leaf_of_page_[leaf->page] = leaf;
+    } else {
+      // Empty subset: give the leaf its own fresh page.
+      PageId page;
+      CCAM_ASSIGN_OR_RETURN(page, NewDataPage());
+      leaf->page = page;
+      leaf_of_page_[page] = leaf;
+    }
+  }
+  return Status::OK();
+}
+
+Status GridAm::SplitLeaf(Bucket* leaf, std::vector<NodeRecord> pending) {
+  last_op_structural_ = true;
+  // Median split along the wider dimension of the records at hand.
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  for (const NodeRecord& r : pending) {
+    xmin = std::min(xmin, r.x);
+    xmax = std::max(xmax, r.x);
+    ymin = std::min(ymin, r.y);
+    ymax = std::max(ymax, r.y);
+  }
+  bool split_x = (xmax - xmin) >= (ymax - ymin);
+  auto coord = [&split_x](const NodeRecord& r) { return split_x ? r.x : r.y; };
+  auto by_coord = [&](const NodeRecord& a, const NodeRecord& b) {
+    return coord(a) < coord(b);
+  };
+  std::sort(pending.begin(), pending.end(), by_coord);
+  double split_at = coord(pending[pending.size() / 2]);
+  if (split_at == coord(pending.front())) {
+    split_x = !split_x;
+    std::sort(pending.begin(), pending.end(), by_coord);
+    split_at = coord(pending[pending.size() / 2]);
+    if (split_at == coord(pending.front())) {
+      return Status::NoSpace("coincident records cannot be split");
+    }
+  }
+  std::vector<NodeId> lo_ids, hi_ids;
+  for (const NodeRecord& r : pending) {
+    (coord(r) < split_at ? lo_ids : hi_ids).push_back(r.id);
+  }
+  PageId lo_page = leaf->page;
+  PageId hi_page;
+  CCAM_ASSIGN_OR_RETURN(hi_page, NewDataPage());
+
+  std::unordered_map<NodeId, NodeRecord> by_id;
+  for (NodeRecord& rec : pending) by_id.emplace(rec.id, std::move(rec));
+  CCAM_RETURN_NOT_OK(RewritePages({lo_page, hi_page}, {lo_ids, hi_ids},
+                                  by_id));
+
+  leaf->leaf = false;
+  leaf->split_x = split_x;
+  leaf->split = split_at;
+  leaf->lo = std::make_unique<Bucket>();
+  leaf->lo->page = lo_page;
+  leaf->hi = std::make_unique<Bucket>();
+  leaf->hi->page = hi_page;
+  leaf_of_page_[lo_page] = leaf->lo.get();
+  leaf_of_page_[hi_page] = leaf->hi.get();
+  return Status::OK();
+}
+
+Status GridAm::SplitPage(PageId page, std::vector<NodeRecord> pending) {
+  auto it = leaf_of_page_.find(page);
+  if (it == leaf_of_page_.end()) {
+    // Unknown page (shouldn't happen): fall back to order split.
+    return NetworkFile::SplitPage(page, std::move(pending));
+  }
+  return SplitLeaf(it->second, std::move(pending));
+}
+
+PageId GridAm::ChoosePageForInsert(const NodeRecord& record) {
+  if (root_ == nullptr) return kInvalidPageId;  // first ever insert
+  size_t need = record.EncodedSize();
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    Bucket* leaf = LeafFor(record.x, record.y);
+    if (leaf == nullptr) return kInvalidPageId;
+    auto fs = free_space_.find(leaf->page);
+    if (fs != free_space_.end() && fs->second >= need) return leaf->page;
+    // Bucket full: split it and retry the descent.
+    auto records = RecordsOnPage(leaf->page);
+    if (!records.ok()) return kInvalidPageId;
+    if (records->empty()) return leaf->page;  // empty but tracked stale
+    Status s = SplitLeaf(leaf, std::move(*records));
+    if (!s.ok()) return kInvalidPageId;
+  }
+  return kInvalidPageId;
+}
+
+Status GridAm::OpenImage(const std::string& path) {
+  (void)path;
+  return Status::NotSupported(
+      "GridAm cannot restore its bucket tree from a disk image; rebuild "
+      "with Create()");
+}
+
+Status GridAm::HandleUnderflow(PageId home,
+                               const std::vector<PageId>& nbr_pages) {
+  // Grid buckets stay sparse rather than merging: the directory region
+  // still maps to the page. (The paper studies reorganization policies
+  // only for CCAM.)
+  (void)home;
+  (void)nbr_pages;
+  return Status::OK();
+}
+
+Status GridAm::ReorganizeForPolicy(ReorgPolicy policy,
+                                   std::vector<PageId> touched) {
+  // Spatial buckets are never connectivity-reclustered.
+  (void)policy;
+  (void)touched;
+  return Status::OK();
+}
+
+void GridAm::OnRecordPlaced(NodeId id, PageId page) {
+  (void)id;
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Bucket>();
+    root_->page = page;
+    leaf_of_page_[page] = root_.get();
+  }
+}
+
+}  // namespace ccam

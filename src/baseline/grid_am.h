@@ -1,0 +1,69 @@
+#ifndef CCAM_BASELINE_GRID_AM_H_
+#define CCAM_BASELINE_GRID_AM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/network_file.h"
+
+namespace ccam {
+
+/// Grid-File access method (the paper's "Grid file" baseline): a
+/// proximity-based placement that stores node records in spatial buckets.
+/// Data pages correspond to the buckets of a kd-style recursive grid over
+/// the node coordinates; buckets split along the wider dimension's median
+/// when they overflow. Connectivity is never consulted — the method only
+/// exploits the correlation between spatial proximity and connectivity,
+/// which is why it trails CCAM on CRR but wins on Insert() (paper
+/// Section 4.2).
+class GridAm : public NetworkFile {
+ public:
+  explicit GridAm(const AccessMethodOptions& options);
+  ~GridAm() override;
+
+  std::string Name() const override { return "Grid File"; }
+
+  Status Create(const Network& network) override;
+
+  /// The in-memory bucket tree cannot be reconstructed from a bare disk
+  /// image (the split history is not persisted), so images are read-only
+  /// for this method.
+  Status OpenImage(const std::string& path) override;
+
+ protected:
+  /// Spatial placement: the bucket containing (x, y), split on demand
+  /// until it has room.
+  PageId ChoosePageForInsert(const NodeRecord& record) override;
+
+  /// Splits an overflowing bucket along the median of the wider dimension.
+  Status SplitPage(PageId page, std::vector<NodeRecord> pending) override;
+
+  /// Grid buckets tolerate sparseness: no page merging on underflow.
+  Status HandleUnderflow(PageId home,
+                         const std::vector<PageId>& nbr_pages) override;
+
+  /// Spatial buckets are never connectivity-reclustered.
+  Status ReorganizeForPolicy(ReorgPolicy policy,
+                             std::vector<PageId> touched) override;
+
+  void OnRecordPlaced(NodeId id, PageId page) override;
+
+ private:
+  struct Bucket;
+
+  /// Descends to the bucket leaf containing (x, y); nullptr before Create.
+  Bucket* LeafFor(double x, double y) const;
+
+  /// Splits `leaf`'s page contents in two spatially, turning the leaf into
+  /// an interior node. `pending` is the logical page content.
+  Status SplitLeaf(Bucket* leaf, std::vector<NodeRecord> pending);
+
+  std::unique_ptr<Bucket> root_;
+  std::unordered_map<PageId, Bucket*> leaf_of_page_;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_BASELINE_GRID_AM_H_

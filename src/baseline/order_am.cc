@@ -1,0 +1,119 @@
+#include "src/baseline/order_am.h"
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/graph/orders.h"
+
+namespace ccam {
+
+OrderAm::OrderAm(const AccessMethodOptions& options, NodeOrderKind kind)
+    : NetworkFile(options), kind_(kind) {}
+
+std::string OrderAm::Name() const {
+  switch (kind_) {
+    case NodeOrderKind::kDfs:
+      return "DFS-AM";
+    case NodeOrderKind::kBfs:
+      return "BFS-AM";
+    case NodeOrderKind::kWeightedDfs:
+      return "WDFS-AM";
+  }
+  return "Order-AM";
+}
+
+Status OrderAm::Create(const Network& network) {
+  std::vector<NodeId> ids = network.NodeIds();
+  if (ids.empty()) return BuildFromAssignment(network, {});
+  Random rng(options_.seed);
+  NodeId start = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+  std::vector<NodeId> order;
+  switch (kind_) {
+    case NodeOrderKind::kDfs:
+      order = DfsOrder(network, start);
+      break;
+    case NodeOrderKind::kBfs:
+      order = BfsOrder(network, start);
+      break;
+    case NodeOrderKind::kWeightedDfs:
+      order = WeightedDfsOrder(network, start);
+      break;
+  }
+
+  // Pack records into pages in traversal order, first-fit.
+  std::vector<std::vector<NodeId>> pages;
+  std::vector<NodeId> current;
+  size_t used = 0;
+  const size_t capacity = PageCapacity();
+  for (NodeId id : order) {
+    size_t need =
+        RecordSizeOf(id, network.node(id)) + SlottedPage::kSlotOverhead;
+    if (need > capacity) {
+      return Status::NoSpace("record larger than a page");
+    }
+    if (used + need > capacity) {
+      pages.push_back(std::move(current));
+      current.clear();
+      used = 0;
+    }
+    current.push_back(id);
+    used += need;
+  }
+  if (!current.empty()) pages.push_back(std::move(current));
+  CCAM_RETURN_NOT_OK(BuildFromAssignment(network, pages));
+  if (!pages.empty()) {
+    append_page_ = page_of_.at(pages.back().back());
+  }
+  return Status::OK();
+}
+
+Status OrderAm::OpenImage(const std::string& path) {
+  CCAM_RETURN_NOT_OK(NetworkFile::OpenImage(path));
+  auto pages = disk_.AllocatedPageIds();
+  append_page_ = pages.empty() ? kInvalidPageId : pages.back();
+  return Status::OK();
+}
+
+PageId OrderAm::ChoosePageForInsert(const NodeRecord& record) {
+  size_t need = record.EncodedSize();
+  if (append_page_ != kInvalidPageId && disk_.IsAllocated(append_page_)) {
+    auto it = free_space_.find(append_page_);
+    if (it != free_space_.end() && it->second >= need) return append_page_;
+  }
+  // The caller allocates a fresh page; OnRecordPlaced records it as the
+  // new append target.
+  return kInvalidPageId;
+}
+
+void OrderAm::OnRecordPlaced(NodeId id, PageId page) {
+  (void)id;
+  append_page_ = page;
+}
+
+Status OrderAm::SplitPage(PageId page, std::vector<NodeRecord> pending) {
+  last_op_structural_ = true;
+  std::sort(pending.begin(), pending.end(),
+            [](const NodeRecord& a, const NodeRecord& b) {
+              return a.id < b.id;
+            });
+  size_t total = 0;
+  for (const NodeRecord& r : pending) {
+    total += r.EncodedSize() + SlottedPage::kSlotOverhead;
+  }
+  std::vector<NodeId> left, right;
+  size_t acc = 0;
+  for (const NodeRecord& r : pending) {
+    size_t sz = r.EncodedSize() + SlottedPage::kSlotOverhead;
+    if (acc + sz <= total / 2 || left.empty()) {
+      left.push_back(r.id);
+      acc += sz;
+    } else {
+      right.push_back(r.id);
+    }
+  }
+  std::unordered_map<NodeId, NodeRecord> by_id;
+  for (NodeRecord& rec : pending) by_id.emplace(rec.id, std::move(rec));
+  return RewritePages({page}, {left, right}, by_id);
+}
+
+}  // namespace ccam

@@ -1,0 +1,51 @@
+#ifndef CCAM_BASELINE_ORDER_AM_H_
+#define CCAM_BASELINE_ORDER_AM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/network_file.h"
+
+namespace ccam {
+
+/// Node-ordering flavor of a topological-ordering access method.
+enum class NodeOrderKind {
+  kDfs,          // DFS-AM: depth-first traversal order
+  kBfs,          // BFS-AM: breadth-first traversal order
+  kWeightedDfs,  // WDFS-AM: depth-first by descending edge access weight
+};
+
+/// Topological-ordering baseline access methods (paper Section 4): the
+/// extension of ordered-file clustering (Larson & Deshpande; Banerjee et
+/// al.) to general graphs. Create() linearizes the nodes by a traversal
+/// from a random start node and packs records into pages in that order;
+/// inserts append to the most recent page with room.
+class OrderAm : public NetworkFile {
+ public:
+  OrderAm(const AccessMethodOptions& options, NodeOrderKind kind);
+
+  std::string Name() const override;
+
+  Status Create(const Network& network) override;
+
+  /// Restores from an image; the append cursor resumes at the last page.
+  Status OpenImage(const std::string& path) override;
+
+ protected:
+  /// Append placement: the most recently filled page, if it has room.
+  PageId ChoosePageForInsert(const NodeRecord& record) override;
+
+  /// Splits an overflowing page by the file order (node-id halves) rather
+  /// than by connectivity.
+  Status SplitPage(PageId page, std::vector<NodeRecord> pending) override;
+
+  void OnRecordPlaced(NodeId id, PageId page) override;
+
+ private:
+  NodeOrderKind kind_;
+  PageId append_page_ = kInvalidPageId;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_BASELINE_ORDER_AM_H_

@@ -1,0 +1,84 @@
+#include "src/common/coding.h"
+
+namespace ccam {
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[2];
+  EncodeFixed16(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFloat(std::string* dst, float value) {
+  char buf[4];
+  EncodeFloat(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutDouble(std::string* dst, double value) {
+  char buf[8];
+  EncodeDouble(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+bool Decoder::Check(size_t n) {
+  if (!ok_ || pos_ + n > size_) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint16_t Decoder::GetFixed16() {
+  if (!Check(2)) return 0;
+  uint16_t v = DecodeFixed16(data_ + pos_);
+  pos_ += 2;
+  return v;
+}
+
+uint32_t Decoder::GetFixed32() {
+  if (!Check(4)) return 0;
+  uint32_t v = DecodeFixed32(data_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Decoder::GetFixed64() {
+  if (!Check(8)) return 0;
+  uint64_t v = DecodeFixed64(data_ + pos_);
+  pos_ += 8;
+  return v;
+}
+
+float Decoder::GetFloat() {
+  if (!Check(4)) return 0.0f;
+  float v = DecodeFloat(data_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+double Decoder::GetDouble() {
+  if (!Check(8)) return 0.0;
+  double v = DecodeDouble(data_ + pos_);
+  pos_ += 8;
+  return v;
+}
+
+void Decoder::GetBytes(char* out, size_t n) {
+  if (!Check(n)) return;
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+}
+
+}  // namespace ccam

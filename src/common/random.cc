@@ -1,0 +1,64 @@
+#include "src/common/random.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace ccam {
+
+Random::Random(uint64_t seed) : state_(0), inc_(0xda3e39cb94b95bdbULL | 1) {
+  // PCG32 initialization: advance once with the seed mixed in.
+  state_ = 0;
+  Next();
+  state_ += seed;
+  Next();
+}
+
+uint32_t Random::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+uint32_t Random::Uniform(uint32_t n) {
+  assert(n > 0);
+  // Lemire-style rejection-free-enough bounded generation; bias is
+  // negligible for the ranges used here, but reject to be exact.
+  uint32_t threshold = (-n) % n;
+  for (;;) {
+    uint32_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int Random::UniformInt(int lo, int hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int>(
+                  Uniform(static_cast<uint32_t>(hi - lo + 1)));
+}
+
+double Random::NextDouble() {
+  return Next() * (1.0 / 4294967296.0);
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<uint32_t> Random::Sample(uint32_t n, uint32_t k) {
+  if (k > n) k = n;
+  std::vector<uint32_t> all(n);
+  std::iota(all.begin(), all.end(), 0u);
+  // Partial Fisher-Yates: the first k entries are the sample.
+  for (uint32_t i = 0; i < k; ++i) {
+    uint32_t j = i + Uniform(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace ccam

@@ -1,0 +1,52 @@
+#ifndef CCAM_COMMON_RANDOM_H_
+#define CCAM_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ccam {
+
+/// Deterministic PCG32 pseudo-random generator. All experiments in this
+/// repository are seeded, so results are bit-reproducible across runs.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Returns a uniformly distributed 32-bit value.
+  uint32_t Next();
+
+  /// Returns a uniform integer in [0, n). Requires n > 0.
+  uint32_t Uniform(uint32_t n);
+
+  /// Returns a uniform integer in [lo, hi]. Requires lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = Uniform(static_cast<uint32_t>(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k clamped to n).
+  std::vector<uint32_t> Sample(uint32_t n, uint32_t k);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_COMMON_RANDOM_H_

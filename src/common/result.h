@@ -1,0 +1,73 @@
+#ifndef CCAM_COMMON_RESULT_H_
+#define CCAM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace ccam {
+
+/// A Status-or-value type: either holds a value of type T, or a non-OK
+/// Status explaining why the value is absent. Dereferencing a non-OK Result
+/// is a programming error (checked with assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success case).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure case).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` when the result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, returning the error
+/// status from the enclosing function when the expression failed.
+#define CCAM_ASSIGN_OR_RETURN(lhs, expr)          \
+  do {                                            \
+    auto _res = (expr);                           \
+    if (!_res.ok()) return _res.status();         \
+    lhs = std::move(_res).value();                \
+  } while (false)
+
+}  // namespace ccam
+
+#endif  // CCAM_COMMON_RESULT_H_

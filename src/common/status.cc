@@ -1,0 +1,41 @@
+#include "src/common/status.h"
+
+namespace ccam {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kNoSpace:
+      return "NoSpace";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace ccam

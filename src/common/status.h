@@ -1,0 +1,88 @@
+#ifndef CCAM_COMMON_STATUS_H_
+#define CCAM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ccam {
+
+/// Error-code based status object used throughout the library instead of
+/// exceptions. Modeled after the RocksDB / Arrow style: cheap to copy in the
+/// OK case, carries a code plus a human-readable message otherwise.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kInvalidArgument = 2,
+    kCorruption = 3,
+    kIOError = 4,
+    kNoSpace = 5,
+    kAlreadyExists = 6,
+    kNotSupported = 7,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NoSpace(std::string msg) {
+    return Status(Code::kNoSpace, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns a string such as "NotFound: node 42" for logging and tests.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define CCAM_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::ccam::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace ccam
+
+#endif  // CCAM_COMMON_STATUS_H_

@@ -1,0 +1,117 @@
+#ifndef CCAM_CORE_ACCESS_METHOD_H_
+#define CCAM_CORE_ACCESS_METHOD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/graph/network.h"
+#include "src/partition/partition.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/io_stats.h"
+#include "src/storage/record.h"
+
+namespace ccam {
+
+/// Reorganization policies for maintenance operations (paper Table 1).
+/// The policy order is the order of overhead incurred during an update:
+/// higher order policies reorganize more pages and can achieve higher CRR.
+enum class ReorgPolicy {
+  /// No reorganization; only underflow/overflow handling.
+  kFirstOrder,
+  /// Reorganize the pages that must be updated anyhow:
+  /// {Page(x)} ∪ PagesOfNbrs(x) for node arguments,
+  /// {Page(u), Page(v)} for edge arguments.
+  kSecondOrder,
+  /// Additionally reorganize the neighbor pages in the page access graph.
+  kHigherOrder,
+};
+
+const char* ReorgPolicyName(ReorgPolicy policy);
+
+/// Tuning knobs shared by all network access methods.
+struct AccessMethodOptions {
+  /// Disk block size in bytes (the paper sweeps 512..4096).
+  size_t page_size = 1024;
+  /// Data buffer pool capacity in pages. The paper's route-evaluation
+  /// experiment assumes a single one-page buffer.
+  size_t buffer_pool_pages = 8;
+  /// Page replacement policy of the data buffer pool.
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+  /// Two-way partitioner used by CCAM's clustering and reorganization.
+  PartitionAlgorithm partitioner = PartitionAlgorithm::kRatioCut;
+  /// Partition by edge access weights (maximize WCRR) instead of uniform
+  /// weights (maximize CRR).
+  bool use_access_weights = false;
+  /// Minimum page fill the clustering maintains (the paper's MinPgSize =
+  /// half a page). Lower values trade space for CRR.
+  double cluster_min_fill = 0.5;
+  /// Maintain the paged B+ tree secondary index (CCAM's index; tracked
+  /// under separate I/O counters because the paper's cost model assumes
+  /// index pages are buffered).
+  bool maintain_bptree_index = false;
+  /// Buffer pool capacity for the index pages (the paper assumes index
+  /// pages are buffered; shrink this to study index access cost).
+  size_t index_pool_pages = 128;
+  uint64_t seed = 42;
+};
+
+/// Abstract access method for networks: the operation set from the paper's
+/// Section 1.2 — Create / Find / Insert / Delete plus the network-specific
+/// Get-A-successor and Get-successors that dominate the I/O of aggregate
+/// queries.
+class AccessMethod {
+ public:
+  virtual ~AccessMethod() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Bulk-creates the data file from `network`.
+  virtual Status Create(const Network& network) = 0;
+
+  /// Retrieves the record of a node (one data-page access unless buffered).
+  virtual Result<NodeRecord> Find(NodeId id) = 0;
+
+  /// Retrieves the record of successor `to` of node `from`, checking the
+  /// buffered data pages first (zero I/O when clustering co-paged them).
+  virtual Result<NodeRecord> GetASuccessor(NodeId from, NodeId to) = 0;
+
+  /// Retrieves records for all successors of `id`, harvesting co-paged and
+  /// already-buffered successors without additional I/O.
+  virtual Result<std::vector<NodeRecord>> GetSuccessors(NodeId id) = 0;
+
+  /// Inserts a new node whose record carries its adjacency lists; entries
+  /// referring to nodes not yet in the file are dropped (they are patched
+  /// back when those nodes arrive). Updates the neighbors' lists.
+  virtual Status InsertNode(const NodeRecord& record, ReorgPolicy policy) = 0;
+
+  /// Deletes a node, patching the adjacency lists of its neighbors.
+  virtual Status DeleteNode(NodeId id, ReorgPolicy policy) = 0;
+
+  virtual Status InsertEdge(NodeId u, NodeId v, float cost,
+                            ReorgPolicy policy) = 0;
+  virtual Status DeleteEdge(NodeId u, NodeId v, ReorgPolicy policy) = 0;
+
+  /// Data-page I/O counters (the paper's metric). Index I/O is separate.
+  virtual const IoStats& DataIoStats() const = 0;
+  virtual void ResetIoStats() = 0;
+
+  /// Current node -> data page assignment (the CRR is computed on this).
+  virtual const NodePageMap& PageMap() const = 0;
+
+  /// The data buffer pool (experiments vary its capacity and reset it).
+  virtual BufferPool* buffer_pool() = 0;
+
+  /// True if the last update operation caused a page split or merge.
+  /// Table 5's harness uses this to "ignore page underflows and overflows
+  /// ... to filter out the effect of reorganization policies".
+  virtual bool LastOpChangedStructure() const = 0;
+
+  /// Number of live data pages.
+  virtual size_t NumDataPages() const = 0;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_CORE_ACCESS_METHOD_H_

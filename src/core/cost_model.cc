@@ -1,0 +1,60 @@
+#include "src/core/cost_model.h"
+
+namespace ccam {
+
+CostModelParams MeasureCostModelParams(const Network& network,
+                                       const AccessMethod& am) {
+  CostModelParams p;
+  p.alpha = ComputeCrr(network, am.PageMap());
+  p.avg_succ = network.AvgOutDegree();
+  p.lambda = network.AvgNeighborListSize();
+  size_t pages = am.NumDataPages();
+  p.gamma = pages == 0 ? 0.0
+                       : static_cast<double>(network.NumNodes()) /
+                             static_cast<double>(pages);
+  return p;
+}
+
+double PredictedGetSuccessorsCost(const CostModelParams& p) {
+  return (1.0 - p.alpha) * p.avg_succ;
+}
+
+double PredictedGetASuccessorCost(const CostModelParams& p) {
+  return 1.0 - p.alpha;
+}
+
+double PredictedRouteEvaluationCost(const CostModelParams& p, int length) {
+  if (length <= 0) return 0.0;
+  return 1.0 + (length - 1) * (1.0 - p.alpha);
+}
+
+double PredictedInsertReadCost(const CostModelParams& p,
+                               ReorgPolicy policy) {
+  switch (policy) {
+    case ReorgPolicy::kFirstOrder:
+    case ReorgPolicy::kSecondOrder:
+      return p.lambda;
+    case ReorgPolicy::kHigherOrder:
+      return p.lambda + p.gamma * p.lambda * (1.0 - p.alpha);
+  }
+  return p.lambda;
+}
+
+double PredictedDeleteReadCost(const CostModelParams& p,
+                               ReorgPolicy policy) {
+  switch (policy) {
+    case ReorgPolicy::kFirstOrder:
+    case ReorgPolicy::kSecondOrder:
+      return 1.0 + p.lambda * (1.0 - p.alpha);
+    case ReorgPolicy::kHigherOrder:
+      return p.gamma * p.lambda * (1.0 - p.alpha);
+  }
+  return 1.0 + p.lambda * (1.0 - p.alpha);
+}
+
+double PredictedDeleteAccesses(const CostModelParams& p,
+                               ReorgPolicy policy) {
+  return 2.0 * PredictedDeleteReadCost(p, policy);
+}
+
+}  // namespace ccam

@@ -1,0 +1,45 @@
+#ifndef CCAM_CORE_COST_MODEL_H_
+#define CCAM_CORE_COST_MODEL_H_
+
+#include "src/core/access_method.h"
+
+namespace ccam {
+
+/// Parameters of the paper's algebraic cost model (Table 2):
+///   alpha    CRR = Pr[Page(i) == Page(j)] for an edge (i, j)
+///   avg_succ |A|: average successor-list length
+///   lambda   average neighbor-list size
+///   gamma    average blocking factor (records per page)
+struct CostModelParams {
+  double alpha = 0.0;
+  double avg_succ = 0.0;
+  double lambda = 0.0;
+  double gamma = 0.0;
+};
+
+/// Extracts the cost-model parameters from a live access method and the
+/// logical network it stores.
+CostModelParams MeasureCostModelParams(const Network& network,
+                                       const AccessMethod& am);
+
+/// Table 3 — search operations (data page accesses, page of the source
+/// node assumed buffered):
+///   Get-successors():  (1 - alpha) * |A|
+///   Get-A-successor(): 1 - alpha
+///   Route evaluation:  1 + (L - 1) * (1 - alpha), one-page buffer
+double PredictedGetSuccessorsCost(const CostModelParams& p);
+double PredictedGetASuccessorCost(const CostModelParams& p);
+double PredictedRouteEvaluationCost(const CostModelParams& p, int length);
+
+/// Table 4 — worst-case retrieval (read) cost of update operations under a
+/// reorganization policy. Total accesses are twice the reads (the paper
+/// takes write cost equal to read cost).
+double PredictedInsertReadCost(const CostModelParams& p, ReorgPolicy policy);
+double PredictedDeleteReadCost(const CostModelParams& p, ReorgPolicy policy);
+
+/// Read+write accesses for Delete(), the "Predicted" column of Table 5.
+double PredictedDeleteAccesses(const CostModelParams& p, ReorgPolicy policy);
+
+}  // namespace ccam
+
+#endif  // CCAM_CORE_COST_MODEL_H_

@@ -1,0 +1,65 @@
+#include "src/core/file_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/core/reorg.h"
+
+namespace ccam {
+
+std::string FileStats::ToString() const {
+  std::ostringstream out;
+  out << "file: " << num_nodes << " records on " << num_pages << " pages\n";
+  out << "CRR " << crr << " (upper bound " << crr_upper_bound
+      << ")  WCRR " << wcrr << "  gamma " << blocking_factor << "\n";
+  out << "fill avg " << avg_fill << " (min " << min_fill << ", max "
+      << max_fill << "), " << underfull_pages << " pages under half full\n";
+  out << "page-access-graph average degree " << pag_avg_degree << "\n";
+  out << "records/page histogram:";
+  for (size_t i = 0; i < records_per_page_histogram.size(); ++i) {
+    if (records_per_page_histogram[i] > 0) {
+      out << " " << i << (i + 1 == records_per_page_histogram.size() ? "+" : "")
+          << ":" << records_per_page_histogram[i];
+    }
+  }
+  out << "\n";
+  return out.str();
+}
+
+Result<FileStats> CollectFileStats(NetworkFile* file,
+                                   const Network& network) {
+  FileStats stats;
+  stats.num_nodes = file->PageMap().size();
+  stats.num_pages = file->NumDataPages();
+  stats.crr = ComputeCrr(network, file->PageMap());
+  stats.wcrr = ComputeWcrr(network, file->PageMap());
+  stats.blocking_factor = file->AvgBlockingFactor();
+
+  std::vector<NetworkFile::PageOccupancy> pages;
+  CCAM_ASSIGN_OR_RETURN(pages, file->ScanPageOccupancy());
+  const double capacity = static_cast<double>(file->PageCapacity());
+  constexpr size_t kHistogramBuckets = 32;
+  stats.records_per_page_histogram.assign(kHistogramBuckets, 0);
+  if (!pages.empty()) {
+    stats.min_fill = 1.0;
+    for (const auto& p : pages) {
+      double fill = static_cast<double>(p.used_bytes) / capacity;
+      stats.avg_fill += fill;
+      stats.min_fill = std::min(stats.min_fill, fill);
+      stats.max_fill = std::max(stats.max_fill, fill);
+      if (fill < 0.5) ++stats.underfull_pages;
+      size_t bucket =
+          std::min<size_t>(p.records, kHistogramBuckets - 1);
+      ++stats.records_per_page_histogram[bucket];
+    }
+    stats.avg_fill /= static_cast<double>(pages.size());
+  }
+
+  PageAccessGraph pag = PageAccessGraph::Build(network, file->PageMap());
+  stats.pag_avg_degree = pag.AvgDegree();
+  stats.crr_upper_bound =
+      CrrUpperBound(network, file->PageCapacity(), SlottedPage::kSlotOverhead);
+  return stats;
+}
+
+}  // namespace ccam

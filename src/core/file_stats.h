@@ -1,0 +1,50 @@
+#ifndef CCAM_CORE_FILE_STATS_H_
+#define CCAM_CORE_FILE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/network_file.h"
+#include "src/graph/network.h"
+
+namespace ccam {
+
+/// Diagnostic snapshot of a network file's physical organization — the
+/// quantities the paper's analysis revolves around (CRR/WCRR, blocking
+/// factor gamma, page fill, PAG degree), gathered in one pass.
+struct FileStats {
+  size_t num_nodes = 0;
+  size_t num_pages = 0;
+  double crr = 0.0;
+  double wcrr = 0.0;
+  /// gamma: average records per page.
+  double blocking_factor = 0.0;
+  /// Mean fraction of the page capacity holding live record bytes.
+  double avg_fill = 0.0;
+  double min_fill = 0.0;
+  double max_fill = 0.0;
+  /// Pages below the half-full maintenance target.
+  size_t underfull_pages = 0;
+  /// Average degree of the page access graph.
+  double pag_avg_degree = 0.0;
+  /// Provable upper bound on the CRR any assignment could achieve at this
+  /// page capacity (see CrrUpperBound); crr / crr_upper_bound tells how
+  /// close the clustering is to the structural optimum.
+  double crr_upper_bound = 1.0;
+  /// Histogram of records-per-page (index = record count, capped at 31).
+  std::vector<size_t> records_per_page_histogram;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Collects the statistics of `file` against the logical `network` (used
+/// for CRR/WCRR/PAG; pass the network the file currently stores). Reads
+/// every page once; the scan's I/O is excluded from the file's counters.
+Result<FileStats> CollectFileStats(NetworkFile* file,
+                                   const Network& network);
+
+}  // namespace ccam
+
+#endif  // CCAM_CORE_FILE_STATS_H_

@@ -1,0 +1,260 @@
+#ifndef CCAM_CORE_NETWORK_FILE_H_
+#define CCAM_CORE_NETWORK_FILE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/access_method.h"
+#include "src/index/bptree.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_manager.h"
+#include "src/storage/page.h"
+
+namespace ccam {
+
+/// Shared mechanics of all paged network access methods: a data file of
+/// slotted pages holding variable-length node records, a data buffer pool,
+/// the in-memory node->page map (standing in for the buffered secondary
+/// index, per the paper's cost-model convention), the optional real paged
+/// B+ tree index, and the Find / Get-A-successor / Get-successors /
+/// Insert / Delete machinery.
+///
+/// Subclasses define the *placement policy*: how Create() assigns nodes to
+/// pages, which page receives an inserted node, how an overflowing page is
+/// split, and what reorganization (if any) maintenance operations perform.
+class NetworkFile : public AccessMethod {
+ public:
+  explicit NetworkFile(const AccessMethodOptions& options);
+  ~NetworkFile() override = default;
+
+  Result<NodeRecord> Find(NodeId id) override;
+
+  /// Find() routed through the paged B+ tree: the index descent is charged
+  /// to the index disk's counters (IndexIoStats()), then one data-page
+  /// fetch retrieves the record. Models the paper's future-work item
+  /// "access cost for secondary indexes should be modeled and evaluated".
+  /// Fails with NotSupported when the index is not maintained.
+  Result<NodeRecord> FindViaIndex(NodeId id);
+
+  /// Inserts a batch of new nodes, deferring the reorganization of the
+  /// touched pages to a single pass at the end (instead of one per
+  /// insert). Far cheaper than repeated InsertNode() under the second- and
+  /// higher-order policies while reaching a comparable CRR.
+  Status BulkInsert(const std::vector<NodeRecord>& records,
+                    ReorgPolicy policy);
+  Result<NodeRecord> GetASuccessor(NodeId from, NodeId to) override;
+  Result<std::vector<NodeRecord>> GetSuccessors(NodeId id) override;
+  Status InsertNode(const NodeRecord& record, ReorgPolicy policy) override;
+  Status DeleteNode(NodeId id, ReorgPolicy policy) override;
+  Status InsertEdge(NodeId u, NodeId v, float cost,
+                    ReorgPolicy policy) override;
+  Status DeleteEdge(NodeId u, NodeId v, ReorgPolicy policy) override;
+
+  const IoStats& DataIoStats() const override { return disk_.stats(); }
+  void ResetIoStats() override { disk_.ResetStats(); }
+  const NodePageMap& PageMap() const override { return page_of_; }
+  BufferPool* buffer_pool() override { return &pool_; }
+  bool LastOpChangedStructure() const override {
+    return last_op_structural_;
+  }
+  size_t NumDataPages() const override { return disk_.NumAllocatedPages(); }
+
+  const AccessMethodOptions& options() const { return options_; }
+
+  /// Usable record bytes per page (page size minus the slotted-page
+  /// header; each record additionally pays the slot overhead).
+  size_t PageCapacity() const {
+    return options_.page_size - SlottedPage::kHeaderSize;
+  }
+
+  /// I/O counters of the secondary index (B+ tree), when maintained.
+  const IoStats* IndexIoStats() const;
+
+  /// The B+ tree index, when maintained (for tests / inspection).
+  const BPlusTree* bptree_index() const { return index_.get(); }
+
+  /// Average number of live records per page (gamma in the cost model).
+  double AvgBlockingFactor() const;
+
+  /// Physical occupancy of one data page.
+  struct PageOccupancy {
+    PageId page;
+    int records;
+    size_t used_bytes;  // live record bytes, excluding slot overhead
+  };
+
+  /// Reads every data page once and reports its occupancy. The scan's
+  /// page reads are excluded from the data I/O counters.
+  Result<std::vector<PageOccupancy>> ScanPageOccupancy();
+
+  /// Verifies file-structure invariants (every mapped node present exactly
+  /// once on its page, records decode, index agrees). For tests.
+  Status CheckFileInvariants();
+
+  /// Complete reorganization: reclusters the entire data file (Table 1's
+  /// "all pages in data file" option — the expensive global pass the
+  /// incremental policies exist to avoid). Restores near-create CRR after
+  /// heavy churn. All existing pages are rewritten.
+  Status ReorganizeAll();
+
+  /// --- Lazy (delayed) reorganization ------------------------------------
+  /// The paper's Table 1 sketch: "a lazy or delayed reorganization policy
+  /// may reorganize NbrPages(P) after a certain number of updates to page
+  /// P". When enabled, every update operation tracks per-page update
+  /// counts; once a page accumulates `threshold` updates, {P} ∪
+  /// NbrPages(P) is reclustered and the counts reset. Composes with the
+  /// per-operation policy (typically used with kFirstOrder).
+  void EnableLazyReorganization(int threshold);
+  void DisableLazyReorganization() { lazy_threshold_ = 0; }
+  /// Number of lazy reorganizations triggered so far.
+  uint64_t LazyReorgCount() const { return lazy_reorgs_; }
+
+  /// --- Persistence -------------------------------------------------------
+  /// Flushes and writes the data-file disk image to a real file.
+  Status SaveImage(const std::string& path);
+
+  /// Loads a previously saved image into this (freshly constructed, not
+  /// yet Create()d) file and rebuilds the in-memory maps and the B+ tree
+  /// index by scanning the pages. The options' page size must match the
+  /// image. Placement structures of spatial subclasses are not restored;
+  /// see GridAm.
+  virtual Status OpenImage(const std::string& path);
+
+ protected:
+  /// Materializes `pages` (node sets) into data pages and builds the
+  /// indexes. Used by subclasses' Create().
+  Status BuildFromAssignment(const Network& network,
+                             const std::vector<std::vector<NodeId>>& pages);
+
+  /// Reads and decodes the record of `id` through the buffer pool.
+  Result<NodeRecord> ReadRecord(NodeId id);
+
+  /// Rewrites `record` in place on its page. If it no longer fits, splits
+  /// the page (sets the structural-change flag).
+  Status WriteRecord(const NodeRecord& record);
+
+  /// Inserts `record` into page `page`. Fails with NoSpace when full.
+  Status AddRecordToPage(PageId page, const NodeRecord& record);
+
+  /// Removes the record of `id` from its page (does not touch neighbors).
+  Status RemoveRecordFromPage(NodeId id);
+
+  /// Pages holding the (present) neighbors of `record`, deduplicated.
+  std::vector<PageId> PagesOfNeighbors(const NodeRecord& record) const;
+
+  /// Pages adjacent to `page` in the page access graph: pages holding any
+  /// neighbor of any node stored on `page`. Reads `page` (usually already
+  /// buffered); the neighbor lookup itself uses the in-memory map.
+  Result<std::vector<PageId>> NbrPages(PageId page);
+
+  /// All node-ids currently stored on `page`.
+  Result<std::vector<NodeId>> NodesOnPage(PageId page);
+
+  /// Reads all records stored on `page`.
+  Result<std::vector<NodeRecord>> RecordsOnPage(PageId page);
+
+  /// Splits an overflowing page. `pending` holds the page's logical
+  /// contents (including any grown record that triggered the overflow).
+  /// The default splits by connectivity reclustering; subclasses override
+  /// (order-based and spatial splits for the baselines).
+  virtual Status SplitPage(PageId page, std::vector<NodeRecord> pending);
+
+  /// Chooses the page for a new node. Default (CCAM, paper Figure 3):
+  /// the page holding the most neighbors of the node that still has room.
+  /// Returns kInvalidPageId when no suitable page exists (caller
+  /// allocates). Subclasses override for append/spatial placement.
+  virtual PageId ChoosePageForInsert(const NodeRecord& record);
+
+  /// Notification that a new node's record landed on `page` (after
+  /// ChoosePageForInsert / fresh-page allocation). Lets subclasses keep
+  /// their placement structures (append cursor, spatial buckets) in sync.
+  virtual void OnRecordPlaced(NodeId id, PageId page) {
+    (void)id;
+    (void)page;
+  }
+
+  /// Reorganizes `pages`: reads their records, reclusters the induced
+  /// subnetwork with cluster-nodes-into-pages, and rewrites the pages
+  /// (reusing ids, allocating or freeing as needed).
+  Status Reorganize(std::vector<PageId> pages);
+
+  /// Hook run by maintenance operations after the first-order work, when
+  /// the policy asks for reorganization. `touched` is the page set from
+  /// Table 1 for the given argument. Default: recluster them. Baselines
+  /// that do not recluster may override to a no-op.
+  virtual Status ReorganizeForPolicy(ReorgPolicy policy,
+                                     std::vector<PageId> touched);
+
+  /// Writes every dirty buffered page out (end-of-operation flush, so that
+  /// write I/O is attributed to the operation that dirtied the pages).
+  Status FlushDirty() { return pool_.FlushAll(); }
+
+  /// End-of-update hook: runs any due lazy reorganizations, then flushes.
+  /// Every public maintenance operation ends with this.
+  Status FinishUpdate();
+
+  /// Bumps the lazy-reorganization update counter of `page`.
+  void NoteUpdate(PageId page);
+
+  /// Merges underflowing page `p` into / with a neighbor page `q`.
+  Status MergePages(PageId p, PageId q);
+
+  /// First-order underflow handling after a node deletion: drops `home`
+  /// when empty, merges it with a neighbor page when under half full
+  /// (paper Figure 4). GridFile-AM overrides to keep sparse buckets.
+  virtual Status HandleUnderflow(PageId home,
+                                 const std::vector<PageId>& nbr_pages);
+
+  /// Allocates an empty formatted data page.
+  Result<PageId> NewDataPage();
+
+  /// Frees `page` (must be empty) and drops its buffer frame.
+  Status DropDataPage(PageId page);
+
+  /// Updates both indexes for a (re)placed node.
+  Status IndexSet(NodeId id, PageId page);
+  Status IndexErase(NodeId id);
+
+  /// Rewrites `subsets` of records into data pages, reusing the ids in
+  /// `reuse` first, allocating extras, and freeing leftovers. Updates the
+  /// indexes and the free-space cache.
+  Status RewritePages(const std::vector<PageId>& reuse,
+                      const std::vector<std::vector<NodeId>>& subsets,
+                      const std::unordered_map<NodeId, NodeRecord>& records);
+
+  /// Builds the subnetwork induced by `records` (edges among them only),
+  /// the input to reclustering.
+  static Network NetworkFromRecords(const std::vector<NodeRecord>& records);
+
+  /// Remembers the free space of `page` (an in-memory free-space map, so
+  /// placement decisions do not charge data-page I/O).
+  void NoteFreeSpace(PageId page, const SlottedPage& view);
+
+  AccessMethodOptions options_;
+  DiskManager disk_;
+  BufferPool pool_;
+  NodePageMap page_of_;
+  /// In-memory free-space map: bytes available for one more record.
+  std::unordered_map<PageId, size_t> free_space_;
+
+  // Optional real secondary index on its own simulated disk, so its I/O
+  // never mixes into the data-page counters.
+  std::unique_ptr<DiskManager> index_disk_;
+  std::unique_ptr<BufferPool> index_pool_;
+  std::unique_ptr<BPlusTree> index_;
+
+  bool last_op_structural_ = false;
+  uint64_t reorg_seed_ = 0;
+
+  // Lazy reorganization state.
+  int lazy_threshold_ = 0;  // 0 = disabled
+  std::unordered_map<PageId, int> update_counts_;
+  bool in_reorg_ = false;
+  uint64_t lazy_reorgs_ = 0;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_CORE_NETWORK_FILE_H_

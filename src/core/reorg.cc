@@ -1,0 +1,61 @@
+#include "src/core/reorg.h"
+
+namespace ccam {
+
+PageAccessGraph PageAccessGraph::Build(const Network& network,
+                                       const NodePageMap& page_of) {
+  PageAccessGraph pag;
+  for (const auto& [node, page] : page_of) {
+    pag.adjacency_.try_emplace(page);
+  }
+  for (const auto& e : network.Edges()) {
+    auto u = page_of.find(e.from);
+    auto v = page_of.find(e.to);
+    if (u == page_of.end() || v == page_of.end()) continue;
+    if (u->second == v->second) continue;
+    pag.adjacency_[u->second].insert(v->second);
+    pag.adjacency_[v->second].insert(u->second);
+  }
+  return pag;
+}
+
+bool PageAccessGraph::IsNeighborPage(PageId p, PageId q) const {
+  auto it = adjacency_.find(p);
+  return it != adjacency_.end() && it->second.count(q) > 0;
+}
+
+std::vector<PageId> PageAccessGraph::NbrPages(PageId p) const {
+  auto it = adjacency_.find(p);
+  if (it == adjacency_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<PageId> PageAccessGraph::Pages() const {
+  std::set<PageId> out;
+  for (const auto& [page, nbrs] : adjacency_) out.insert(page);
+  return {out.begin(), out.end()};
+}
+
+size_t PageAccessGraph::NumEdges() const {
+  size_t total = 0;
+  for (const auto& [page, nbrs] : adjacency_) total += nbrs.size();
+  return total / 2;
+}
+
+double PageAccessGraph::AvgDegree() const {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(NumEdges()) /
+         static_cast<double>(adjacency_.size());
+}
+
+std::vector<PageId> PagesOfNbrs(const Network& network, NodeId x,
+                                const NodePageMap& page_of) {
+  std::set<PageId> out;
+  for (NodeId nbr : network.Neighbors(x)) {
+    auto it = page_of.find(nbr);
+    if (it != page_of.end()) out.insert(it->second);
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace ccam

@@ -1,0 +1,52 @@
+#ifndef CCAM_CORE_REORG_H_
+#define CCAM_CORE_REORG_H_
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/network.h"
+#include "src/partition/partition.h"
+#include "src/storage/page.h"
+
+namespace ccam {
+
+/// The Page Access Graph (paper Definition 1): nodes are data pages; an
+/// edge connects pages P_i, P_j whenever some network edge (x, y) has
+/// record(x) on P_i and record(y) on P_j. The reorganization policies of
+/// Table 1 are defined over this graph.
+class PageAccessGraph {
+ public:
+  /// Builds the PAG of `network` under the page assignment `page_of`.
+  /// Self-edges (both endpoints on one page) are not PAG edges.
+  static PageAccessGraph Build(const Network& network,
+                               const NodePageMap& page_of);
+
+  /// Definition 2: Is-Neighbor-Page(P, Q).
+  bool IsNeighborPage(PageId p, PageId q) const;
+
+  /// Definition 2: NbrPages(P) — pages adjacent to P, ascending.
+  std::vector<PageId> NbrPages(PageId p) const;
+
+  /// All pages (vertices), ascending.
+  std::vector<PageId> Pages() const;
+
+  size_t NumPages() const { return adjacency_.size(); }
+  size_t NumEdges() const;
+
+  /// Average PAG degree — a locality diagnostic: low degree means the
+  /// clustering confines connectivity to few page pairs.
+  double AvgDegree() const;
+
+ private:
+  std::unordered_map<PageId, std::set<PageId>> adjacency_;
+};
+
+/// Definition 2: PagesOfNbrs(x) — the pages holding the neighbors
+/// (successors and predecessors) of node x, ascending.
+std::vector<PageId> PagesOfNbrs(const Network& network, NodeId x,
+                                const NodePageMap& page_of);
+
+}  // namespace ccam
+
+#endif  // CCAM_CORE_REORG_H_

@@ -1,0 +1,315 @@
+#include "src/graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/index/zorder.h"
+
+namespace ccam {
+
+namespace {
+
+struct RawNode {
+  double x;
+  double y;
+};
+
+/// Assigns node-ids 0..n-1 in Z-order of the raw coordinates. Returns the
+/// permutation: `ids[i]` is the id given to raw node i.
+std::vector<NodeId> AssignZOrderIds(const std::vector<RawNode>& raw) {
+  double min_c = 0.0, max_c = 0.0;
+  if (!raw.empty()) {
+    min_c = max_c = raw[0].x;
+    for (const RawNode& n : raw) {
+      min_c = std::min({min_c, n.x, n.y});
+      max_c = std::max({max_c, n.x, n.y});
+    }
+  }
+  std::vector<size_t> order(raw.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<uint64_t> codes(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    codes[i] = ZOrderFromPoint(raw[i].x, raw[i].y, min_c, max_c);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return codes[a] < codes[b]; });
+  std::vector<NodeId> ids(raw.size());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    ids[order[rank]] = static_cast<NodeId>(rank);
+  }
+  return ids;
+}
+
+double Distance(const RawNode& a, const RawNode& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Connects weakly-connected components with two-way edges between their
+/// spatially closest representative nodes, so the map is traversable.
+void PatchConnectivity(Network* net) {
+  std::vector<NodeId> ids = net->NodeIds();
+  if (ids.empty()) return;
+  // Union-find over weak connectivity.
+  std::unordered_map<NodeId, NodeId> parent;
+  for (NodeId id : ids) parent[id] = id;
+  std::function<NodeId(NodeId)> find = [&](NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const auto& e : net->Edges()) {
+    NodeId a = find(e.from), b = find(e.to);
+    if (a != b) parent[a] = b;
+  }
+  // Group nodes by component root.
+  std::unordered_map<NodeId, std::vector<NodeId>> comps;
+  for (NodeId id : ids) comps[find(id)].push_back(id);
+  if (comps.size() <= 1) return;
+  // Merge components into the largest one, linking nearest node pairs.
+  auto main_it = std::max_element(
+      comps.begin(), comps.end(), [](const auto& a, const auto& b) {
+        return a.second.size() < b.second.size();
+      });
+  std::vector<NodeId> core = main_it->second;
+  for (auto& [root, members] : comps) {
+    if (root == main_it->first) continue;
+    double best = 1e300;
+    NodeId bu = members[0], bv = core[0];
+    for (NodeId u : members) {
+      const NetworkNode& un = net->node(u);
+      for (NodeId v : core) {
+        const NetworkNode& vn = net->node(v);
+        double d = std::hypot(un.x - vn.x, un.y - vn.y);
+        if (d < best) {
+          best = d;
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    (void)net->AddBidirectionalEdge(bu, bv, static_cast<float>(best));
+    core.insert(core.end(), members.begin(), members.end());
+  }
+}
+
+}  // namespace
+
+Network GenerateRoadMap(const RoadMapOptions& options) {
+  Random rng(options.seed);
+  const int rows = options.rows;
+  const int cols = options.cols;
+  const int n = rows * cols;
+
+  // Place intersections on a jittered grid.
+  std::vector<RawNode> raw(n);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double jx = (rng.NextDouble() * 2.0 - 1.0) * options.jitter *
+                  options.spacing;
+      double jy = (rng.NextDouble() * 2.0 - 1.0) * options.jitter *
+                  options.spacing;
+      raw[r * cols + c] = {c * options.spacing + jx,
+                           r * options.spacing + jy};
+    }
+  }
+
+  // Decide which nodes survive (a city map is not a full rectangle).
+  std::vector<bool> alive(n, true);
+  int removed = 0;
+  while (removed < options.nodes_to_remove && removed < n) {
+    uint32_t pick = rng.Uniform(static_cast<uint32_t>(n));
+    if (alive[pick]) {
+      alive[pick] = false;
+      ++removed;
+    }
+  }
+
+  // Assign Z-order ids over surviving nodes only.
+  std::vector<RawNode> surviving;
+  std::vector<int> raw_index;  // surviving index -> raw index
+  for (int i = 0; i < n; ++i) {
+    if (alive[i]) {
+      surviving.push_back(raw[i]);
+      raw_index.push_back(i);
+    }
+  }
+  std::vector<NodeId> ids = AssignZOrderIds(surviving);
+  std::vector<NodeId> id_of_raw(n, kInvalidNodeId);
+  for (size_t i = 0; i < raw_index.size(); ++i) {
+    id_of_raw[raw_index[i]] = ids[i];
+  }
+
+  Network net;
+  for (size_t i = 0; i < surviving.size(); ++i) {
+    std::string payload(static_cast<size_t>(options.payload_bytes), '\0');
+    // Fill the payload with deterministic attribute bytes.
+    for (size_t b = 0; b < payload.size(); ++b) {
+      payload[b] = static_cast<char>((ids[i] + b) & 0xff);
+    }
+    (void)net.AddNode(ids[i], surviving[i].x, surviving[i].y,
+                      std::move(payload));
+  }
+
+  // Streets between grid-adjacent intersections.
+  auto add_street = [&](int a, int b) {
+    if (!alive[a] || !alive[b]) return;
+    if (!rng.Bernoulli(options.street_keep_prob)) return;
+    double dist = Distance(raw[a], raw[b]);
+    double spread = 1.0 + (rng.NextDouble() * 2.0 - 1.0) * options.cost_spread;
+    float cost = static_cast<float>(dist * spread);
+    NodeId u = id_of_raw[a];
+    NodeId v = id_of_raw[b];
+    if (rng.Bernoulli(options.oneway_fraction)) {
+      if (rng.Bernoulli(0.5)) std::swap(u, v);
+      (void)net.AddEdge(u, v, cost);
+    } else {
+      (void)net.AddBidirectionalEdge(u, v, cost);
+    }
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      int idx = r * cols + c;
+      if (c + 1 < cols) add_street(idx, idx + 1);
+      if (r + 1 < rows) add_street(idx, idx + cols);
+    }
+  }
+
+  PatchConnectivity(&net);
+  return net;
+}
+
+Network GenerateMinneapolisLikeMap(uint64_t seed) {
+  RoadMapOptions options;
+  options.seed = seed;
+  return GenerateRoadMap(options);
+}
+
+Network GenerateRingRadialCity(int rings, int radials, double ring_spacing,
+                               uint64_t seed) {
+  Random rng(seed);
+  const double kPi = 3.14159265358979323846;
+  // Raw node layout: index 0 is the center; ring r (1-based) node k sits
+  // at radius r * spacing, angle 2*pi*k/radials.
+  std::vector<RawNode> raw;
+  raw.push_back({0.0, 0.0});
+  for (int r = 1; r <= rings; ++r) {
+    for (int k = 0; k < radials; ++k) {
+      double angle = 2.0 * kPi * k / radials;
+      double radius = r * ring_spacing;
+      raw.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+    }
+  }
+  std::vector<NodeId> ids = AssignZOrderIds(raw);
+
+  Network net;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    (void)net.AddNode(ids[i], raw[i].x, raw[i].y, std::string(8, '\0'));
+  }
+  auto raw_index = [&](int ring, int k) {
+    return 1 + (ring - 1) * radials + ((k % radials + radials) % radials);
+  };
+  auto street = [&](int a, int b) {
+    double dist = Distance(raw[a], raw[b]);
+    (void)net.AddBidirectionalEdge(ids[a], ids[b],
+                                   static_cast<float>(dist));
+  };
+  for (int r = 1; r <= rings; ++r) {
+    for (int k = 0; k < radials; ++k) {
+      street(raw_index(r, k), raw_index(r, k + 1));  // along the ring
+      if (r > 1) street(raw_index(r, k), raw_index(r - 1, k));  // radial
+    }
+  }
+  for (int k = 0; k < radials; ++k) {
+    street(0, raw_index(1, k));  // spokes into the center
+  }
+  (void)rng;
+  return net;
+}
+
+Network GenerateScaleFreeNetwork(int n, int edges_per_node, double extent,
+                                 uint64_t seed) {
+  Random rng(seed);
+  const int m = std::max(1, edges_per_node);
+  std::vector<RawNode> raw(n);
+  for (int i = 0; i < n; ++i) {
+    raw[i] = {rng.NextDouble() * extent, rng.NextDouble() * extent};
+  }
+  std::vector<NodeId> ids = AssignZOrderIds(raw);
+
+  Network net;
+  for (int i = 0; i < n; ++i) {
+    (void)net.AddNode(ids[i], raw[i].x, raw[i].y, std::string(8, '\0'));
+  }
+  // Preferential attachment over raw indices: each new node i attaches to
+  // m existing nodes sampled proportionally to degree (implemented with
+  // the standard repeated-endpoints urn).
+  std::vector<int> urn;  // every edge endpoint, repeated
+  int start = std::min(n, m + 1);
+  for (int i = 0; i < start; ++i) {
+    for (int j = 0; j < i; ++j) {
+      if (net.AddBidirectionalEdge(ids[i], ids[j],
+                                   static_cast<float>(
+                                       Distance(raw[i], raw[j]) + 1.0))
+              .ok()) {
+        urn.push_back(i);
+        urn.push_back(j);
+      }
+    }
+  }
+  for (int i = start; i < n; ++i) {
+    int attached = 0;
+    int guard = 0;
+    while (attached < m && guard++ < 100) {
+      int target = urn.empty()
+                       ? static_cast<int>(rng.Uniform(i))
+                       : urn[rng.Uniform(static_cast<uint32_t>(urn.size()))];
+      if (target == i || net.HasEdge(ids[i], ids[target])) continue;
+      if (net.AddBidirectionalEdge(ids[i], ids[target],
+                                   static_cast<float>(
+                                       Distance(raw[i], raw[target]) + 1.0))
+              .ok()) {
+        urn.push_back(i);
+        urn.push_back(target);
+        ++attached;
+      }
+    }
+  }
+  PatchConnectivity(&net);
+  return net;
+}
+
+Network GenerateRandomGeometricNetwork(int n, double radius, double extent,
+                                       uint64_t seed) {
+  Random rng(seed);
+  std::vector<RawNode> raw(n);
+  for (int i = 0; i < n; ++i) {
+    raw[i] = {rng.NextDouble() * extent, rng.NextDouble() * extent};
+  }
+  std::vector<NodeId> ids = AssignZOrderIds(raw);
+
+  Network net;
+  for (int i = 0; i < n; ++i) {
+    (void)net.AddNode(ids[i], raw[i].x, raw[i].y, std::string(8, '\0'));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double d = Distance(raw[i], raw[j]);
+      if (d <= radius) {
+        (void)net.AddBidirectionalEdge(ids[i], ids[j],
+                                       static_cast<float>(d));
+      }
+    }
+  }
+  PatchConnectivity(&net);
+  return net;
+}
+
+}  // namespace ccam

@@ -1,0 +1,76 @@
+#ifndef CCAM_GRAPH_GENERATOR_H_
+#define CCAM_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/graph/network.h"
+
+namespace ccam {
+
+/// Options for the synthetic road-map generator. The defaults are tuned so
+/// that GenerateMinneapolisLikeMap() reproduces the statistics of the
+/// Minneapolis road map used in the paper (1079 nodes, 3057 directed edges,
+/// average successor-list size |A| ~= 2.83, average neighbor-list size
+/// lambda ~= 3.2).
+struct RoadMapOptions {
+  int rows = 33;
+  int cols = 33;
+  /// Probability that a grid-adjacent street exists at all.
+  double street_keep_prob = 0.77;
+  /// Probability that an existing street is one-way (single directed edge).
+  double oneway_fraction = 0.12;
+  /// Spacing between grid lines in coordinate units.
+  double spacing = 100.0;
+  /// Positional jitter as a fraction of spacing (intersections are not on a
+  /// perfect grid in a real city).
+  double jitter = 0.25;
+  /// Multiplicative spread applied to the Euclidean edge cost, modeling
+  /// differing speeds/congestion: cost = distance * U(1-s, 1+s).
+  double cost_spread = 0.3;
+  /// Number of attribute bytes stored in each node's payload (tunes the
+  /// record size / blocking factor).
+  int payload_bytes = 8;
+  /// Nodes removed at random after generation (a real map is not a perfect
+  /// rectangle). 33*33 - 10 = 1079 nodes, the paper's node count.
+  int nodes_to_remove = 10;
+  uint64_t seed = 1995;
+};
+
+/// Generates a synthetic road map: a jittered grid with pruned streets and a
+/// mix of one-way and two-way streets, patched to be weakly connected.
+/// Node-ids are assigned in Z-order of the node coordinates, matching the
+/// paper's secondary-index convention.
+Network GenerateRoadMap(const RoadMapOptions& options);
+
+/// The paper's evaluation network: a road map with the statistics of the
+/// Minneapolis map (1079 nodes / ~3057 directed edges). This is the
+/// substitution documented in DESIGN.md: the original map is proprietary,
+/// and CRR/I-O behavior depends only on connectivity structure.
+Network GenerateMinneapolisLikeMap(uint64_t seed = 1995);
+
+/// Generates a random geometric network: `n` nodes uniform in the
+/// [0, extent]^2 square, two-way edges between all pairs closer than
+/// `radius`, edge cost = Euclidean distance. Used for scale experiments.
+Network GenerateRandomGeometricNetwork(int n, double radius,
+                                       double extent = 1000.0,
+                                       uint64_t seed = 7);
+
+/// Generates a ring-radial city (the classic European street plan):
+/// `rings` concentric ring roads crossed by `radials` avenues, all two-way
+/// streets, plus a center node joined to the innermost ring. Node-ids are
+/// Z-ordered; edge cost = arc/segment length.
+Network GenerateRingRadialCity(int rings, int radials,
+                               double ring_spacing = 100.0,
+                               uint64_t seed = 13);
+
+/// Generates a scale-free network by preferential attachment (Barabási-
+/// Albert, m edges per new node), with nodes placed at random positions.
+/// Exercises CCAM on a decidedly non-planar "general network": hubs make
+/// low cuts impossible, so every method's CRR drops — but the ordering is
+/// preserved.
+Network GenerateScaleFreeNetwork(int n, int edges_per_node = 2,
+                                 double extent = 1000.0, uint64_t seed = 29);
+
+}  // namespace ccam
+
+#endif  // CCAM_GRAPH_GENERATOR_H_

@@ -1,0 +1,127 @@
+#include "src/graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ccam {
+
+namespace {
+
+const char kHexDigits[] = "0123456789abcdef";
+
+std::string ToHex(const std::string& bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHexDigits[c >> 4]);
+    out.push_back(kHexDigits[c & 0xf]);
+  }
+  return out;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Result<std::string> FromHex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::Corruption("odd-length hex payload");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Status::Corruption("bad hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NetworkToString(const Network& network) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "# ccam network: " << network.NumNodes() << " nodes, "
+      << network.NumEdges() << " edges\n";
+  for (NodeId id : network.NodeIds()) {
+    const NetworkNode& n = network.node(id);
+    out << "n " << id << " " << n.x << " " << n.y;
+    if (!n.payload.empty()) out << " " << ToHex(n.payload);
+    out << "\n";
+  }
+  for (const auto& e : network.Edges()) {
+    out << "e " << e.from << " " << e.to << " " << e.cost;
+    double w = network.EdgeWeight(e.from, e.to);
+    if (w != 1.0) out << " " << w;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<Network> NetworkFromString(const std::string& text) {
+  Network net;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    auto fail = [&](const std::string& why) {
+      return Status::Corruption("line " + std::to_string(lineno) + ": " +
+                                why);
+    };
+    if (tag == "n") {
+      NodeId id;
+      double x, y;
+      std::string hex;
+      if (!(ls >> id >> x >> y)) return fail("bad node line");
+      std::string payload;
+      if (ls >> hex) {
+        auto decoded = FromHex(hex);
+        if (!decoded.ok()) return decoded.status();
+        payload = std::move(decoded).value();
+      }
+      Status s = net.AddNode(id, x, y, std::move(payload));
+      if (!s.ok()) return fail(s.ToString());
+    } else if (tag == "e") {
+      NodeId u, v;
+      float cost;
+      if (!(ls >> u >> v >> cost)) return fail("bad edge line");
+      Status s = net.AddEdge(u, v, cost);
+      if (!s.ok()) return fail(s.ToString());
+      double w;
+      if (ls >> w) net.SetEdgeWeight(u, v, w);
+    } else {
+      return fail("unknown record tag '" + tag + "'");
+    }
+  }
+  return net;
+}
+
+Status SaveNetwork(const Network& network, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << NetworkToString(network);
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<Network> LoadNetwork(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return NetworkFromString(buffer.str());
+}
+
+}  // namespace ccam

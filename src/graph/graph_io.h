@@ -1,0 +1,30 @@
+#ifndef CCAM_GRAPH_GRAPH_IO_H_
+#define CCAM_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/graph/network.h"
+
+namespace ccam {
+
+/// Plain-text network exchange format:
+///
+///   # comment lines start with '#'
+///   n <id> <x> <y> [payload-hex]
+///   e <u> <v> <cost> [weight]
+///
+/// Node lines must precede the edge lines that reference them. Weights are
+/// optional and default to 1 (the uniform case).
+Status SaveNetwork(const Network& network, const std::string& path);
+
+Result<Network> LoadNetwork(const std::string& path);
+
+/// Serialize / parse through strings (used by tests and for embedding).
+std::string NetworkToString(const Network& network);
+Result<Network> NetworkFromString(const std::string& text);
+
+}  // namespace ccam
+
+#endif  // CCAM_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,225 @@
+#include "src/graph/network.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+namespace ccam {
+
+namespace {
+
+bool ListContains(const std::vector<AdjEntry>& list, NodeId id) {
+  return std::any_of(list.begin(), list.end(),
+                     [id](const AdjEntry& e) { return e.node == id; });
+}
+
+void ListErase(std::vector<AdjEntry>* list, NodeId id) {
+  list->erase(std::remove_if(list->begin(), list->end(),
+                             [id](const AdjEntry& e) { return e.node == id; }),
+              list->end());
+}
+
+}  // namespace
+
+Status Network::AddNode(NodeId id, double x, double y, std::string payload) {
+  if (id == kInvalidNodeId) {
+    return Status::InvalidArgument("reserved node-id");
+  }
+  auto [it, inserted] = nodes_.try_emplace(id);
+  if (!inserted) {
+    return Status::AlreadyExists("node " + std::to_string(id));
+  }
+  it->second.x = x;
+  it->second.y = y;
+  it->second.payload = std::move(payload);
+  return Status::OK();
+}
+
+Status Network::RemoveNode(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::NotFound("node " + std::to_string(id));
+  }
+  // Detach incident edges from the neighbors' lists.
+  for (const AdjEntry& e : it->second.succ) {
+    ListErase(&nodes_.at(e.node).pred, id);
+    edge_weights_.erase(EdgeKey(id, e.node));
+    --num_edges_;
+  }
+  for (const AdjEntry& e : it->second.pred) {
+    ListErase(&nodes_.at(e.node).succ, id);
+    edge_weights_.erase(EdgeKey(e.node, id));
+    --num_edges_;
+  }
+  nodes_.erase(it);
+  return Status::OK();
+}
+
+Status Network::AddEdge(NodeId u, NodeId v, float cost) {
+  if (u == v) return Status::InvalidArgument("self-loop");
+  auto uit = nodes_.find(u);
+  auto vit = nodes_.find(v);
+  if (uit == nodes_.end() || vit == nodes_.end()) {
+    return Status::NotFound("edge endpoint missing");
+  }
+  if (ListContains(uit->second.succ, v)) {
+    return Status::AlreadyExists("edge (" + std::to_string(u) + "," +
+                                 std::to_string(v) + ")");
+  }
+  uit->second.succ.push_back({v, cost});
+  vit->second.pred.push_back({u, cost});
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status Network::AddBidirectionalEdge(NodeId u, NodeId v, float cost) {
+  CCAM_RETURN_NOT_OK(AddEdge(u, v, cost));
+  return AddEdge(v, u, cost);
+}
+
+Status Network::RemoveEdge(NodeId u, NodeId v) {
+  auto uit = nodes_.find(u);
+  auto vit = nodes_.find(v);
+  if (uit == nodes_.end() || vit == nodes_.end() ||
+      !ListContains(uit->second.succ, v)) {
+    return Status::NotFound("edge (" + std::to_string(u) + "," +
+                            std::to_string(v) + ")");
+  }
+  ListErase(&uit->second.succ, v);
+  ListErase(&vit->second.pred, u);
+  edge_weights_.erase(EdgeKey(u, v));
+  --num_edges_;
+  return Status::OK();
+}
+
+bool Network::HasEdge(NodeId u, NodeId v) const {
+  auto it = nodes_.find(u);
+  return it != nodes_.end() && ListContains(it->second.succ, v);
+}
+
+Status Network::EdgeCost(NodeId u, NodeId v, float* cost) const {
+  auto it = nodes_.find(u);
+  if (it != nodes_.end()) {
+    for (const AdjEntry& e : it->second.succ) {
+      if (e.node == v) {
+        *cost = e.cost;
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("edge (" + std::to_string(u) + "," +
+                          std::to_string(v) + ")");
+}
+
+std::vector<NodeId> Network::NodeIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<Network::EdgeRecord> Network::Edges() const {
+  std::vector<EdgeRecord> edges;
+  edges.reserve(num_edges_);
+  for (const auto& [id, node] : nodes_) {
+    for (const AdjEntry& e : node.succ) {
+      edges.push_back({id, e.node, e.cost});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const EdgeRecord& a, const EdgeRecord& b) {
+              return a.from != b.from ? a.from < b.from : a.to < b.to;
+            });
+  return edges;
+}
+
+std::vector<NodeId> Network::Neighbors(NodeId id) const {
+  std::set<NodeId> out;
+  const NetworkNode& n = nodes_.at(id);
+  for (const AdjEntry& e : n.succ) out.insert(e.node);
+  for (const AdjEntry& e : n.pred) out.insert(e.node);
+  return {out.begin(), out.end()};
+}
+
+void Network::SetEdgeWeight(NodeId u, NodeId v, double w) {
+  edge_weights_[EdgeKey(u, v)] = w;
+}
+
+double Network::EdgeWeight(NodeId u, NodeId v) const {
+  auto it = edge_weights_.find(EdgeKey(u, v));
+  return it != edge_weights_.end() ? it->second : 1.0;
+}
+
+void Network::ClearEdgeWeights() { edge_weights_.clear(); }
+
+double Network::TotalEdgeWeight() const {
+  double total = 0.0;
+  for (const auto& [id, node] : nodes_) {
+    for (const AdjEntry& e : node.succ) total += EdgeWeight(id, e.node);
+  }
+  return total;
+}
+
+double Network::AvgOutDegree() const {
+  if (nodes_.empty()) return 0.0;
+  return static_cast<double>(num_edges_) / static_cast<double>(nodes_.size());
+}
+
+double Network::AvgNeighborListSize() const {
+  if (nodes_.empty()) return 0.0;
+  size_t total = 0;
+  for (const auto& [id, node] : nodes_) {
+    std::set<NodeId> nbrs;
+    for (const AdjEntry& e : node.succ) nbrs.insert(e.node);
+    for (const AdjEntry& e : node.pred) nbrs.insert(e.node);
+    total += nbrs.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(nodes_.size());
+}
+
+Network Network::InducedSubnetwork(const std::vector<NodeId>& subset) const {
+  std::unordered_set<NodeId> keep(subset.begin(), subset.end());
+  Network sub;
+  for (NodeId id : subset) {
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) continue;
+    (void)sub.AddNode(id, it->second.x, it->second.y, it->second.payload);
+  }
+  for (NodeId id : subset) {
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) continue;
+    for (const AdjEntry& e : it->second.succ) {
+      if (keep.count(e.node)) {
+        (void)sub.AddEdge(id, e.node, e.cost);
+        auto wit = edge_weights_.find(EdgeKey(id, e.node));
+        if (wit != edge_weights_.end()) {
+          sub.SetEdgeWeight(id, e.node, wit->second);
+        }
+      }
+    }
+  }
+  return sub;
+}
+
+bool Network::IsWeaklyConnected() const {
+  if (nodes_.empty()) return true;
+  std::unordered_set<NodeId> seen;
+  std::queue<NodeId> frontier;
+  NodeId start = nodes_.begin()->first;
+  frontier.push(start);
+  seen.insert(start);
+  while (!frontier.empty()) {
+    NodeId cur = frontier.front();
+    frontier.pop();
+    const NetworkNode& n = nodes_.at(cur);
+    auto visit = [&](NodeId next) {
+      if (seen.insert(next).second) frontier.push(next);
+    };
+    for (const AdjEntry& e : n.succ) visit(e.node);
+    for (const AdjEntry& e : n.pred) visit(e.node);
+  }
+  return seen.size() == nodes_.size();
+}
+
+}  // namespace ccam

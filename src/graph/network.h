@@ -1,0 +1,139 @@
+#ifndef CCAM_GRAPH_NETWORK_H_
+#define CCAM_GRAPH_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ccam {
+
+/// Identifier of a network node. The benchmark generators assign node-ids in
+/// Z-order of the node coordinates, matching the paper's convention that
+/// "the Z-order of the node-id values" orders the secondary index.
+using NodeId = uint32_t;
+
+constexpr NodeId kInvalidNodeId = UINT32_MAX;
+
+/// One directed edge endpoint as stored in a successor or predecessor list:
+/// the opposite node and the edge cost (e.g. travel time).
+struct AdjEntry {
+  NodeId node = kInvalidNodeId;
+  float cost = 0.0f;
+
+  friend bool operator==(const AdjEntry& a, const AdjEntry& b) {
+    return a.node == b.node && a.cost == b.cost;
+  }
+};
+
+/// A network node: spatial position, an opaque attribute payload, and the
+/// adjacency lists. `succ` holds outgoing edges (the adjacency list used by
+/// network computations); `pred` holds incoming edges and exists to make
+/// Insert()/Delete() able to patch the successor lists of neighbors.
+struct NetworkNode {
+  double x = 0.0;
+  double y = 0.0;
+  std::string payload;
+  std::vector<AdjEntry> succ;
+  std::vector<AdjEntry> pred;
+};
+
+/// Packs a directed edge (u,v) into a 64-bit key for weight lookup tables.
+inline uint64_t EdgeKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// In-memory model of a transportation network: a directed graph with
+/// spatial node positions, per-edge traversal costs, and per-edge access
+/// weights w(u,v) (the relative frequency with which a query accesses u and
+/// v together — the numerator/denominator terms of WCRR).
+///
+/// The Network is the logical view of the data; the access methods in
+/// src/core and src/baseline materialize it into paged files.
+class Network {
+ public:
+  Network() = default;
+
+  // Copyable: experiments clone a network before mutating it.
+  Network(const Network&) = default;
+  Network& operator=(const Network&) = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Adds an isolated node. Fails with AlreadyExists if `id` is present.
+  Status AddNode(NodeId id, double x, double y, std::string payload = {});
+
+  /// Removes a node and all incident edges. Fails with NotFound if absent.
+  Status RemoveNode(NodeId id);
+
+  /// Adds the directed edge (u,v). Both endpoints must exist; duplicate
+  /// edges are rejected with AlreadyExists.
+  Status AddEdge(NodeId u, NodeId v, float cost);
+
+  /// Adds both (u,v) and (v,u) with the same cost (a two-way street).
+  Status AddBidirectionalEdge(NodeId u, NodeId v, float cost);
+
+  /// Removes the directed edge (u,v). Fails with NotFound if absent.
+  Status RemoveEdge(NodeId u, NodeId v);
+
+  bool HasNode(NodeId id) const { return nodes_.count(id) > 0; }
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Returns the cost of edge (u,v); NotFound if the edge does not exist.
+  Status EdgeCost(NodeId u, NodeId v, float* cost) const;
+
+  const NetworkNode& node(NodeId id) const { return nodes_.at(id); }
+
+  size_t NumNodes() const { return nodes_.size(); }
+  /// Number of directed edges.
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Node-ids in ascending order (deterministic iteration).
+  std::vector<NodeId> NodeIds() const;
+
+  /// All directed edges (u,v,cost), ordered by (u,v).
+  struct EdgeRecord {
+    NodeId from;
+    NodeId to;
+    float cost;
+  };
+  std::vector<EdgeRecord> Edges() const;
+
+  /// The neighbor-list of `id` per the paper: the set of distinct nodes
+  /// appearing in its successor-list or predecessor-list.
+  std::vector<NodeId> Neighbors(NodeId id) const;
+
+  /// --- Edge access weights (WCRR) -------------------------------------
+  /// The access weight defaults to 1.0 for every edge (uniform case).
+  void SetEdgeWeight(NodeId u, NodeId v, double w);
+  double EdgeWeight(NodeId u, NodeId v) const;
+  /// Resets all explicit weights back to the uniform default.
+  void ClearEdgeWeights();
+  /// Sum of w(u,v) over all directed edges.
+  double TotalEdgeWeight() const;
+
+  /// --- Statistics -------------------------------------------------------
+  /// |A| in the paper: average successor-list length.
+  double AvgOutDegree() const;
+  /// lambda in the paper: average neighbor-list size.
+  double AvgNeighborListSize() const;
+
+  /// Builds the subnetwork induced by `subset` (nodes in subset plus all
+  /// edges whose both endpoints lie in subset). Edge weights carry over.
+  Network InducedSubnetwork(const std::vector<NodeId>& subset) const;
+
+  /// True if the network is weakly connected (or empty).
+  bool IsWeaklyConnected() const;
+
+ private:
+  std::map<NodeId, NetworkNode> nodes_;
+  std::unordered_map<uint64_t, double> edge_weights_;  // only non-default
+  size_t num_edges_ = 0;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_GRAPH_NETWORK_H_

@@ -1,0 +1,111 @@
+#include "src/graph/orders.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace ccam {
+
+namespace {
+
+/// Undirected adjacency of `id`: distinct neighbors, with the maximum access
+/// weight over the (up to two) directed edges between the pair.
+struct WeightedNeighbor {
+  NodeId node;
+  double weight;
+};
+
+std::vector<WeightedNeighbor> UndirectedNeighbors(const Network& network,
+                                                  NodeId id) {
+  std::vector<WeightedNeighbor> out;
+  const NetworkNode& n = network.node(id);
+  auto add = [&](NodeId other, double w) {
+    for (WeightedNeighbor& existing : out) {
+      if (existing.node == other) {
+        existing.weight = std::max(existing.weight, w);
+        return;
+      }
+    }
+    out.push_back({other, w});
+  };
+  for (const AdjEntry& e : n.succ) add(e.node, network.EdgeWeight(id, e.node));
+  for (const AdjEntry& e : n.pred) add(e.node, network.EdgeWeight(e.node, id));
+  return out;
+}
+
+enum class Flavor { kDfs, kBfs, kWeightedDfs };
+
+std::vector<NodeId> Traverse(const Network& network, NodeId start,
+                             Flavor flavor) {
+  std::vector<NodeId> all = network.NodeIds();
+  std::vector<NodeId> order;
+  order.reserve(all.size());
+  std::unordered_set<NodeId> visited;
+
+  auto run_from = [&](NodeId origin) {
+    if (visited.count(origin)) return;
+    if (flavor == Flavor::kBfs) {
+      std::deque<NodeId> queue{origin};
+      visited.insert(origin);
+      while (!queue.empty()) {
+        NodeId cur = queue.front();
+        queue.pop_front();
+        order.push_back(cur);
+        auto nbrs = UndirectedNeighbors(network, cur);
+        std::sort(nbrs.begin(), nbrs.end(),
+                  [](const WeightedNeighbor& a, const WeightedNeighbor& b) {
+                    return a.node < b.node;
+                  });
+        for (const WeightedNeighbor& nb : nbrs) {
+          if (visited.insert(nb.node).second) queue.push_back(nb.node);
+        }
+      }
+    } else {
+      std::vector<NodeId> stack{origin};
+      while (!stack.empty()) {
+        NodeId cur = stack.back();
+        stack.pop_back();
+        if (!visited.insert(cur).second) continue;
+        order.push_back(cur);
+        auto nbrs = UndirectedNeighbors(network, cur);
+        if (flavor == Flavor::kWeightedDfs) {
+          // Explore highest weight first => push it last onto the stack.
+          std::sort(nbrs.begin(), nbrs.end(),
+                    [](const WeightedNeighbor& a, const WeightedNeighbor& b) {
+                      if (a.weight != b.weight) return a.weight < b.weight;
+                      return a.node > b.node;
+                    });
+        } else {
+          // Explore lowest id first => push descending ids.
+          std::sort(nbrs.begin(), nbrs.end(),
+                    [](const WeightedNeighbor& a, const WeightedNeighbor& b) {
+                      return a.node > b.node;
+                    });
+        }
+        for (const WeightedNeighbor& nb : nbrs) {
+          if (!visited.count(nb.node)) stack.push_back(nb.node);
+        }
+      }
+    }
+  };
+
+  if (network.HasNode(start)) run_from(start);
+  for (NodeId id : all) run_from(id);
+  return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> DfsOrder(const Network& network, NodeId start) {
+  return Traverse(network, start, Flavor::kDfs);
+}
+
+std::vector<NodeId> BfsOrder(const Network& network, NodeId start) {
+  return Traverse(network, start, Flavor::kBfs);
+}
+
+std::vector<NodeId> WeightedDfsOrder(const Network& network, NodeId start) {
+  return Traverse(network, start, Flavor::kWeightedDfs);
+}
+
+}  // namespace ccam

@@ -1,0 +1,31 @@
+#ifndef CCAM_GRAPH_ORDERS_H_
+#define CCAM_GRAPH_ORDERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/network.h"
+
+namespace ccam {
+
+/// Node orderings used by the topological-ordering baseline access methods
+/// (DFS-AM, BFS-AM, WDFS-AM in the paper's Section 4). Traversals treat the
+/// network as undirected (successor and predecessor links both count as
+/// adjacency) so that weakly-connected road maps are fully covered; any
+/// nodes unreachable from `start` are appended by continuing the traversal
+/// from the lowest-id unvisited node.
+
+/// Depth-first order from `start`; neighbors are visited in ascending id
+/// order (deterministic).
+std::vector<NodeId> DfsOrder(const Network& network, NodeId start);
+
+/// Breadth-first order from `start`.
+std::vector<NodeId> BfsOrder(const Network& network, NodeId start);
+
+/// Depth-first order that explores neighbors in descending edge access
+/// weight (the paper's WDFS-AM variant); ties break on ascending id.
+std::vector<NodeId> WeightedDfsOrder(const Network& network, NodeId start);
+
+}  // namespace ccam
+
+#endif  // CCAM_GRAPH_ORDERS_H_

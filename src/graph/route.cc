@@ -1,0 +1,144 @@
+#include "src/graph/route.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "src/common/random.h"
+
+namespace ccam {
+
+bool IsValidRoute(const Network& network, const Route& route) {
+  for (NodeId id : route.nodes) {
+    if (!network.HasNode(id)) return false;
+  }
+  for (size_t i = 0; i + 1 < route.nodes.size(); ++i) {
+    if (!network.HasEdge(route.nodes[i], route.nodes[i + 1])) return false;
+  }
+  return true;
+}
+
+std::vector<Route> GenerateRandomWalkRoutes(const Network& network, int count,
+                                            int length, uint64_t seed) {
+  Random rng(seed);
+  std::vector<NodeId> ids = network.NodeIds();
+  std::vector<Route> routes;
+  if (ids.empty() || length <= 0) return routes;
+  routes.reserve(count);
+
+  const int kMaxAttemptsPerRoute = 1000;
+  while (static_cast<int>(routes.size()) < count) {
+    Route route;
+    int attempts = 0;
+    while (static_cast<int>(route.nodes.size()) < length) {
+      if (route.nodes.empty()) {
+        if (++attempts > kMaxAttemptsPerRoute) break;
+        route.nodes.push_back(ids[rng.Uniform(
+            static_cast<uint32_t>(ids.size()))]);
+        continue;
+      }
+      NodeId cur = route.nodes.back();
+      const NetworkNode& node = network.node(cur);
+      if (node.succ.empty()) {
+        route.nodes.clear();  // dead end: restart from a new origin
+        continue;
+      }
+      NodeId prev = route.nodes.size() >= 2
+                        ? route.nodes[route.nodes.size() - 2]
+                        : kInvalidNodeId;
+      // Prefer not to immediately backtrack when another choice exists.
+      std::vector<NodeId> choices;
+      choices.reserve(node.succ.size());
+      for (const AdjEntry& e : node.succ) {
+        if (e.node != prev) choices.push_back(e.node);
+      }
+      if (choices.empty()) choices.push_back(prev);
+      route.nodes.push_back(
+          choices[rng.Uniform(static_cast<uint32_t>(choices.size()))]);
+    }
+    if (static_cast<int>(route.nodes.size()) == length) {
+      routes.push_back(std::move(route));
+    } else {
+      break;  // network too degenerate to produce routes of this length
+    }
+  }
+  return routes;
+}
+
+namespace {
+
+/// In-memory Dijkstra for workload generation (queries over the paged
+/// file use src/query/search.h instead).
+std::vector<NodeId> ShortestPathNodes(const Network& network, NodeId src,
+                                      NodeId dst) {
+  std::unordered_map<NodeId, double> dist;
+  std::unordered_map<NodeId, NodeId> parent;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> open;
+  open.push({0.0, src});
+  dist[src] = 0.0;
+  while (!open.empty()) {
+    auto [d, u] = open.top();
+    open.pop();
+    if (d > dist[u] + 1e-12) continue;
+    if (u == dst) break;
+    for (const AdjEntry& e : network.node(u).succ) {
+      double nd = d + e.cost;
+      auto it = dist.find(e.node);
+      if (it == dist.end() || nd < it->second) {
+        dist[e.node] = nd;
+        parent[e.node] = u;
+        open.push({nd, e.node});
+      }
+    }
+  }
+  if (dist.find(dst) == dist.end()) return {};
+  std::vector<NodeId> path{dst};
+  NodeId cur = dst;
+  while (cur != src) {
+    cur = parent.at(cur);
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<Route> GenerateShortestPathRoutes(const Network& network,
+                                              int count, int min_length,
+                                              uint64_t seed) {
+  Random rng(seed);
+  std::vector<NodeId> ids = network.NodeIds();
+  std::vector<Route> routes;
+  if (ids.size() < 2) return routes;
+  int attempts = 0;
+  const int kMaxAttempts = count * 50;
+  while (static_cast<int>(routes.size()) < count &&
+         attempts++ < kMaxAttempts) {
+    NodeId src = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+    NodeId dst = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+    if (src == dst) continue;
+    std::vector<NodeId> path = ShortestPathNodes(network, src, dst);
+    if (static_cast<int>(path.size()) < min_length) continue;
+    routes.push_back(Route{std::move(path)});
+  }
+  return routes;
+}
+
+void DeriveEdgeWeightsFromRoutes(Network* network,
+                                 const std::vector<Route>& routes) {
+  std::unordered_map<uint64_t, double> counts;
+  for (const Route& route : routes) {
+    for (size_t i = 0; i + 1 < route.nodes.size(); ++i) {
+      counts[EdgeKey(route.nodes[i], route.nodes[i + 1])] += 1.0;
+    }
+  }
+  for (const auto& e : network->Edges()) {
+    auto it = counts.find(EdgeKey(e.from, e.to));
+    network->SetEdgeWeight(e.from, e.to,
+                           it != counts.end() ? it->second : 0.0);
+  }
+}
+
+}  // namespace ccam

@@ -1,0 +1,51 @@
+#ifndef CCAM_GRAPH_ROUTE_H_
+#define CCAM_GRAPH_ROUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/network.h"
+
+namespace ccam {
+
+/// A route: a sequence of nodes n1..nk connected by the directed edges
+/// (n1,n2), ..., (n(k-1), nk). A route of length L has L nodes and L-1
+/// edges, matching the paper's definition (Section 4.3).
+struct Route {
+  std::vector<NodeId> nodes;
+
+  size_t Length() const { return nodes.size(); }
+  bool Empty() const { return nodes.empty(); }
+};
+
+/// Returns true if every consecutive pair of `route` is a directed edge of
+/// `network`.
+bool IsValidRoute(const Network& network, const Route& route);
+
+/// Generates `count` routes of exactly `length` nodes each by random walks
+/// on the network (the paper's workload for Figure 6). A walk avoids
+/// immediately backtracking over the edge it just traversed when another
+/// successor exists; walks that hit a dead end are restarted from a new
+/// random origin so that every returned route has the requested length.
+std::vector<Route> GenerateRandomWalkRoutes(const Network& network, int count,
+                                            int length, uint64_t seed);
+
+/// Derives edge access weights from a set of routes: w(u,v) = number of
+/// times edge (u,v) is traversed across all routes (paper Section 4.3).
+/// Edges never traversed get weight 0. Weights are written into `network`.
+void DeriveEdgeWeightsFromRoutes(Network* network,
+                                 const std::vector<Route>& routes);
+
+/// Generates `count` shortest-path routes between random origin/
+/// destination pairs (in-memory Dijkstra) — the commuter workload the
+/// paper's IVHS scenario motivates, as a more realistic alternative to
+/// random walks. Unreachable OD pairs are redrawn; routes shorter than
+/// `min_length` nodes are discarded and redrawn (give up after enough
+/// attempts, so fewer than `count` routes may return on tiny networks).
+std::vector<Route> GenerateShortestPathRoutes(const Network& network,
+                                              int count, int min_length,
+                                              uint64_t seed);
+
+}  // namespace ccam
+
+#endif  // CCAM_GRAPH_ROUTE_H_

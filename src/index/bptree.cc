@@ -1,0 +1,808 @@
+#include "src/index/bptree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/common/coding.h"
+
+namespace ccam {
+
+namespace {
+
+// Node layout offsets (see header comment in bptree.h).
+constexpr size_t kTypeOffset = 0;
+constexpr size_t kCountOffset = 2;
+constexpr size_t kPtrOffset = 4;      // next_leaf (leaf) / child0 (internal)
+constexpr size_t kEntriesOffset = 8;
+constexpr size_t kLeafEntrySize = 16;
+constexpr size_t kInternalEntrySize = 12;
+
+bool IsLeaf(const char* node) { return node[kTypeOffset] == 0; }
+
+void SetLeaf(char* node, bool leaf) {
+  node[kTypeOffset] = leaf ? 0 : 1;
+  node[1] = 0;
+}
+
+int Count(const char* node) { return DecodeFixed16(node + kCountOffset); }
+
+void SetCount(char* node, int count) {
+  EncodeFixed16(node + kCountOffset, static_cast<uint16_t>(count));
+}
+
+// --- leaf accessors -------------------------------------------------------
+
+PageId NextLeaf(const char* node) { return DecodeFixed32(node + kPtrOffset); }
+
+void SetNextLeaf(char* node, PageId id) {
+  EncodeFixed32(node + kPtrOffset, id);
+}
+
+uint64_t LeafKey(const char* node, int i) {
+  return DecodeFixed64(node + kEntriesOffset + kLeafEntrySize * i);
+}
+
+uint64_t LeafValue(const char* node, int i) {
+  return DecodeFixed64(node + kEntriesOffset + kLeafEntrySize * i + 8);
+}
+
+void SetLeafEntry(char* node, int i, uint64_t key, uint64_t value) {
+  EncodeFixed64(node + kEntriesOffset + kLeafEntrySize * i, key);
+  EncodeFixed64(node + kEntriesOffset + kLeafEntrySize * i + 8, value);
+}
+
+void LeafShift(char* node, int from, int to, int n) {
+  std::memmove(node + kEntriesOffset + kLeafEntrySize * to,
+               node + kEntriesOffset + kLeafEntrySize * from,
+               kLeafEntrySize * n);
+}
+
+/// First position whose key is >= `key`.
+int LeafLowerBound(const char* node, uint64_t key) {
+  int lo = 0, hi = Count(node);
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (LeafKey(node, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// --- internal accessors ---------------------------------------------------
+
+uint64_t InternalKey(const char* node, int i) {
+  return DecodeFixed64(node + kEntriesOffset + kInternalEntrySize * i);
+}
+
+PageId InternalChild(const char* node, int i) {
+  if (i == 0) return DecodeFixed32(node + kPtrOffset);
+  return DecodeFixed32(node + kEntriesOffset +
+                       kInternalEntrySize * (i - 1) + 8);
+}
+
+void SetInternalKey(char* node, int i, uint64_t key) {
+  EncodeFixed64(node + kEntriesOffset + kInternalEntrySize * i, key);
+}
+
+void SetInternalChild(char* node, int i, PageId child) {
+  if (i == 0) {
+    EncodeFixed32(node + kPtrOffset, child);
+  } else {
+    EncodeFixed32(node + kEntriesOffset + kInternalEntrySize * (i - 1) + 8,
+                  child);
+  }
+}
+
+void InternalShift(char* node, int from, int to, int n) {
+  std::memmove(node + kEntriesOffset + kInternalEntrySize * to,
+               node + kEntriesOffset + kInternalEntrySize * from,
+               kInternalEntrySize * n);
+}
+
+/// Child index covering `key`: the number of separator keys <= key.
+int ChildIndexFor(const char* node, uint64_t key) {
+  int lo = 0, hi = Count(node);
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (InternalKey(node, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+size_t BPlusTree::LeafCapacity() const {
+  return (disk_->page_size() - kEntriesOffset) / kLeafEntrySize;
+}
+
+size_t BPlusTree::InternalCapacity() const {
+  return (disk_->page_size() - kEntriesOffset) / kInternalEntrySize;
+}
+
+BPlusTree::BPlusTree(DiskManager* disk, BufferPool* pool)
+    : disk_(disk), pool_(pool) {
+  assert(LeafCapacity() >= 4 && InternalCapacity() >= 4);
+  char* data = nullptr;
+  Status s = pool_->NewPage(&root_, &data);
+  assert(s.ok());
+  (void)s;
+  SetLeaf(data, true);
+  SetCount(data, 0);
+  SetNextLeaf(data, kInvalidPageId);
+  (void)pool_->UnpinPage(root_, true);
+}
+
+Result<PageId> BPlusTree::FindLeaf(uint64_t key) const {
+  PageId page = root_;
+  for (;;) {
+    auto res = pool_->FetchPage(page);
+    if (!res.ok()) return res.status();
+    char* data = *res;
+    if (IsLeaf(data)) {
+      (void)pool_->UnpinPage(page, false);
+      return page;
+    }
+    PageId next = InternalChild(data, ChildIndexFor(data, key));
+    (void)pool_->UnpinPage(page, false);
+    page = next;
+  }
+}
+
+Result<uint64_t> BPlusTree::Find(uint64_t key) const {
+  PageId leaf;
+  {
+    auto res = FindLeaf(key);
+    if (!res.ok()) return res.status();
+    leaf = *res;
+  }
+  auto res = pool_->FetchPage(leaf);
+  if (!res.ok()) return res.status();
+  char* data = *res;
+  int pos = LeafLowerBound(data, key);
+  bool found = pos < Count(data) && LeafKey(data, pos) == key;
+  uint64_t value = found ? LeafValue(data, pos) : 0;
+  (void)pool_->UnpinPage(leaf, false);
+  if (!found) return Status::NotFound("key " + std::to_string(key));
+  return value;
+}
+
+Status BPlusTree::InsertRecursive(PageId page, uint64_t key, uint64_t value,
+                                  bool upsert, SplitResult* split) {
+  auto res = pool_->FetchPage(page);
+  if (!res.ok()) return res.status();
+  char* data = *res;
+
+  if (IsLeaf(data)) {
+    int count = Count(data);
+    int pos = LeafLowerBound(data, key);
+    if (pos < count && LeafKey(data, pos) == key) {
+      Status s;
+      if (upsert) {
+        SetLeafEntry(data, pos, key, LeafValue(data, pos));
+        SetLeafEntry(data, pos, key, value);
+      } else {
+        s = Status::AlreadyExists("key " + std::to_string(key));
+      }
+      (void)pool_->UnpinPage(page, upsert);
+      return s;
+    }
+    if (static_cast<size_t>(count) < LeafCapacity()) {
+      LeafShift(data, pos, pos + 1, count - pos);
+      SetLeafEntry(data, pos, key, value);
+      SetCount(data, count + 1);
+      ++num_entries_;
+      (void)pool_->UnpinPage(page, true);
+      return Status::OK();
+    }
+    // Split the leaf: left keeps the lower half, right gets the rest.
+    PageId right_id;
+    char* right = nullptr;
+    Status s = pool_->NewPage(&right_id, &right);
+    if (!s.ok()) {
+      (void)pool_->UnpinPage(page, false);
+      return s;
+    }
+    SetLeaf(right, true);
+    int total = count + 1;
+    int left_count = total / 2;
+    // Build the merged sequence conceptually; move entries beyond
+    // left_count into the right node, inserting the new entry in place.
+    struct Entry {
+      uint64_t key;
+      uint64_t value;
+    };
+    std::vector<Entry> merged;
+    merged.reserve(total);
+    for (int i = 0; i < count; ++i) {
+      if (i == pos) merged.push_back({key, value});
+      merged.push_back({LeafKey(data, i), LeafValue(data, i)});
+    }
+    if (pos == count) merged.push_back({key, value});
+    for (int i = 0; i < left_count; ++i) {
+      SetLeafEntry(data, i, merged[i].key, merged[i].value);
+    }
+    SetCount(data, left_count);
+    for (int i = left_count; i < total; ++i) {
+      SetLeafEntry(right, i - left_count, merged[i].key, merged[i].value);
+    }
+    SetCount(right, total - left_count);
+    SetNextLeaf(right, NextLeaf(data));
+    SetNextLeaf(data, right_id);
+    split->split = true;
+    split->separator = merged[left_count].key;
+    split->right = right_id;
+    ++num_entries_;
+    (void)pool_->UnpinPage(right_id, true);
+    (void)pool_->UnpinPage(page, true);
+    return Status::OK();
+  }
+
+  // Internal node.
+  int idx = ChildIndexFor(data, key);
+  PageId child = InternalChild(data, idx);
+  SplitResult child_split;
+  Status s = InsertRecursive(child, key, value, upsert, &child_split);
+  if (!s.ok() || !child_split.split) {
+    (void)pool_->UnpinPage(page, false);
+    return s;
+  }
+  int count = Count(data);
+  if (static_cast<size_t>(count) < InternalCapacity()) {
+    InternalShift(data, idx, idx + 1, count - idx);
+    SetInternalKey(data, idx, child_split.separator);
+    SetInternalChild(data, idx + 1, child_split.right);
+    SetCount(data, count + 1);
+    (void)pool_->UnpinPage(page, true);
+    return Status::OK();
+  }
+  // Split the internal node around the middle key, which moves up.
+  struct Item {
+    uint64_t key;
+    PageId child;  // child to the right of key
+  };
+  std::vector<Item> items;
+  items.reserve(count + 1);
+  for (int i = 0; i < count; ++i) {
+    items.push_back({InternalKey(data, i), InternalChild(data, i + 1)});
+  }
+  items.insert(items.begin() + idx,
+               {child_split.separator, child_split.right});
+  int total = count + 1;
+  int mid = total / 2;  // items[mid].key is promoted
+
+  PageId right_id;
+  char* right = nullptr;
+  s = pool_->NewPage(&right_id, &right);
+  if (!s.ok()) {
+    (void)pool_->UnpinPage(page, false);
+    return s;
+  }
+  SetLeaf(right, false);
+  // Left keeps items [0, mid); right gets items (mid, total).
+  for (int i = 0; i < mid; ++i) {
+    SetInternalKey(data, i, items[i].key);
+    SetInternalChild(data, i + 1, items[i].child);
+  }
+  SetCount(data, mid);
+  SetInternalChild(right, 0, items[mid].child);
+  for (int i = mid + 1; i < total; ++i) {
+    SetInternalKey(right, i - mid - 1, items[i].key);
+    SetInternalChild(right, i - mid, items[i].child);
+  }
+  SetCount(right, total - mid - 1);
+  split->split = true;
+  split->separator = items[mid].key;
+  split->right = right_id;
+  (void)pool_->UnpinPage(right_id, true);
+  (void)pool_->UnpinPage(page, true);
+  return Status::OK();
+}
+
+Status BPlusTree::Insert(uint64_t key, uint64_t value) {
+  SplitResult split;
+  CCAM_RETURN_NOT_OK(InsertRecursive(root_, key, value, false, &split));
+  if (split.split) {
+    PageId new_root;
+    char* data = nullptr;
+    CCAM_RETURN_NOT_OK(pool_->NewPage(&new_root, &data));
+    SetLeaf(data, false);
+    SetCount(data, 1);
+    SetInternalChild(data, 0, root_);
+    SetInternalKey(data, 0, split.separator);
+    SetInternalChild(data, 1, split.right);
+    (void)pool_->UnpinPage(new_root, true);
+    root_ = new_root;
+    ++height_;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::Put(uint64_t key, uint64_t value) {
+  SplitResult split;
+  CCAM_RETURN_NOT_OK(InsertRecursive(root_, key, value, true, &split));
+  if (split.split) {
+    PageId new_root;
+    char* data = nullptr;
+    CCAM_RETURN_NOT_OK(pool_->NewPage(&new_root, &data));
+    SetLeaf(data, false);
+    SetCount(data, 1);
+    SetInternalChild(data, 0, root_);
+    SetInternalKey(data, 0, split.separator);
+    SetInternalChild(data, 1, split.right);
+    (void)pool_->UnpinPage(new_root, true);
+    root_ = new_root;
+    ++height_;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::FixChildUnderflow(char* parent, PageId parent_id,
+                                    int child_pos) {
+  (void)parent_id;
+  PageId child_id = InternalChild(parent, child_pos);
+  auto child_res = pool_->FetchPage(child_id);
+  if (!child_res.ok()) return child_res.status();
+  char* child = *child_res;
+  bool child_is_leaf = IsLeaf(child);
+  size_t min_count =
+      (child_is_leaf ? LeafCapacity() : InternalCapacity()) / 2;
+
+  auto try_sibling = [&](int sib_pos, bool sib_is_left) -> Result<bool> {
+    PageId sib_id = InternalChild(parent, sib_pos);
+    auto sib_res = pool_->FetchPage(sib_id);
+    if (!sib_res.ok()) return sib_res.status();
+    char* sib = *sib_res;
+    int sib_count = Count(sib);
+    int child_count = Count(child);
+    int sep_pos = sib_is_left ? child_pos - 1 : child_pos;
+
+    if (static_cast<size_t>(sib_count) > min_count) {
+      // Borrow one entry through the parent separator.
+      if (child_is_leaf) {
+        if (sib_is_left) {
+          LeafShift(child, 0, 1, child_count);
+          SetLeafEntry(child, 0, LeafKey(sib, sib_count - 1),
+                       LeafValue(sib, sib_count - 1));
+          SetCount(sib, sib_count - 1);
+          SetCount(child, child_count + 1);
+          SetInternalKey(parent, sep_pos, LeafKey(child, 0));
+        } else {
+          SetLeafEntry(child, child_count, LeafKey(sib, 0),
+                       LeafValue(sib, 0));
+          SetCount(child, child_count + 1);
+          LeafShift(sib, 1, 0, sib_count - 1);
+          SetCount(sib, sib_count - 1);
+          SetInternalKey(parent, sep_pos, LeafKey(sib, 0));
+        }
+      } else {
+        uint64_t sep = InternalKey(parent, sep_pos);
+        if (sib_is_left) {
+          // Rotate right: parent separator moves down in front of child,
+          // sibling's last key moves up.
+          PageId old_child0 = InternalChild(child, 0);
+          InternalShift(child, 0, 1, child_count);
+          SetInternalKey(child, 0, sep);
+          SetInternalChild(child, 1, old_child0);
+          SetInternalChild(child, 0, InternalChild(sib, sib_count));
+          SetInternalKey(parent, sep_pos, InternalKey(sib, sib_count - 1));
+          SetCount(sib, sib_count - 1);
+          SetCount(child, child_count + 1);
+        } else {
+          // Rotate left: parent separator moves down at the end of child,
+          // sibling's first key moves up.
+          SetInternalKey(child, child_count, sep);
+          SetInternalChild(child, child_count + 1, InternalChild(sib, 0));
+          SetInternalKey(parent, sep_pos, InternalKey(sib, 0));
+          SetInternalChild(sib, 0, InternalChild(sib, 1));
+          InternalShift(sib, 1, 0, sib_count - 1);
+          SetCount(sib, sib_count - 1);
+          SetCount(child, child_count + 1);
+        }
+      }
+      (void)pool_->UnpinPage(sib_id, true);
+      return true;
+    }
+
+    // Merge child and sibling (always fits: both are at/below minimum).
+    char* left = sib_is_left ? sib : child;
+    char* right = sib_is_left ? child : sib;
+    PageId right_id = sib_is_left ? child_id : sib_id;
+    int left_count = Count(left);
+    int right_count = Count(right);
+    if (child_is_leaf) {
+      for (int i = 0; i < right_count; ++i) {
+        SetLeafEntry(left, left_count + i, LeafKey(right, i),
+                     LeafValue(right, i));
+      }
+      SetCount(left, left_count + right_count);
+      SetNextLeaf(left, NextLeaf(right));
+    } else {
+      uint64_t sep = InternalKey(parent, sep_pos);
+      SetInternalKey(left, left_count, sep);
+      SetInternalChild(left, left_count + 1, InternalChild(right, 0));
+      for (int i = 0; i < right_count; ++i) {
+        SetInternalKey(left, left_count + 1 + i, InternalKey(right, i));
+        SetInternalChild(left, left_count + 2 + i,
+                         InternalChild(right, i + 1));
+      }
+      SetCount(left, left_count + 1 + right_count);
+    }
+    // Remove separator and right child pointer from the parent.
+    int pcount = Count(parent);
+    InternalShift(parent, sep_pos + 1, sep_pos, pcount - sep_pos - 1);
+    SetCount(parent, pcount - 1);
+    (void)pool_->UnpinPage(sib_id, true);
+    // Free the right page (it may be `child`; unpin first).
+    if (right_id == child_id) {
+      (void)pool_->UnpinPage(child_id, true);
+      child = nullptr;
+    }
+    pool_->Discard(right_id);
+    (void)disk_->FreePage(right_id);
+    return true;
+  };
+
+  Result<bool> handled = false;
+  if (child_pos > 0) {
+    handled = try_sibling(child_pos - 1, true);
+  } else {
+    handled = try_sibling(child_pos + 1, false);
+  }
+  if (!handled.ok()) {
+    if (child != nullptr) (void)pool_->UnpinPage(child_id, true);
+    return handled.status();
+  }
+  if (child != nullptr) (void)pool_->UnpinPage(child_id, true);
+  return Status::OK();
+}
+
+Status BPlusTree::DeleteRecursive(PageId page, uint64_t key,
+                                  bool* underflow) {
+  auto res = pool_->FetchPage(page);
+  if (!res.ok()) return res.status();
+  char* data = *res;
+
+  if (IsLeaf(data)) {
+    int count = Count(data);
+    int pos = LeafLowerBound(data, key);
+    if (pos >= count || LeafKey(data, pos) != key) {
+      (void)pool_->UnpinPage(page, false);
+      return Status::NotFound("key " + std::to_string(key));
+    }
+    LeafShift(data, pos + 1, pos, count - pos - 1);
+    SetCount(data, count - 1);
+    --num_entries_;
+    *underflow = static_cast<size_t>(count - 1) < LeafCapacity() / 2;
+    (void)pool_->UnpinPage(page, true);
+    return Status::OK();
+  }
+
+  int idx = ChildIndexFor(data, key);
+  PageId child = InternalChild(data, idx);
+  bool child_underflow = false;
+  Status s = DeleteRecursive(child, key, &child_underflow);
+  if (!s.ok()) {
+    (void)pool_->UnpinPage(page, false);
+    return s;
+  }
+  if (child_underflow) {
+    s = FixChildUnderflow(data, page, idx);
+    if (!s.ok()) {
+      (void)pool_->UnpinPage(page, true);
+      return s;
+    }
+  }
+  *underflow = static_cast<size_t>(Count(data)) < InternalCapacity() / 2;
+  (void)pool_->UnpinPage(page, true);
+  return Status::OK();
+}
+
+Status BPlusTree::Delete(uint64_t key) {
+  bool underflow = false;
+  CCAM_RETURN_NOT_OK(DeleteRecursive(root_, key, &underflow));
+  // Collapse an empty internal root.
+  auto res = pool_->FetchPage(root_);
+  if (!res.ok()) return res.status();
+  char* data = *res;
+  if (!IsLeaf(data) && Count(data) == 0) {
+    PageId old_root = root_;
+    root_ = InternalChild(data, 0);
+    --height_;
+    (void)pool_->UnpinPage(old_root, false);
+    pool_->Discard(old_root);
+    (void)disk_->FreePage(old_root);
+  } else {
+    (void)pool_->UnpinPage(root_, false);
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::BulkLoad(
+    const std::vector<std::pair<uint64_t, uint64_t>>& entries,
+    double fill_factor) {
+  // Free the existing tree by rebuilding the manager-side pages lazily: we
+  // walk and free all nodes first.
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    PageId page = stack.back();
+    stack.pop_back();
+    auto res = pool_->FetchPage(page);
+    if (!res.ok()) return res.status();
+    char* data = *res;
+    if (!IsLeaf(data)) {
+      for (int i = 0; i <= Count(data); ++i) {
+        stack.push_back(InternalChild(data, i));
+      }
+    }
+    (void)pool_->UnpinPage(page, false);
+    pool_->Discard(page);
+    CCAM_RETURN_NOT_OK(disk_->FreePage(page));
+  }
+  num_entries_ = 0;
+  height_ = 1;
+
+  const size_t min_leaf = LeafCapacity() / 2;
+  size_t per_leaf =
+      std::clamp<size_t>(static_cast<size_t>(LeafCapacity() * fill_factor),
+                         std::max<size_t>(1, min_leaf), LeafCapacity());
+
+  // Chunk the entries so no leaf (except a lone root leaf) is below the
+  // minimum fill: whenever the default chunk would leave an underfull
+  // tail, either absorb the tail into one final leaf or leave exactly
+  // min_leaf entries for it.
+  std::vector<size_t> chunk_sizes;
+  {
+    size_t remaining = entries.size();
+    while (remaining > 0) {
+      size_t take;
+      if (remaining <= LeafCapacity()) {
+        take = remaining;
+      } else {
+        take = per_leaf;
+        if (remaining - take < min_leaf) take = remaining - min_leaf;
+      }
+      chunk_sizes.push_back(take);
+      remaining -= take;
+    }
+  }
+
+  // Build the leaf level.
+  struct LevelEntry {
+    uint64_t first_key;
+    PageId page;
+  };
+  std::vector<LevelEntry> level;
+  PageId prev_leaf = kInvalidPageId;
+  char* prev_data = nullptr;
+  size_t start = 0;
+  for (size_t chunk = 0; chunk < chunk_sizes.size();
+       start += chunk_sizes[chunk], ++chunk) {
+    size_t n = chunk_sizes[chunk];
+    PageId id;
+    char* data = nullptr;
+    CCAM_RETURN_NOT_OK(pool_->NewPage(&id, &data));
+    SetLeaf(data, true);
+    SetNextLeaf(data, kInvalidPageId);
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0 && entries[start + i].first <= entries[start + i - 1].first) {
+        (void)pool_->UnpinPage(id, true);
+        return Status::InvalidArgument("bulk-load input not sorted/unique");
+      }
+      SetLeafEntry(data, static_cast<int>(i), entries[start + i].first,
+                   entries[start + i].second);
+    }
+    SetCount(data, static_cast<int>(n));
+    if (prev_data != nullptr) {
+      SetNextLeaf(prev_data, id);
+      (void)pool_->UnpinPage(prev_leaf, true);
+    }
+    prev_leaf = id;
+    prev_data = data;
+    level.push_back({entries[start].first, id});
+    num_entries_ += n;
+  }
+  if (prev_data != nullptr) {
+    (void)pool_->UnpinPage(prev_leaf, true);
+  }
+  if (level.empty()) {
+    PageId id;
+    char* data = nullptr;
+    CCAM_RETURN_NOT_OK(pool_->NewPage(&id, &data));
+    SetLeaf(data, true);
+    SetCount(data, 0);
+    SetNextLeaf(data, kInvalidPageId);
+    (void)pool_->UnpinPage(id, true);
+    root_ = id;
+    return Status::OK();
+  }
+
+  // Build internal levels until one node remains. The same underfull-tail
+  // rule applies, measured in children: an internal node holding c
+  // children has c-1 keys and must reach InternalCapacity()/2 keys unless
+  // it is the root.
+  const size_t max_children = InternalCapacity() + 1;
+  const size_t min_children = InternalCapacity() / 2 + 1;
+  size_t per_internal =
+      std::clamp<size_t>(static_cast<size_t>(InternalCapacity() *
+                                             fill_factor) + 1,
+                         min_children, max_children);
+  while (level.size() > 1) {
+    std::vector<LevelEntry> next_level;
+    size_t i = 0;
+    while (i < level.size()) {
+      size_t remaining = level.size() - i;
+      size_t take;
+      if (remaining <= max_children) {
+        take = remaining;
+      } else {
+        take = per_internal;
+        if (remaining - take < min_children) take = remaining - min_children;
+      }
+      PageId id;
+      char* data = nullptr;
+      CCAM_RETURN_NOT_OK(pool_->NewPage(&id, &data));
+      SetLeaf(data, false);
+      SetInternalChild(data, 0, level[i].page);
+      for (size_t k = 1; k < take; ++k) {
+        SetInternalKey(data, static_cast<int>(k - 1),
+                       level[i + k].first_key);
+        SetInternalChild(data, static_cast<int>(k), level[i + k].page);
+      }
+      SetCount(data, static_cast<int>(take - 1));
+      (void)pool_->UnpinPage(id, true);
+      next_level.push_back({level[i].first_key, id});
+      i += take;
+    }
+    level = std::move(next_level);
+    ++height_;
+  }
+  root_ = level[0].page;
+  return Status::OK();
+}
+
+void BPlusTree::Iterator::Load() {
+  valid_ = false;
+  if (tree_ == nullptr || leaf_ == kInvalidPageId) return;
+  auto res = tree_->pool_->FetchPage(leaf_);
+  if (!res.ok()) return;
+  char* data = *res;
+  if (pos_ >= Count(data)) {
+    PageId next = NextLeaf(data);
+    (void)tree_->pool_->UnpinPage(leaf_, false);
+    leaf_ = next;
+    pos_ = 0;
+    if (leaf_ == kInvalidPageId) return;
+    Load();
+    return;
+  }
+  key_ = LeafKey(data, pos_);
+  value_ = LeafValue(data, pos_);
+  valid_ = true;
+  (void)tree_->pool_->UnpinPage(leaf_, false);
+}
+
+void BPlusTree::Iterator::Next() {
+  if (!valid_) return;
+  ++pos_;
+  Load();
+}
+
+BPlusTree::Iterator BPlusTree::Begin() const { return Seek(0); }
+
+BPlusTree::Iterator BPlusTree::Seek(uint64_t key) const {
+  Iterator it;
+  it.tree_ = this;
+  auto res = FindLeaf(key);
+  if (!res.ok()) return it;
+  it.leaf_ = *res;
+  auto page = pool_->FetchPage(it.leaf_);
+  if (!page.ok()) return it;
+  it.pos_ = LeafLowerBound(*page, key);
+  (void)pool_->UnpinPage(it.leaf_, false);
+  it.Load();
+  return it;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> BPlusTree::RangeScan(
+    uint64_t min_key, uint64_t max_key) const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (Iterator it = Seek(min_key); it.Valid() && it.key() <= max_key;
+       it.Next()) {
+    out.emplace_back(it.key(), it.value());
+  }
+  return out;
+}
+
+Status BPlusTree::CheckSubtree(PageId page, int depth, uint64_t lo,
+                               bool has_lo, uint64_t hi, bool has_hi,
+                               int* leaf_depth) const {
+  auto res = pool_->FetchPage(page);
+  if (!res.ok()) return res.status();
+  char* data = *res;
+  auto fail = [&](const std::string& why) {
+    (void)pool_->UnpinPage(page, false);
+    return Status::Corruption("page " + std::to_string(page) + ": " + why);
+  };
+  int count = Count(data);
+  bool is_root = page == root_;
+  if (IsLeaf(data)) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return fail("uneven leaf depth");
+    }
+    if (!is_root && static_cast<size_t>(count) < LeafCapacity() / 2) {
+      return fail("leaf under minimum fill");
+    }
+    for (int i = 0; i < count; ++i) {
+      uint64_t k = LeafKey(data, i);
+      if (i > 0 && LeafKey(data, i - 1) >= k) return fail("unsorted leaf");
+      if (has_lo && k < lo) return fail("leaf key below bound");
+      if (has_hi && k >= hi) return fail("leaf key above bound");
+    }
+    (void)pool_->UnpinPage(page, false);
+    return Status::OK();
+  }
+  if (!is_root && static_cast<size_t>(count) < InternalCapacity() / 2) {
+    return fail("internal under minimum fill");
+  }
+  if (count < 1) return fail("internal node with no keys");
+  for (int i = 0; i < count; ++i) {
+    uint64_t k = InternalKey(data, i);
+    if (i > 0 && InternalKey(data, i - 1) >= k) {
+      return fail("unsorted internal keys");
+    }
+    if (has_lo && k < lo) return fail("internal key below bound");
+    if (has_hi && k >= hi) return fail("internal key above bound");
+  }
+  // Copy children and keys before recursing (the frame may be evicted).
+  std::vector<PageId> children;
+  std::vector<uint64_t> keys;
+  for (int i = 0; i <= count; ++i) children.push_back(InternalChild(data, i));
+  for (int i = 0; i < count; ++i) keys.push_back(InternalKey(data, i));
+  (void)pool_->UnpinPage(page, false);
+  for (int i = 0; i <= count; ++i) {
+    uint64_t child_lo = (i == 0) ? lo : keys[i - 1];
+    bool child_has_lo = (i == 0) ? has_lo : true;
+    uint64_t child_hi = (i == count) ? hi : keys[i];
+    bool child_has_hi = (i == count) ? has_hi : true;
+    CCAM_RETURN_NOT_OK(CheckSubtree(children[i], depth + 1, child_lo,
+                                    child_has_lo, child_hi, child_has_hi,
+                                    leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  CCAM_RETURN_NOT_OK(
+      CheckSubtree(root_, 0, 0, false, 0, false, &leaf_depth));
+  // Leaf chain must enumerate exactly num_entries_ keys in order.
+  size_t seen = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  for (Iterator it = Begin(); it.Valid(); it.Next()) {
+    if (!first && it.key() <= prev) {
+      return Status::Corruption("leaf chain out of order");
+    }
+    prev = it.key();
+    first = false;
+    ++seen;
+  }
+  if (seen != num_entries_) {
+    return Status::Corruption("entry count mismatch: chain " +
+                              std::to_string(seen) + " vs counter " +
+                              std::to_string(num_entries_));
+  }
+  return Status::OK();
+}
+
+}  // namespace ccam

@@ -1,0 +1,118 @@
+#ifndef CCAM_INDEX_BPTREE_H_
+#define CCAM_INDEX_BPTREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_manager.h"
+
+namespace ccam {
+
+/// Paged B+ tree mapping uint64 keys to uint64 values — the secondary index
+/// of CCAM (paper Section 2.1: a B+ tree over the Z-order of the node
+/// coordinates mapping node-ids to data-page addresses). Keys are unique.
+///
+/// Page layouts (little-endian):
+///   common header: type u8 (0 leaf / 1 internal), pad u8, count u16
+///   leaf:     header + next_leaf u32 + count * {key u64, value u64}
+///   internal: header + child0 u32   + count * {key u64, child u32}
+/// In an internal node, child0 covers keys < key[0]; child[i] (i >= 1)
+/// covers keys in [key[i-1], key[i]); the last child covers >= key[count-1].
+class BPlusTree {
+ public:
+  /// Creates an empty tree whose nodes live on `disk` via `pool`. The
+  /// caller keeps ownership of both; they must outlive the tree. The index
+  /// typically uses its own DiskManager so index I/O never pollutes the
+  /// data-page counters (the paper assumes index pages are buffered).
+  BPlusTree(DiskManager* disk, BufferPool* pool);
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts a new key. Fails with AlreadyExists on duplicates.
+  Status Insert(uint64_t key, uint64_t value);
+
+  /// Upsert: inserts or overwrites.
+  Status Put(uint64_t key, uint64_t value);
+
+  /// Returns the value for `key` or NotFound.
+  Result<uint64_t> Find(uint64_t key) const;
+
+  /// Removes `key`. Fails with NotFound when absent.
+  Status Delete(uint64_t key);
+
+  /// Replaces the whole tree with `entries` (must be sorted by key, unique)
+  /// packed at `fill_factor` of leaf capacity.
+  Status BulkLoad(const std::vector<std::pair<uint64_t, uint64_t>>& entries,
+                  double fill_factor = 0.8);
+
+  size_t NumEntries() const { return num_entries_; }
+  int Height() const { return height_; }
+
+  /// Forward iterator over (key, value) pairs in key order.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    uint64_t key() const { return key_; }
+    uint64_t value() const { return value_; }
+    /// Advances; invalid once past the last entry.
+    void Next();
+
+   private:
+    friend class BPlusTree;
+    const BPlusTree* tree_ = nullptr;
+    PageId leaf_ = kInvalidPageId;
+    int pos_ = 0;
+    bool valid_ = false;
+    uint64_t key_ = 0;
+    uint64_t value_ = 0;
+    void Load();
+  };
+
+  /// Iterator at the smallest key.
+  Iterator Begin() const;
+  /// Iterator at the smallest key >= `key`.
+  Iterator Seek(uint64_t key) const;
+
+  /// Collects all entries with min_key <= key <= max_key.
+  std::vector<std::pair<uint64_t, uint64_t>> RangeScan(uint64_t min_key,
+                                                       uint64_t max_key) const;
+
+  /// Verifies structural invariants (ordering, balance, minimum fill).
+  /// Intended for tests; returns Corruption describing the first violation.
+  Status CheckInvariants() const;
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    uint64_t separator = 0;
+    PageId right = kInvalidPageId;
+  };
+
+  size_t LeafCapacity() const;
+  size_t InternalCapacity() const;
+
+  Status InsertRecursive(PageId page, uint64_t key, uint64_t value,
+                         bool upsert, SplitResult* split);
+  Status DeleteRecursive(PageId page, uint64_t key, bool* underflow);
+  /// Repairs the underflowed child at position `child_pos` of internal page
+  /// `parent` by borrowing from or merging with a sibling.
+  Status FixChildUnderflow(char* parent, PageId parent_id, int child_pos);
+  Result<PageId> FindLeaf(uint64_t key) const;
+  Status CheckSubtree(PageId page, int depth, uint64_t lo, bool has_lo,
+                      uint64_t hi, bool has_hi, int* leaf_depth) const;
+
+  DiskManager* disk_;
+  BufferPool* pool_;
+  PageId root_ = kInvalidPageId;
+  int height_ = 1;  // 1 = root is a leaf
+  size_t num_entries_ = 0;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_INDEX_BPTREE_H_

@@ -1,0 +1,335 @@
+#include "src/index/grid_file.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/coding.h"
+#include "src/storage/page.h"
+
+namespace ccam {
+
+namespace {
+
+constexpr size_t kEntryBytes = 8 + 8 + 8;
+
+std::string EncodeEntry(double x, double y, uint64_t value) {
+  std::string out;
+  PutDouble(&out, x);
+  PutDouble(&out, y);
+  PutFixed64(&out, value);
+  return out;
+}
+
+GridFile::Entry DecodeEntry(std::string_view bytes) {
+  Decoder dec(bytes.data(), bytes.size());
+  GridFile::Entry e;
+  e.x = dec.GetDouble();
+  e.y = dec.GetDouble();
+  e.value = dec.GetFixed64();
+  return e;
+}
+
+}  // namespace
+
+GridFile::GridFile(DiskManager* disk, BufferPool* pool)
+    : disk_(disk), pool_(pool) {
+  x_scale_.push_back(-std::numeric_limits<double>::infinity());
+  y_scale_.push_back(-std::numeric_limits<double>::infinity());
+  PageId bucket;
+  char* data = nullptr;
+  Status s = pool_->NewPage(&bucket, &data);
+  (void)s;
+  SlottedPage::Initialize(data, disk_->page_size());
+  (void)pool_->UnpinPage(bucket, true);
+  dir_.push_back(bucket);
+  buckets_[bucket] = Region{0, 1, 0, 1};
+}
+
+int GridFile::ColumnOf(double x) const {
+  // Last column whose lower boundary is <= x.
+  auto it = std::upper_bound(x_scale_.begin(), x_scale_.end(), x);
+  return static_cast<int>(it - x_scale_.begin()) - 1;
+}
+
+int GridFile::RowOf(double y) const {
+  auto it = std::upper_bound(y_scale_.begin(), y_scale_.end(), y);
+  return static_cast<int>(it - y_scale_.begin()) - 1;
+}
+
+PageId GridFile::BucketOf(double x, double y) const {
+  return DirAt(ColumnOf(x), RowOf(y));
+}
+
+Status GridFile::LoadEntries(PageId bucket, std::vector<Entry>* out) const {
+  auto res = pool_->FetchPage(bucket);
+  if (!res.ok()) return res.status();
+  SlottedPage page(*res, disk_->page_size());
+  for (int slot : page.LiveSlots()) {
+    out->push_back(DecodeEntry(page.GetRecord(slot)));
+  }
+  (void)pool_->UnpinPage(bucket, false);
+  return Status::OK();
+}
+
+Status GridFile::StoreEntries(PageId bucket, const std::vector<Entry>& entries) {
+  auto res = pool_->FetchPage(bucket);
+  if (!res.ok()) return res.status();
+  SlottedPage page(*res, disk_->page_size());
+  SlottedPage::Initialize(*res, disk_->page_size());
+  for (const Entry& e : entries) {
+    if (page.InsertRecord(EncodeEntry(e.x, e.y, e.value)) < 0) {
+      (void)pool_->UnpinPage(bucket, true);
+      return Status::NoSpace("bucket overflow during redistribution");
+    }
+  }
+  (void)pool_->UnpinPage(bucket, true);
+  return Status::OK();
+}
+
+Status GridFile::Insert(double x, double y, uint64_t value) {
+  if (!std::isfinite(x) || !std::isfinite(y)) {
+    return Status::InvalidArgument("non-finite coordinate");
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    PageId bucket = BucketOf(x, y);
+    auto res = pool_->FetchPage(bucket);
+    if (!res.ok()) return res.status();
+    SlottedPage page(*res, disk_->page_size());
+    // Reject exact duplicates.
+    for (int slot : page.LiveSlots()) {
+      Entry e = DecodeEntry(page.GetRecord(slot));
+      if (e.x == x && e.y == y && e.value == value) {
+        (void)pool_->UnpinPage(bucket, false);
+        return Status::AlreadyExists("duplicate grid entry");
+      }
+    }
+    int slot = page.InsertRecord(EncodeEntry(x, y, value));
+    (void)pool_->UnpinPage(bucket, slot >= 0);
+    if (slot >= 0) {
+      ++num_entries_;
+      return Status::OK();
+    }
+    CCAM_RETURN_NOT_OK(SplitBucket(bucket));
+  }
+  return Status::NoSpace("grid bucket cannot be split further");
+}
+
+void GridFile::RefineScaleX(int col, double split_at) {
+  // Column `col` splits into col (left) and col+1 (right of split_at).
+  x_scale_.insert(x_scale_.begin() + col + 1, split_at);
+  int old_cols = NumCols() - 1;
+  int rows = NumRows();
+  std::vector<PageId> new_dir(static_cast<size_t>(NumCols()) * rows);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < NumCols(); ++c) {
+      int old_c = c <= col ? c : c - 1;
+      new_dir[r * NumCols() + c] = dir_[r * old_cols + old_c];
+    }
+  }
+  dir_ = std::move(new_dir);
+  for (auto& [id, region] : buckets_) {
+    if (region.x0 > col) ++region.x0;
+    if (region.x1 > col) ++region.x1;
+  }
+}
+
+void GridFile::RefineScaleY(int row, double split_at) {
+  y_scale_.insert(y_scale_.begin() + row + 1, split_at);
+  int cols = NumCols();
+  std::vector<PageId> new_dir(static_cast<size_t>(cols) * NumRows());
+  for (int r = 0; r < NumRows(); ++r) {
+    int old_r = r <= row ? r : r - 1;
+    for (int c = 0; c < cols; ++c) {
+      new_dir[r * cols + c] = dir_[old_r * cols + c];
+    }
+  }
+  dir_ = std::move(new_dir);
+  for (auto& [id, region] : buckets_) {
+    if (region.y0 > row) ++region.y0;
+    if (region.y1 > row) ++region.y1;
+  }
+}
+
+Status GridFile::SplitBucket(PageId bucket) {
+  Region region = buckets_.at(bucket);
+  std::vector<Entry> entries;
+  CCAM_RETURN_NOT_OK(LoadEntries(bucket, &entries));
+
+  bool spans_x = region.x1 - region.x0 > 1;
+  bool spans_y = region.y1 - region.y0 > 1;
+  if (!spans_x && !spans_y) {
+    // Single cell: refine a linear scale through the median coordinate.
+    auto median_split = [&](bool use_x) -> bool {
+      std::vector<double> coords;
+      coords.reserve(entries.size());
+      for (const Entry& e : entries) coords.push_back(use_x ? e.x : e.y);
+      std::sort(coords.begin(), coords.end());
+      double lo = coords.front(), hi = coords.back();
+      if (lo == hi) return false;  // cannot separate along this dimension
+      double mid = coords[coords.size() / 2];
+      if (mid == lo) {
+        // Choose the smallest coordinate strictly above lo instead.
+        auto it = std::upper_bound(coords.begin(), coords.end(), lo);
+        mid = *it;
+      }
+      if (use_x) {
+        RefineScaleX(region.x0, mid);
+      } else {
+        RefineScaleY(region.y0, mid);
+      }
+      return true;
+    };
+    bool refined = split_x_next_ ? median_split(true) : median_split(false);
+    if (!refined) {
+      refined = split_x_next_ ? median_split(false) : median_split(true);
+      if (!refined) {
+        return Status::NoSpace("all bucket entries at one point");
+      }
+    } else {
+      split_x_next_ = !split_x_next_;
+    }
+    // The region now spans two cells in the refined dimension.
+    region = buckets_.at(bucket);
+    spans_x = region.x1 - region.x0 > 1;
+    spans_y = region.y1 - region.y0 > 1;
+  }
+
+  // Split the (multi-cell) region in half; prefer the wider dimension.
+  Region left = region, right = region;
+  if ((region.x1 - region.x0) >= (region.y1 - region.y0) && spans_x) {
+    int mid = (region.x0 + region.x1) / 2;
+    left.x1 = mid;
+    right.x0 = mid;
+  } else {
+    int mid = (region.y0 + region.y1) / 2;
+    left.y1 = mid;
+    right.y0 = mid;
+  }
+
+  PageId new_bucket;
+  char* data = nullptr;
+  CCAM_RETURN_NOT_OK(pool_->NewPage(&new_bucket, &data));
+  SlottedPage::Initialize(data, disk_->page_size());
+  (void)pool_->UnpinPage(new_bucket, true);
+
+  buckets_[bucket] = left;
+  buckets_[new_bucket] = right;
+  for (int r = right.y0; r < right.y1; ++r) {
+    for (int c = right.x0; c < right.x1; ++c) {
+      SetDirAt(c, r, new_bucket);
+    }
+  }
+
+  // Redistribute entries by directory lookup.
+  std::vector<Entry> stay, move;
+  for (const Entry& e : entries) {
+    int c = ColumnOf(e.x), r = RowOf(e.y);
+    if (c >= right.x0 && c < right.x1 && r >= right.y0 && r < right.y1) {
+      move.push_back(e);
+    } else {
+      stay.push_back(e);
+    }
+  }
+  CCAM_RETURN_NOT_OK(StoreEntries(bucket, stay));
+  CCAM_RETURN_NOT_OK(StoreEntries(new_bucket, move));
+  return Status::OK();
+}
+
+Status GridFile::Delete(double x, double y, uint64_t value) {
+  PageId bucket = BucketOf(x, y);
+  auto res = pool_->FetchPage(bucket);
+  if (!res.ok()) return res.status();
+  SlottedPage page(*res, disk_->page_size());
+  for (int slot : page.LiveSlots()) {
+    Entry e = DecodeEntry(page.GetRecord(slot));
+    if (e.x == x && e.y == y && e.value == value) {
+      Status s = page.DeleteRecord(slot);
+      (void)pool_->UnpinPage(bucket, true);
+      if (s.ok()) --num_entries_;
+      return s;
+    }
+  }
+  (void)pool_->UnpinPage(bucket, false);
+  return Status::NotFound("grid entry not found");
+}
+
+Result<std::vector<uint64_t>> GridFile::Search(double x, double y) const {
+  PageId bucket = BucketOf(x, y);
+  auto res = pool_->FetchPage(bucket);
+  if (!res.ok()) return res.status();
+  SlottedPage page(*res, disk_->page_size());
+  std::vector<uint64_t> out;
+  for (int slot : page.LiveSlots()) {
+    Entry e = DecodeEntry(page.GetRecord(slot));
+    if (e.x == x && e.y == y) out.push_back(e.value);
+  }
+  (void)pool_->UnpinPage(bucket, false);
+  return out;
+}
+
+Result<std::vector<GridFile::Entry>> GridFile::RangeQuery(double xmin,
+                                                          double ymin,
+                                                          double xmax,
+                                                          double ymax) const {
+  if (xmin > xmax || ymin > ymax) {
+    return Status::InvalidArgument("inverted query rectangle");
+  }
+  int c0 = ColumnOf(xmin), c1 = ColumnOf(xmax);
+  int r0 = RowOf(ymin), r1 = RowOf(ymax);
+  std::vector<PageId> seen;
+  std::vector<Entry> out;
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      PageId bucket = DirAt(c, r);
+      if (std::find(seen.begin(), seen.end(), bucket) != seen.end()) {
+        continue;
+      }
+      seen.push_back(bucket);
+      std::vector<Entry> entries;
+      CCAM_RETURN_NOT_OK(LoadEntries(bucket, &entries));
+      for (const Entry& e : entries) {
+        if (e.x >= xmin && e.x <= xmax && e.y >= ymin && e.y <= ymax) {
+          out.push_back(e);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status GridFile::CheckInvariants() const {
+  // Bucket regions must tile the directory exactly.
+  for (int r = 0; r < NumRows(); ++r) {
+    for (int c = 0; c < NumCols(); ++c) {
+      PageId b = DirAt(c, r);
+      auto it = buckets_.find(b);
+      if (it == buckets_.end()) {
+        return Status::Corruption("directory points at unknown bucket");
+      }
+      const Region& region = it->second;
+      if (c < region.x0 || c >= region.x1 || r < region.y0 ||
+          r >= region.y1) {
+        return Status::Corruption("cell outside its bucket region");
+      }
+    }
+  }
+  // Every stored entry must live in the bucket its cell points to.
+  size_t counted = 0;
+  for (const auto& [bucket, region] : buckets_) {
+    std::vector<Entry> entries;
+    CCAM_RETURN_NOT_OK(LoadEntries(bucket, &entries));
+    for (const Entry& e : entries) {
+      if (BucketOf(e.x, e.y) != bucket) {
+        return Status::Corruption("entry misplaced across buckets");
+      }
+    }
+    counted += entries.size();
+  }
+  if (counted != num_entries_) {
+    return Status::Corruption("entry count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace ccam

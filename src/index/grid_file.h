@@ -1,0 +1,111 @@
+#ifndef CCAM_INDEX_GRID_FILE_H_
+#define CCAM_INDEX_GRID_FILE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/disk_manager.h"
+
+namespace ccam {
+
+/// Grid File (Nievergelt, Hinterberger & Sevcik): a symmetric multi-key
+/// point index. Space is carved by two orthogonal linear scales into a
+/// directory of cells; each cell points to a data bucket (disk page), and
+/// several cells may share one bucket. Bucket overflow splits the bucket
+/// region — refining a linear scale only when the region is a single cell.
+///
+/// This is one of the paper's baseline access methods ("Grid File" in
+/// Figures 5-6 / Table 5) and an alternative secondary index for CCAM. The
+/// directory and scales are kept in memory (the paper's cost model treats
+/// index structures as buffered); buckets live on disk pages.
+///
+/// Entries are (x, y, value) with value an opaque uint64. Multiple entries
+/// may share coordinates; (x, y, value) triples are unique.
+class GridFile {
+ public:
+  /// Buckets are allocated from `disk` through `pool`; both must outlive
+  /// the grid file.
+  GridFile(DiskManager* disk, BufferPool* pool);
+
+  GridFile(const GridFile&) = delete;
+  GridFile& operator=(const GridFile&) = delete;
+
+  Status Insert(double x, double y, uint64_t value);
+
+  /// Removes the exact (x, y, value) entry.
+  Status Delete(double x, double y, uint64_t value);
+
+  /// All values stored at exactly (x, y).
+  Result<std::vector<uint64_t>> Search(double x, double y) const;
+
+  struct Entry {
+    double x;
+    double y;
+    uint64_t value;
+  };
+
+  /// All entries with xmin <= x <= xmax and ymin <= y <= ymax.
+  Result<std::vector<Entry>> RangeQuery(double xmin, double ymin, double xmax,
+                                        double ymax) const;
+
+  /// The bucket page holding (x, y) — used by the Grid-File access method
+  /// to identify the data page of a node.
+  PageId BucketOf(double x, double y) const;
+
+  size_t NumEntries() const { return num_entries_; }
+  size_t NumBuckets() const { return buckets_.size(); }
+  size_t DirectoryCells() const {
+    return x_scale_.size() * y_scale_.size();
+  }
+
+  /// Verifies that every entry is reachable through its directory cell and
+  /// that bucket regions tile the directory. For tests.
+  Status CheckInvariants() const;
+
+ private:
+  /// Rectangular block of directory cells served by one bucket.
+  struct Region {
+    int x0, x1;  // [x0, x1) columns
+    int y0, y1;  // [y0, y1) rows
+  };
+
+  int ColumnOf(double x) const;
+  int RowOf(double y) const;
+  PageId DirAt(int col, int row) const { return dir_[row * NumCols() + col]; }
+  void SetDirAt(int col, int row, PageId b) {
+    dir_[row * NumCols() + col] = b;
+  }
+  int NumCols() const { return static_cast<int>(x_scale_.size()); }
+  int NumRows() const { return static_cast<int>(y_scale_.size()); }
+
+  /// Splits `bucket` (full) so the pending insert can proceed. May refine a
+  /// linear scale. Fails with NoSpace when every entry in the bucket is at
+  /// one identical point.
+  Status SplitBucket(PageId bucket);
+
+  /// Inserts a new split value into a scale, widening the directory.
+  void RefineScaleX(int col, double split_at);
+  void RefineScaleY(int row, double split_at);
+
+  Status LoadEntries(PageId bucket, std::vector<Entry>* out) const;
+  Status StoreEntries(PageId bucket, const std::vector<Entry>& entries);
+
+  DiskManager* disk_;
+  BufferPool* pool_;
+  /// x_scale_[i] is the *lower* boundary of column i; x_scale_[0] is
+  /// -infinity conceptually (stored as lowest double).
+  std::vector<double> x_scale_;
+  std::vector<double> y_scale_;
+  std::vector<PageId> dir_;  // row-major NumRows x NumCols
+  std::unordered_map<PageId, Region> buckets_;
+  size_t num_entries_ = 0;
+  bool split_x_next_ = true;  // alternate refinement dimension
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_INDEX_GRID_FILE_H_

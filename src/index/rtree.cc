@@ -1,0 +1,406 @@
+#include "src/index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace ccam {
+
+Rect Rect::Union(const Rect& o) const {
+  return {std::min(xmin, o.xmin), std::min(ymin, o.ymin),
+          std::max(xmax, o.xmax), std::max(ymax, o.ymax)};
+}
+
+double Rect::DistanceSq(double x, double y) const {
+  double dx = 0.0, dy = 0.0;
+  if (x < xmin) {
+    dx = xmin - x;
+  } else if (x > xmax) {
+    dx = x - xmax;
+  }
+  if (y < ymin) {
+    dy = ymin - y;
+  } else if (y > ymax) {
+    dy = y - ymax;
+  }
+  return dx * dx + dy * dy;
+}
+
+/// Either a leaf entry (value) or a child subtree, always with its MBR.
+struct RTree::NodeEntry {
+  Rect rect;
+  uint64_t value = 0;               // leaf entries
+  std::unique_ptr<Node> child;      // internal entries
+};
+
+struct RTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<NodeEntry> entries;
+};
+
+RTree::RTree(int max_entries)
+    : max_entries_(std::max(4, max_entries)),
+      min_entries_(std::max(1, static_cast<int>(max_entries * 0.4))),
+      root_(std::make_unique<Node>()) {}
+
+RTree::~RTree() = default;
+
+Rect RTree::NodeMbr(const Node* node) const {
+  Rect mbr = node->entries.empty() ? Rect{} : node->entries[0].rect;
+  for (size_t i = 1; i < node->entries.size(); ++i) {
+    mbr = mbr.Union(node->entries[i].rect);
+  }
+  return mbr;
+}
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const Rect& rect) const {
+  while (!node->leaf) {
+    // Guttman: descend into the child needing least area enlargement,
+    // breaking ties on smaller area.
+    double best_enlarge = 1e300, best_area = 1e300;
+    Node* best = nullptr;
+    for (NodeEntry& e : node->entries) {
+      double area = e.rect.Area();
+      double enlarged = e.rect.Union(rect).Area() - area;
+      if (enlarged < best_enlarge ||
+          (enlarged == best_enlarge && area < best_area)) {
+        best_enlarge = enlarged;
+        best_area = area;
+        best = e.child.get();
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+void RTree::SplitNode(Node* node) {
+  // Guttman quadratic split: pick the pair of entries wasting the most
+  // area as seeds, then assign the rest greedily by enlargement preference.
+  std::vector<NodeEntry> entries = std::move(node->entries);
+  node->entries.clear();
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1e300;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      double waste = entries[i].rect.Union(entries[j].rect).Area() -
+                     entries[i].rect.Area() - entries[j].rect.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  std::vector<NodeEntry> pool;
+  pool.reserve(entries.size());
+  Rect mbr_a = entries[seed_a].rect;
+  Rect mbr_b = entries[seed_b].rect;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i == seed_a) {
+      node->entries.push_back(std::move(entries[i]));
+    } else if (i == seed_b) {
+      sibling->entries.push_back(std::move(entries[i]));
+    } else {
+      pool.push_back(std::move(entries[i]));
+    }
+  }
+
+  size_t remaining = pool.size();
+  std::vector<bool> placed(pool.size(), false);
+  size_t group_a = 1, group_b = 1;
+  const size_t total = pool.size() + 2;
+  while (remaining > 0) {
+    // Force-assign when a group must take all the rest to reach min fill.
+    if (group_a + remaining == static_cast<size_t>(min_entries_)) {
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (!placed[i]) {
+          mbr_a = mbr_a.Union(pool[i].rect);
+          node->entries.push_back(std::move(pool[i]));
+          placed[i] = true;
+        }
+      }
+      break;
+    }
+    if (group_b + remaining == static_cast<size_t>(min_entries_)) {
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (!placed[i]) {
+          mbr_b = mbr_b.Union(pool[i].rect);
+          sibling->entries.push_back(std::move(pool[i]));
+          placed[i] = true;
+        }
+      }
+      break;
+    }
+    // Pick the unplaced entry with the strongest group preference.
+    size_t pick = 0;
+    double best_diff = -1.0;
+    bool prefer_a = true;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (placed[i]) continue;
+      double da = mbr_a.Union(pool[i].rect).Area() - mbr_a.Area();
+      double db = mbr_b.Union(pool[i].rect).Area() - mbr_b.Area();
+      double diff = std::fabs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        prefer_a = da < db || (da == db && group_a <= group_b);
+      }
+    }
+    if (prefer_a) {
+      mbr_a = mbr_a.Union(pool[pick].rect);
+      node->entries.push_back(std::move(pool[pick]));
+      ++group_a;
+    } else {
+      mbr_b = mbr_b.Union(pool[pick].rect);
+      sibling->entries.push_back(std::move(pool[pick]));
+      ++group_b;
+    }
+    placed[pick] = true;
+    --remaining;
+  }
+  (void)total;
+
+  for (NodeEntry& e : sibling->entries) {
+    if (e.child) e.child->parent = sibling.get();
+  }
+
+  if (node->parent == nullptr) {
+    // Grow a new root above node and sibling.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    auto old_root = std::move(root_);
+    old_root->parent = new_root.get();
+    sibling->parent = new_root.get();
+    NodeEntry left{NodeMbr(old_root.get()), 0, std::move(old_root)};
+    NodeEntry right{NodeMbr(sibling.get()), 0, std::move(sibling)};
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+    return;
+  }
+
+  Node* parent = node->parent;
+  sibling->parent = parent;
+  // Refresh node's MBR entry in the parent and add the sibling.
+  for (NodeEntry& e : parent->entries) {
+    if (e.child.get() == node) {
+      e.rect = NodeMbr(node);
+      break;
+    }
+  }
+  Rect sib_mbr = NodeMbr(sibling.get());
+  parent->entries.push_back(NodeEntry{sib_mbr, 0, std::move(sibling)});
+  if (parent->entries.size() > static_cast<size_t>(max_entries_)) {
+    SplitNode(parent);
+  } else {
+    AdjustUpward(parent);
+  }
+}
+
+void RTree::AdjustUpward(Node* node) {
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    for (NodeEntry& e : parent->entries) {
+      if (e.child.get() == node) {
+        e.rect = NodeMbr(node);
+        break;
+      }
+    }
+    node = parent;
+  }
+}
+
+void RTree::Insert(const Rect& rect, uint64_t value) {
+  Node* leaf = ChooseLeaf(root_.get(), rect);
+  leaf->entries.push_back(NodeEntry{rect, value, nullptr});
+  ++num_entries_;
+  if (leaf->entries.size() > static_cast<size_t>(max_entries_)) {
+    SplitNode(leaf);
+  } else {
+    AdjustUpward(leaf);
+  }
+}
+
+void RTree::CondenseChild(Node* parent, size_t child_idx,
+                          std::vector<NodeEntry>* orphans) {
+  // Remove the underfull child and queue its entries for reinsertion.
+  std::unique_ptr<Node> child = std::move(parent->entries[child_idx].child);
+  parent->entries.erase(parent->entries.begin() + child_idx);
+  // Flatten the subtree into leaf-level orphan entries.
+  std::vector<Node*> stack{child.get()};
+  std::vector<std::unique_ptr<Node>> keep_alive;
+  while (!stack.empty()) {
+    Node* cur = stack.back();
+    stack.pop_back();
+    for (NodeEntry& e : cur->entries) {
+      if (cur->leaf) {
+        orphans->push_back(NodeEntry{e.rect, e.value, nullptr});
+      } else {
+        stack.push_back(e.child.get());
+        keep_alive.push_back(std::move(e.child));
+      }
+    }
+  }
+}
+
+bool RTree::DeleteRecursive(Node* node, const Rect& rect, uint64_t value,
+                            std::vector<NodeEntry>* orphans) {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].rect == rect && node->entries[i].value == value) {
+        node->entries.erase(node->entries.begin() + i);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    if (!node->entries[i].rect.Contains(rect)) continue;
+    if (DeleteRecursive(node->entries[i].child.get(), rect, value, orphans)) {
+      Node* child = node->entries[i].child.get();
+      if (child->entries.size() < static_cast<size_t>(min_entries_)) {
+        CondenseChild(node, i, orphans);
+      } else {
+        node->entries[i].rect = NodeMbr(child);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Status RTree::Delete(const Rect& rect, uint64_t value) {
+  std::vector<NodeEntry> orphans;
+  if (!DeleteRecursive(root_.get(), rect, value, &orphans)) {
+    return Status::NotFound("r-tree entry not found");
+  }
+  --num_entries_;
+  // Shrink the root while it has a single child.
+  while (!root_->leaf && root_->entries.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->entries[0].child);
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  if (!root_->leaf && root_->entries.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+  // Reinsert orphaned leaf entries.
+  num_entries_ -= orphans.size();
+  for (NodeEntry& e : orphans) {
+    Insert(e.rect, e.value);
+  }
+  AdjustUpward(root_.get());
+  return Status::OK();
+}
+
+std::vector<uint64_t> RTree::Search(const Rect& query) const {
+  std::vector<uint64_t> out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const NodeEntry& e : node->entries) {
+      if (!e.rect.Intersects(query)) continue;
+      if (node->leaf) {
+        out.push_back(e.value);
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> RTree::KNearest(double x, double y, size_t k) const {
+  struct QueueItem {
+    double dist_sq;
+    const Node* node;    // nullptr for leaf entries
+    uint64_t value;
+    bool operator>(const QueueItem& o) const { return dist_sq > o.dist_sq; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      queue;
+  queue.push({0.0, root_.get(), 0});
+  std::vector<uint64_t> out;
+  while (!queue.empty() && out.size() < k) {
+    QueueItem item = queue.top();
+    queue.pop();
+    if (item.node == nullptr) {
+      out.push_back(item.value);
+      continue;
+    }
+    for (const NodeEntry& e : item.node->entries) {
+      if (item.node->leaf) {
+        queue.push({e.rect.DistanceSq(x, y), nullptr, e.value});
+      } else {
+        queue.push({e.rect.DistanceSq(x, y), e.child.get(), 0});
+      }
+    }
+  }
+  return out;
+}
+
+int RTree::Height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->entries[0].child.get();
+    ++h;
+  }
+  return h;
+}
+
+Status RTree::CheckNode(const Node* node, int depth, int* leaf_depth,
+                        size_t* counted) const {
+  if (node->entries.size() > static_cast<size_t>(max_entries_)) {
+    return Status::Corruption("node over capacity");
+  }
+  if (node != root_.get() &&
+      node->entries.size() < static_cast<size_t>(min_entries_)) {
+    return Status::Corruption("node under minimum fill");
+  }
+  if (node->leaf) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("uneven leaf depth");
+    }
+    *counted += node->entries.size();
+    return Status::OK();
+  }
+  for (const NodeEntry& e : node->entries) {
+    if (e.child == nullptr) {
+      return Status::Corruption("internal entry without child");
+    }
+    if (e.child->parent != node) {
+      return Status::Corruption("broken parent pointer");
+    }
+    Rect mbr = NodeMbr(e.child.get());
+    if (!(e.rect == mbr)) {
+      return Status::Corruption("stale MBR");
+    }
+    CCAM_RETURN_NOT_OK(CheckNode(e.child.get(), depth + 1, leaf_depth,
+                                 counted));
+  }
+  return Status::OK();
+}
+
+Status RTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  size_t counted = 0;
+  CCAM_RETURN_NOT_OK(CheckNode(root_.get(), 0, &leaf_depth, &counted));
+  if (counted != num_entries_) {
+    return Status::Corruption("entry count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace ccam

@@ -1,0 +1,92 @@
+#ifndef CCAM_INDEX_RTREE_H_
+#define CCAM_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ccam {
+
+/// Axis-aligned rectangle used by the R-tree.
+struct Rect {
+  double xmin = 0.0, ymin = 0.0, xmax = 0.0, ymax = 0.0;
+
+  static Rect Point(double x, double y) { return {x, y, x, y}; }
+
+  double Area() const { return (xmax - xmin) * (ymax - ymin); }
+  bool Intersects(const Rect& o) const {
+    return xmin <= o.xmax && o.xmin <= xmax && ymin <= o.ymax &&
+           o.ymin <= ymax;
+  }
+  bool Contains(const Rect& o) const {
+    return xmin <= o.xmin && o.xmax <= xmax && ymin <= o.ymin &&
+           o.ymax <= ymax;
+  }
+  /// Smallest rectangle covering both.
+  Rect Union(const Rect& o) const;
+  /// Squared distance from a point to this rectangle (0 when inside).
+  double DistanceSq(double x, double y) const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.xmin == b.xmin && a.ymin == b.ymin && a.xmax == b.xmax &&
+           a.ymax == b.ymax;
+  }
+};
+
+/// Guttman R-tree with quadratic split — the paper's "other access methods
+/// such as R-tree ... can alternatively be created on top of the data file
+/// as secondary indices in CCAM". In-memory (secondary indices are assumed
+/// buffered by the paper's cost model).
+class RTree {
+ public:
+  /// `max_entries` is the node fan-out M; the minimum fill is M * 0.4.
+  explicit RTree(int max_entries = 8);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  void Insert(const Rect& rect, uint64_t value);
+
+  /// Removes the exact (rect, value) entry; NotFound when absent.
+  Status Delete(const Rect& rect, uint64_t value);
+
+  /// Values of all entries intersecting `query`.
+  std::vector<uint64_t> Search(const Rect& query) const;
+
+  /// The k entries nearest to (x, y) by rectangle distance, nearest first.
+  std::vector<uint64_t> KNearest(double x, double y, size_t k) const;
+
+  size_t NumEntries() const { return num_entries_; }
+  int Height() const;
+
+  /// Structural check for tests: MBR containment, fan-out and (non-root)
+  /// minimum fill, uniform leaf depth, entry count.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct NodeEntry;
+
+  Node* ChooseLeaf(Node* node, const Rect& rect) const;
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+  bool DeleteRecursive(Node* node, const Rect& rect, uint64_t value,
+                       std::vector<NodeEntry>* orphans);
+  void CondenseChild(Node* parent, size_t child_idx,
+                     std::vector<NodeEntry>* orphans);
+  Rect NodeMbr(const Node* node) const;
+  Status CheckNode(const Node* node, int depth, int* leaf_depth,
+                   size_t* counted) const;
+
+  int max_entries_;
+  int min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_INDEX_RTREE_H_

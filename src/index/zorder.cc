@@ -1,0 +1,118 @@
+#include "src/index/zorder.h"
+
+#include <algorithm>
+
+namespace ccam {
+
+namespace {
+
+/// Spreads the low 32 bits of `v` so that bit i lands at bit 2i.
+uint64_t SpreadBits(uint64_t v) {
+  v &= 0xffffffffULL;
+  v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+/// Inverse of SpreadBits.
+uint32_t CompactBits(uint64_t v) {
+  v &= 0x5555555555555555ULL;
+  v = (v | (v >> 1)) & 0x3333333333333333ULL;
+  v = (v | (v >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v >> 4)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v >> 8)) & 0x0000ffff0000ffffULL;
+  v = (v | (v >> 16)) & 0x00000000ffffffffULL;
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+uint64_t ZOrderEncode(uint32_t x, uint32_t y) {
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+void ZOrderDecode(uint64_t code, uint32_t* x, uint32_t* y) {
+  *x = CompactBits(code);
+  *y = CompactBits(code >> 1);
+}
+
+uint64_t ZOrderFromPoint(double x, double y, double min_coord,
+                         double max_coord) {
+  const double range = max_coord - min_coord;
+  auto quantize = [&](double v) -> uint32_t {
+    if (range <= 0.0) return 0;
+    double t = (v - min_coord) / range;
+    t = std::clamp(t, 0.0, 1.0);
+    return static_cast<uint32_t>(t * 65535.0);
+  };
+  return ZOrderEncode(quantize(x), quantize(y));
+}
+
+bool ZOrderInRect(uint64_t code, uint64_t min_code, uint64_t max_code) {
+  uint32_t x, y, xmin, ymin, xmax, ymax;
+  ZOrderDecode(code, &x, &y);
+  ZOrderDecode(min_code, &xmin, &ymin);
+  ZOrderDecode(max_code, &xmax, &ymax);
+  return x >= xmin && x <= xmax && y >= ymin && y <= ymax;
+}
+
+uint64_t ZOrderBigMin(uint64_t current, uint64_t min_code,
+                      uint64_t max_code) {
+  // Tropf-Herzog BIGMIN: walk the bits of the codes from most significant to
+  // least significant, maintaining candidate min/max codes, and track the
+  // best "load" value (smallest in-rectangle code greater than `current`).
+  auto load_ones_below = [](uint64_t code, int bit) {
+    // Sets bit `bit` to 0 and all lower same-dimension bits to 1; bits of
+    // the other dimension are untouched.
+    uint64_t dim_mask = (bit % 2 == 0) ? 0x5555555555555555ULL
+                                       : 0xaaaaaaaaaaaaaaaaULL;
+    uint64_t below = (bit == 63) ? ~0ULL >> 1 : ((1ULL << bit) - 1);
+    return (code & ~(1ULL << bit)) | (dim_mask & below);
+  };
+  auto load_zeros_below = [](uint64_t code, int bit) {
+    // Sets bit `bit` to 1 and all lower same-dimension bits to 0.
+    uint64_t dim_mask = (bit % 2 == 0) ? 0x5555555555555555ULL
+                                       : 0xaaaaaaaaaaaaaaaaULL;
+    uint64_t below = (bit == 63) ? ~0ULL >> 1 : ((1ULL << bit) - 1);
+    return ((code | (1ULL << bit)) & ~(dim_mask & below));
+  };
+
+  uint64_t bigmin = 0;
+  bool bigmin_set = false;
+  uint64_t zmin = min_code;
+  uint64_t zmax = max_code;
+
+  for (int bit = 63; bit >= 0; --bit) {
+    uint64_t mask = 1ULL << bit;
+    int bits = ((current & mask) ? 4 : 0) | ((zmin & mask) ? 2 : 0) |
+               ((zmax & mask) ? 1 : 0);
+    switch (bits) {
+      case 0:  // 0,0,0: continue
+        break;
+      case 1:  // current=0, zmin=0, zmax=1
+        bigmin = load_zeros_below(zmin, bit);
+        bigmin_set = true;
+        zmax = load_ones_below(zmax, bit);
+        break;
+      case 3:  // current=0, zmin=1, zmax=1: whole range above current
+        return zmin;
+      case 4:  // current=1, zmin=0, zmax=0: range below current
+        return bigmin_set ? bigmin : zmin;
+      case 5:  // current=1, zmin=0, zmax=1
+        zmin = load_zeros_below(zmin, bit);
+        break;
+      case 7:  // 1,1,1: continue
+        break;
+      default:
+        // Cases 2 and 6 (zmin=1, zmax=0 in this bit) cannot occur for a
+        // valid rectangle; fall through defensively.
+        break;
+    }
+  }
+  return bigmin_set ? bigmin : zmin;
+}
+
+}  // namespace ccam

@@ -1,0 +1,38 @@
+#ifndef CCAM_INDEX_ZORDER_H_
+#define CCAM_INDEX_ZORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ccam {
+
+/// Z-order (Morton) curve utilities. The secondary index of CCAM is a B+
+/// tree ordered by the Z-order of node coordinates (Orenstein & Merrett);
+/// the generators also use Z-order to assign node-ids spatially.
+
+/// Interleaves the bits of (x, y) into a 64-bit Morton code; bit i of x maps
+/// to bit 2i, bit i of y to bit 2i+1.
+uint64_t ZOrderEncode(uint32_t x, uint32_t y);
+
+/// Inverse of ZOrderEncode.
+void ZOrderDecode(uint64_t code, uint32_t* x, uint32_t* y);
+
+/// Quantizes a point in [min, max]^2 onto a 2^16 x 2^16 grid and encodes it.
+/// Values outside the range are clamped.
+uint64_t ZOrderFromPoint(double x, double y, double min_coord,
+                         double max_coord);
+
+/// BIGMIN for Z-order range queries (Tropf & Herzog): given a query
+/// rectangle [min_code, max_code] (Morton codes of its low/high corners) and
+/// a code `current` that lies inside the code interval but outside the
+/// rectangle, returns the smallest code >= current that is inside the
+/// rectangle. Enables skipping dead Z-curve segments during range scans.
+uint64_t ZOrderBigMin(uint64_t current, uint64_t min_code, uint64_t max_code);
+
+/// True if the point encoded by `code` lies in the rectangle spanned by the
+/// points encoded by `min_code` and `max_code` (component-wise).
+bool ZOrderInRect(uint64_t code, uint64_t min_code, uint64_t max_code);
+
+}  // namespace ccam
+
+#endif  // CCAM_INDEX_ZORDER_H_

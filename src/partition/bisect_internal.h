@@ -1,0 +1,38 @@
+#ifndef CCAM_PARTITION_BISECT_INTERNAL_H_
+#define CCAM_PARTITION_BISECT_INTERNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/partition/partition.h"
+
+namespace ccam {
+namespace partition_internal {
+
+/// Shared helpers for the two-way partitioners. Internal to src/partition.
+
+/// Greedy BFS seed: grows side A from a random start node until it holds
+/// roughly `target_a` bytes; produces contiguous (low-cut) initial sides on
+/// planar road networks. Falls back to arbitrary fill for disconnected
+/// remainders.
+std::vector<bool> BfsSeed(const PartitionGraph& graph, size_t target_a,
+                          uint64_t seed);
+
+/// Gain of moving node i to the other side: (weight to other side) -
+/// (weight to own side). Positive gain reduces the cut.
+double MoveGain(const PartitionGraph& graph, const std::vector<bool>& side,
+                int i);
+
+}  // namespace partition_internal
+
+/// Two-way partitioners (definitions in kl.cc / fm.cc / ratio_cut.cc).
+Bisection KlBisect(const PartitionGraph& graph, size_t min_side_size,
+                   uint64_t seed);
+Bisection FmBisect(const PartitionGraph& graph, size_t min_side_size,
+                   uint64_t seed);
+Bisection RatioCutBisect(const PartitionGraph& graph, size_t min_side_size,
+                         uint64_t seed);
+
+}  // namespace ccam
+
+#endif  // CCAM_PARTITION_BISECT_INTERNAL_H_

@@ -1,0 +1,153 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "src/partition/bisect_internal.h"
+
+namespace ccam {
+
+namespace {
+
+using partition_internal::BfsSeed;
+
+/// Kernighan–Lin pair-swap bisection (the classic heuristic the paper cites
+/// as an alternative basis for the clustering scheme). To keep passes
+/// tractable on road-map-sized inputs, each swap step only examines the top
+/// `kCandidates` D-value nodes from each side rather than all pairs — the
+/// standard practical restriction.
+constexpr size_t kCandidates = 24;
+
+double PairWeight(const std::unordered_map<uint64_t, double>& weights, int a,
+                  int b) {
+  if (a > b) std::swap(a, b);
+  auto it =
+      weights.find((static_cast<uint64_t>(a) << 32) | static_cast<uint32_t>(b));
+  return it == weights.end() ? 0.0 : it->second;
+}
+
+}  // namespace
+
+Bisection KlBisect(const PartitionGraph& graph, size_t min_side_size,
+                   uint64_t seed) {
+  Bisection result;
+  const size_t n = graph.NumNodes();
+  if (n == 0) return result;
+  size_t total = graph.TotalSize();
+  std::vector<bool> side = BfsSeed(graph, total / 2, seed);
+
+  std::unordered_map<uint64_t, double> pair_weights;
+  for (size_t i = 0; i < n; ++i) {
+    for (const PartitionGraph::Adj& e : graph.adj[i]) {
+      if (static_cast<size_t>(e.to) > i) {
+        pair_weights[(static_cast<uint64_t>(i) << 32) |
+                     static_cast<uint32_t>(e.to)] = e.weight;
+      }
+    }
+  }
+
+  size_t size_a, size_b;
+  SideSizes(graph, side, &size_a, &size_b);
+
+  const int kMaxPasses = 12;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    std::vector<double> d(n);
+    for (size_t i = 0; i < n; ++i) {
+      d[i] = partition_internal::MoveGain(graph, side, static_cast<int>(i));
+    }
+    std::vector<bool> locked(n, false);
+
+    struct Swap {
+      int a;
+      int b;
+      double gain;
+    };
+    std::vector<Swap> swaps;
+    double cumulative = 0.0, best = 0.0;
+    size_t best_len = 0;
+    size_t cur_a = size_a, cur_b = size_b;
+
+    for (;;) {
+      // Top unlocked candidates by D value on each side.
+      std::vector<int> ca, cb;
+      for (size_t i = 0; i < n; ++i) {
+        if (!locked[i]) (side[i] ? cb : ca).push_back(static_cast<int>(i));
+      }
+      if (ca.empty() || cb.empty()) break;
+      auto by_d = [&](int x, int y) { return d[x] > d[y]; };
+      if (ca.size() > kCandidates) {
+        std::partial_sort(ca.begin(), ca.begin() + kCandidates, ca.end(),
+                          by_d);
+        ca.resize(kCandidates);
+      } else {
+        std::sort(ca.begin(), ca.end(), by_d);
+      }
+      if (cb.size() > kCandidates) {
+        std::partial_sort(cb.begin(), cb.begin() + kCandidates, cb.end(),
+                          by_d);
+        cb.resize(kCandidates);
+      } else {
+        std::sort(cb.begin(), cb.end(), by_d);
+      }
+
+      double best_gain = -1e300;
+      int best_a = -1, best_b = -1;
+      for (int a : ca) {
+        for (int b : cb) {
+          // Swapping a<->b changes side sizes by the size difference.
+          size_t sa = graph.node_sizes[a], sb = graph.node_sizes[b];
+          size_t new_a = cur_a - sa + sb;
+          size_t new_b = cur_b - sb + sa;
+          if (new_a < min_side_size || new_b < min_side_size) continue;
+          double g = d[a] + d[b] - 2.0 * PairWeight(pair_weights, a, b);
+          if (g > best_gain) {
+            best_gain = g;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      if (best_a < 0) break;
+
+      // Tentatively swap and lock.
+      locked[best_a] = locked[best_b] = true;
+      size_t sa = graph.node_sizes[best_a], sb = graph.node_sizes[best_b];
+      cur_a = cur_a - sa + sb;
+      cur_b = cur_b - sb + sa;
+      side[best_a] = true;
+      side[best_b] = false;
+      cumulative += best_gain;
+      swaps.push_back({best_a, best_b, best_gain});
+      if (cumulative > best + 1e-12) {
+        best = cumulative;
+        best_len = swaps.size();
+      }
+      // Refresh D values of the swapped pair's unlocked neighbors (only
+      // their gains changed).
+      auto refresh_neighbors = [&](int center) {
+        for (const PartitionGraph::Adj& e : graph.adj[center]) {
+          if (!locked[e.to]) {
+            d[e.to] = partition_internal::MoveGain(graph, side, e.to);
+          }
+        }
+      };
+      refresh_neighbors(best_a);
+      refresh_neighbors(best_b);
+    }
+
+    // Roll back swaps beyond the best prefix.
+    for (size_t k = swaps.size(); k > best_len; --k) {
+      side[swaps[k - 1].a] = false;
+      side[swaps[k - 1].b] = true;
+    }
+    SideSizes(graph, side, &size_a, &size_b);
+    if (best <= 1e-12) break;
+  }
+
+  result.side = std::move(side);
+  result.size_a = size_a;
+  result.size_b = size_b;
+  result.cut_weight = CutWeight(graph, result.side);
+  return result;
+}
+
+}  // namespace ccam

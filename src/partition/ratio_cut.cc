@@ -1,0 +1,136 @@
+#include <cmath>
+#include <vector>
+
+#include "src/partition/bisect_internal.h"
+
+namespace ccam {
+
+namespace {
+
+using partition_internal::BfsSeed;
+using partition_internal::MoveGain;
+
+/// Ratio-cut objective (Cheng & Wei): cut / (|A| * |B|), with side sizes in
+/// bytes. Smaller is better; the denominator rewards balanced, natural
+/// cluster boundaries without forcing exact bisection — which is why the
+/// paper adopts it for packing variable-size records into pages.
+double Ratio(double cut, size_t size_a, size_t size_b) {
+  if (size_a == 0 || size_b == 0) return 1e300;
+  return cut / (static_cast<double>(size_a) * static_cast<double>(size_b));
+}
+
+/// One improvement pass in the style of Cheng & Wei's iterative shifting:
+/// tentatively move the node that minimizes the resulting ratio (each node
+/// at most once per pass), remember the best prefix, and roll back the
+/// rest. Returns true if the ratio improved.
+bool RatioCutPass(const PartitionGraph& graph, std::vector<bool>* side,
+                  size_t* size_a, size_t* size_b, size_t min_side_size) {
+  const size_t n = graph.NumNodes();
+  std::vector<double> gain(n);
+  std::vector<bool> locked(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    gain[i] = MoveGain(graph, *side, static_cast<int>(i));
+  }
+  double cut = CutWeight(graph, *side);
+  size_t a = *size_a, b = *size_b;
+  const double initial_ratio = Ratio(cut, a, b);
+  double best_ratio = initial_ratio;
+  size_t best_len = 0;
+
+  struct Move {
+    int node;
+  };
+  std::vector<Move> moves;
+  moves.reserve(n);
+
+  for (size_t step = 0; step < n; ++step) {
+    int chosen = -1;
+    double chosen_ratio = 1e300;
+    for (size_t i = 0; i < n; ++i) {
+      if (locked[i]) continue;
+      size_t sz = graph.node_sizes[i];
+      size_t na, nb;
+      if ((*side)[i]) {  // B -> A
+        if (b < sz || b - sz < min_side_size) continue;
+        na = a + sz;
+        nb = b - sz;
+      } else {  // A -> B
+        if (a < sz || a - sz < min_side_size) continue;
+        na = a - sz;
+        nb = b + sz;
+      }
+      double r = Ratio(cut - gain[i], na, nb);
+      if (r < chosen_ratio) {
+        chosen_ratio = r;
+        chosen = static_cast<int>(i);
+      }
+    }
+    if (chosen < 0) break;
+
+    // Apply tentatively.
+    locked[chosen] = true;
+    size_t sz = graph.node_sizes[chosen];
+    if ((*side)[chosen]) {
+      b -= sz;
+      a += sz;
+    } else {
+      a -= sz;
+      b += sz;
+    }
+    (*side)[chosen] = !(*side)[chosen];
+    cut -= gain[chosen];
+    moves.push_back({chosen});
+    if (chosen_ratio < best_ratio - 1e-18) {
+      best_ratio = chosen_ratio;
+      best_len = moves.size();
+    }
+    // Moving `chosen` flips the sign of its contribution to each neighbor's
+    // gain: a same-side edge became cross-side or vice versa.
+    for (const PartitionGraph::Adj& e : graph.adj[chosen]) {
+      if (locked[e.to]) continue;
+      gain[e.to] = MoveGain(graph, *side, e.to);
+    }
+    gain[chosen] = -gain[chosen];
+  }
+
+  // Roll back past the best prefix.
+  for (size_t k = moves.size(); k > best_len; --k) {
+    int i = moves[k - 1].node;
+    size_t sz = graph.node_sizes[i];
+    if ((*side)[i]) {
+      b -= sz;
+      a += sz;
+    } else {
+      a -= sz;
+      b += sz;
+    }
+    (*side)[i] = !(*side)[i];
+  }
+  *size_a = a;
+  *size_b = b;
+  return best_ratio < initial_ratio - 1e-18;
+}
+
+}  // namespace
+
+Bisection RatioCutBisect(const PartitionGraph& graph, size_t min_side_size,
+                         uint64_t seed) {
+  Bisection result;
+  const size_t n = graph.NumNodes();
+  if (n == 0) return result;
+  size_t total = graph.TotalSize();
+  result.side = BfsSeed(graph, total / 2, seed);
+  SideSizes(graph, result.side, &result.size_a, &result.size_b);
+
+  const int kMaxPasses = 16;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    if (!RatioCutPass(graph, &result.side, &result.size_a, &result.size_b,
+                      min_side_size)) {
+      break;
+    }
+  }
+  result.cut_weight = CutWeight(graph, result.side);
+  return result;
+}
+
+}  // namespace ccam

@@ -1,0 +1,180 @@
+#include "src/partition/recursive_bisection.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/storage/record.h"
+
+namespace ccam {
+
+namespace {
+
+size_t SubsetBytes(const Network& network, const std::vector<NodeId>& subset,
+                   size_t per_record_overhead) {
+  size_t total = 0;
+  for (NodeId id : subset) {
+    total += RecordSizeOf(id, network.node(id)) + per_record_overhead;
+  }
+  return total;
+}
+
+/// Number of directed edges of `network` split across distinct page sets.
+size_t SplitEdges(const Network& network,
+                  const std::vector<std::vector<NodeId>>& pages) {
+  std::unordered_map<NodeId, int> page_of;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    for (NodeId id : pages[p]) page_of[id] = static_cast<int>(p);
+  }
+  size_t split = 0;
+  for (const auto& e : network.Edges()) {
+    auto u = page_of.find(e.from);
+    auto v = page_of.find(e.to);
+    if (u != page_of.end() && v != page_of.end() && u->second != v->second) {
+      ++split;
+    }
+  }
+  return split;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<NodeId>>> ClusterNodesIntoPages(
+    const Network& network, const std::vector<NodeId>& subset,
+    const ClusterOptions& options) {
+  const size_t capacity = options.page_capacity;
+  const double fill =
+      std::clamp(options.min_fill_fraction, 0.0, 0.5);
+  const size_t min_pg_size =
+      static_cast<size_t>(static_cast<double>(capacity) * fill + 0.5);
+
+  // Every record must individually fit on a page.
+  for (NodeId id : subset) {
+    if (!network.HasNode(id)) {
+      return Status::InvalidArgument("subset node " + std::to_string(id) +
+                                     " not in network");
+    }
+    size_t sz =
+        RecordSizeOf(id, network.node(id)) + options.per_record_overhead;
+    if (sz > capacity) {
+      return Status::NoSpace("record of node " + std::to_string(id) + " (" +
+                             std::to_string(sz) +
+                             " bytes) exceeds page capacity");
+    }
+  }
+
+  std::vector<std::vector<NodeId>> worklist;  // F in the paper
+  std::vector<std::vector<NodeId>> pages;     // P in the paper
+  worklist.push_back(subset);
+  uint64_t split_seed = options.seed;
+
+  while (!worklist.empty()) {
+    std::vector<NodeId> current = std::move(worklist.back());
+    worklist.pop_back();
+    if (current.empty()) continue;
+    if (SubsetBytes(network, current, options.per_record_overhead) <=
+        capacity) {
+      pages.push_back(std::move(current));
+      continue;
+    }
+
+    PartitionGraph graph =
+        PartitionGraph::FromNetwork(network, current,
+                                    options.use_access_weights,
+                                    options.per_record_overhead);
+    Bisection bisection = TwoWayPartition(graph, min_pg_size,
+                                          options.algorithm, split_seed++);
+    std::vector<NodeId> side_a, side_b;
+    for (size_t i = 0; i < graph.NumNodes(); ++i) {
+      (bisection.side[i] ? side_b : side_a).push_back(graph.ids[i]);
+    }
+    // Defensive fallback: a degenerate split (one empty side) would loop
+    // forever, so split by id order instead.
+    if (side_a.empty() || side_b.empty()) {
+      std::vector<NodeId> sorted = current;
+      std::sort(sorted.begin(), sorted.end());
+      side_a.assign(sorted.begin(), sorted.begin() + sorted.size() / 2);
+      side_b.assign(sorted.begin() + sorted.size() / 2, sorted.end());
+    }
+    for (auto& side : {&side_a, &side_b}) {
+      if (SubsetBytes(network, *side, options.per_record_overhead) >
+          capacity) {
+        worklist.push_back(std::move(*side));
+      } else {
+        pages.push_back(std::move(*side));
+      }
+    }
+  }
+  return pages;
+}
+
+int RefinePagesPairwise(const Network& network,
+                        std::vector<std::vector<NodeId>>* pages,
+                        const ClusterOptions& options, int rounds) {
+  const size_t min_pg_size = static_cast<size_t>(
+      static_cast<double>(options.page_capacity) *
+          std::clamp(options.min_fill_fraction, 0.0, 0.5) +
+      0.5);
+  int improved_total = 0;
+  uint64_t seed = options.seed ^ 0x9e3779b97f4a7c15ULL;
+
+  for (int round = 0; round < rounds; ++round) {
+    // Identify connected page pairs via the split edges.
+    std::unordered_map<NodeId, int> page_of;
+    for (size_t p = 0; p < pages->size(); ++p) {
+      for (NodeId id : (*pages)[p]) page_of[id] = static_cast<int>(p);
+    }
+    std::unordered_set<uint64_t> pairs;
+    for (const auto& e : network.Edges()) {
+      auto u = page_of.find(e.from);
+      auto v = page_of.find(e.to);
+      if (u == page_of.end() || v == page_of.end()) continue;
+      int a = u->second, b = v->second;
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      pairs.insert((static_cast<uint64_t>(a) << 32) |
+                   static_cast<uint32_t>(b));
+    }
+
+    int improved = 0;
+    for (uint64_t key : pairs) {
+      int a = static_cast<int>(key >> 32);
+      int b = static_cast<int>(key & 0xffffffffu);
+      std::vector<NodeId> merged = (*pages)[a];
+      merged.insert(merged.end(), (*pages)[b].begin(), (*pages)[b].end());
+
+      std::vector<std::vector<NodeId>> before{(*pages)[a], (*pages)[b]};
+      Network pair_net = network.InducedSubnetwork(merged);
+      size_t before_split = SplitEdges(pair_net, before);
+
+      PartitionGraph graph = PartitionGraph::FromNetwork(
+          network, merged, options.use_access_weights,
+          options.per_record_overhead);
+      Bisection bisection =
+          TwoWayPartition(graph, min_pg_size, options.algorithm, seed++);
+      std::vector<NodeId> side_a, side_b;
+      for (size_t i = 0; i < graph.NumNodes(); ++i) {
+        (bisection.side[i] ? side_b : side_a).push_back(graph.ids[i]);
+      }
+      if (side_a.empty() || side_b.empty()) continue;
+      // Respect page capacity.
+      if (SubsetBytes(network, side_a, options.per_record_overhead) >
+              options.page_capacity ||
+          SubsetBytes(network, side_b, options.per_record_overhead) >
+              options.page_capacity) {
+        continue;
+      }
+      std::vector<std::vector<NodeId>> after{side_a, side_b};
+      if (SplitEdges(pair_net, after) < before_split) {
+        (*pages)[a] = std::move(side_a);
+        (*pages)[b] = std::move(side_b);
+        ++improved;
+      }
+    }
+    improved_total += improved;
+    if (improved == 0) break;
+  }
+  return improved_total;
+}
+
+}  // namespace ccam

@@ -1,0 +1,50 @@
+#ifndef CCAM_PARTITION_RECURSIVE_BISECTION_H_
+#define CCAM_PARTITION_RECURSIVE_BISECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/graph/network.h"
+#include "src/partition/partition.h"
+
+namespace ccam {
+
+/// Options for cluster-nodes-into-pages (paper Figure 2).
+struct ClusterOptions {
+  /// Usable record bytes per data page (page size minus page header).
+  size_t page_capacity = 1024;
+  /// Per-record overhead added to every node size (slot entry bytes).
+  size_t per_record_overhead = 4;
+  /// The two-way partitioner used as the basis of the clustering.
+  PartitionAlgorithm algorithm = PartitionAlgorithm::kRatioCut;
+  /// Lower bound each bisection side must keep, as a fraction of the page
+  /// capacity. The paper's MinPgSize = ceil(page-size / 2) is 0.5; lower
+  /// values trade page fill (space) for cut quality (CRR).
+  double min_fill_fraction = 0.5;
+  /// Partition by access weights (WCRR) instead of uniform edge weights.
+  bool use_access_weights = false;
+  uint64_t seed = 42;
+};
+
+/// The paper's connectivity-clustering algorithm: repeatedly applies
+/// 2-way-partition-graph() to worklist subsets whose record bytes exceed
+/// the page capacity, with MinPgSize = ceil(page_capacity / 2), until every
+/// subset fits on a page. Returns the resulting page sets (each a list of
+/// node-ids whose records total at most page_capacity bytes).
+Result<std::vector<std::vector<NodeId>>> ClusterNodesIntoPages(
+    const Network& network, const std::vector<NodeId>& subset,
+    const ClusterOptions& options);
+
+/// Pairwise M-way refinement (the paper's "M-way partitioning may further
+/// improve the result"): for every pair of page sets connected by at least
+/// one edge, re-runs the two-way partitioner on their union and keeps the
+/// result if it reduces the number of split edges. `rounds` bounds the
+/// number of sweeps. Returns the number of improved pairs.
+int RefinePagesPairwise(const Network& network,
+                        std::vector<std::vector<NodeId>>* pages,
+                        const ClusterOptions& options, int rounds = 1);
+
+}  // namespace ccam
+
+#endif  // CCAM_PARTITION_RECURSIVE_BISECTION_H_

@@ -1,0 +1,41 @@
+#include "src/query/route_eval.h"
+
+namespace ccam {
+
+Result<RouteEvalResult> EvaluateRoute(AccessMethod* am, const Route& route) {
+  RouteEvalResult result;
+  if (route.nodes.empty()) return result;
+
+  IoStats before = am->DataIoStats();
+  NodeRecord current;
+  CCAM_ASSIGN_OR_RETURN(current, am->Find(route.nodes[0]));
+  for (size_t i = 1; i < route.nodes.size(); ++i) {
+    NodeId next = route.nodes[i];
+    float cost;
+    {
+      auto res = current.SuccessorCost(next);
+      if (!res.ok()) return res.status();
+      cost = *res;
+    }
+    CCAM_ASSIGN_OR_RETURN(current, am->GetASuccessor(current.id, next));
+    result.total_cost += cost;
+    ++result.num_edges;
+  }
+  IoStats after = am->DataIoStats();
+  result.page_accesses = (after - before).Accesses();
+  return result;
+}
+
+Result<double> MeanRouteEvalAccesses(AccessMethod* am,
+                                     const std::vector<Route>& routes) {
+  if (routes.empty()) return 0.0;
+  uint64_t total = 0;
+  for (const Route& route : routes) {
+    RouteEvalResult one;
+    CCAM_ASSIGN_OR_RETURN(one, EvaluateRoute(am, route));
+    total += one.page_accesses;
+  }
+  return static_cast<double>(total) / static_cast<double>(routes.size());
+}
+
+}  // namespace ccam

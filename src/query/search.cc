@@ -1,0 +1,151 @@
+#include "src/query/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ccam {
+
+namespace {
+
+struct QueueEntry {
+  double priority;  // g (Dijkstra) or g + h (A*)
+  double g;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
+};
+
+using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                     std::greater<QueueEntry>>;
+
+std::vector<NodeId> ReconstructPath(
+    const std::unordered_map<NodeId, NodeId>& parent, NodeId src,
+    NodeId dst) {
+  std::vector<NodeId> path{dst};
+  NodeId cur = dst;
+  while (cur != src) {
+    auto it = parent.find(cur);
+    if (it == parent.end()) return {};
+    cur = it->second;
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Shared best-first search; `heuristic_weight` < 0 disables the heuristic
+/// (plain Dijkstra).
+Result<SearchResult> BestFirst(AccessMethod* am, NodeId src, NodeId dst,
+                               double heuristic_weight) {
+  SearchResult result;
+  IoStats before = am->DataIoStats();
+
+  NodeRecord dst_rec;
+  CCAM_ASSIGN_OR_RETURN(dst_rec, am->Find(dst));
+  const double tx = dst_rec.x, ty = dst_rec.y;
+  auto heuristic = [&](const NodeRecord& rec) {
+    if (heuristic_weight < 0.0) return 0.0;
+    return heuristic_weight * std::hypot(rec.x - tx, rec.y - ty);
+  };
+
+  std::unordered_map<NodeId, double> best_g;
+  std::unordered_map<NodeId, NodeId> parent;
+  std::unordered_set<NodeId> closed;
+  MinQueue open;
+
+  NodeRecord src_rec;
+  CCAM_ASSIGN_OR_RETURN(src_rec, am->Find(src));
+  best_g[src] = 0.0;
+  open.push({heuristic(src_rec), 0.0, src});
+
+  while (!open.empty()) {
+    QueueEntry top = open.top();
+    open.pop();
+    if (closed.count(top.node)) continue;
+    closed.insert(top.node);
+    ++result.nodes_expanded;
+    if (top.node == dst) {
+      result.cost = top.g;
+      result.path = ReconstructPath(parent, src, dst);
+      break;
+    }
+    std::vector<NodeRecord> successors;
+    CCAM_ASSIGN_OR_RETURN(successors, am->GetSuccessors(top.node));
+    // Costs come from the expanded node's successor-list.
+    NodeRecord expanded;
+    CCAM_ASSIGN_OR_RETURN(expanded, am->Find(top.node));  // buffered
+    for (const NodeRecord& succ : successors) {
+      if (closed.count(succ.id)) continue;
+      auto cost = expanded.SuccessorCost(succ.id);
+      if (!cost.ok()) continue;
+      double g = top.g + *cost;
+      auto it = best_g.find(succ.id);
+      if (it == best_g.end() || g < it->second) {
+        best_g[succ.id] = g;
+        parent[succ.id] = top.node;
+        open.push({g + heuristic(succ), g, succ.id});
+      }
+    }
+  }
+
+  IoStats after = am->DataIoStats();
+  result.page_accesses = (after - before).Accesses();
+  return result;
+}
+
+}  // namespace
+
+Result<SearchResult> ShortestPathDijkstra(AccessMethod* am, NodeId src,
+                                          NodeId dst) {
+  return BestFirst(am, src, dst, -1.0);
+}
+
+Result<SearchResult> ShortestPathAStar(AccessMethod* am, NodeId src,
+                                       NodeId dst, double heuristic_weight) {
+  return BestFirst(am, src, dst, heuristic_weight);
+}
+
+Result<MultiSourceResult> MultiSourceDistances(
+    AccessMethod* am, const std::vector<NodeId>& sources) {
+  MultiSourceResult result;
+  IoStats before = am->DataIoStats();
+
+  std::unordered_map<NodeId, double> best;
+  std::unordered_set<NodeId> closed;
+  MinQueue open;
+  for (NodeId s : sources) {
+    best[s] = 0.0;
+    open.push({0.0, 0.0, s});
+  }
+  while (!open.empty()) {
+    QueueEntry top = open.top();
+    open.pop();
+    if (closed.count(top.node)) continue;
+    closed.insert(top.node);
+    result.distances.emplace_back(top.node, top.g);
+    std::vector<NodeRecord> successors;
+    CCAM_ASSIGN_OR_RETURN(successors, am->GetSuccessors(top.node));
+    NodeRecord expanded;
+    CCAM_ASSIGN_OR_RETURN(expanded, am->Find(top.node));
+    for (const NodeRecord& succ : successors) {
+      if (closed.count(succ.id)) continue;
+      auto cost = expanded.SuccessorCost(succ.id);
+      if (!cost.ok()) continue;
+      double g = top.g + *cost;
+      auto it = best.find(succ.id);
+      if (it == best.end() || g < it->second) {
+        best[succ.id] = g;
+        open.push({g, g, succ.id});
+      }
+    }
+  }
+
+  IoStats after = am->DataIoStats();
+  result.page_accesses = (after - before).Accesses();
+  return result;
+}
+
+}  // namespace ccam

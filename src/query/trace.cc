@@ -1,0 +1,173 @@
+#include "src/query/trace.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/query/route_eval.h"
+
+namespace ccam {
+
+const char* TraceOpKindName(TraceOp::Kind kind) {
+  switch (kind) {
+    case TraceOp::Kind::kFind:
+      return "find";
+    case TraceOp::Kind::kGetSuccessors:
+      return "get-successors";
+    case TraceOp::Kind::kGetASuccessor:
+      return "get-a-successor";
+    case TraceOp::Kind::kInsertNode:
+      return "insert-node";
+    case TraceOp::Kind::kInsertEdge:
+      return "insert-edge";
+    case TraceOp::Kind::kDeleteEdge:
+      return "delete-edge";
+    case TraceOp::Kind::kDeleteNode:
+      return "delete-node";
+    case TraceOp::Kind::kRoute:
+      return "route";
+  }
+  return "unknown";
+}
+
+Result<std::vector<TraceOp>> ParseTrace(const std::string& text) {
+  std::vector<TraceOp> ops;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string verb;
+    if (!(ls >> verb)) continue;  // blank line
+    auto fail = [&](const std::string& why) {
+      return Status::Corruption("trace line " + std::to_string(lineno) +
+                                ": " + why);
+    };
+    TraceOp op;
+    auto read_ids = [&](size_t n) {
+      for (size_t i = 0; i < n; ++i) {
+        NodeId id;
+        if (!(ls >> id)) return false;
+        op.nodes.push_back(id);
+      }
+      return true;
+    };
+    if (verb == "find") {
+      op.kind = TraceOp::Kind::kFind;
+      if (!read_ids(1)) return fail("find needs <id>");
+    } else if (verb == "get-successors") {
+      op.kind = TraceOp::Kind::kGetSuccessors;
+      if (!read_ids(1)) return fail("get-successors needs <id>");
+    } else if (verb == "get-a-successor") {
+      op.kind = TraceOp::Kind::kGetASuccessor;
+      if (!read_ids(2)) return fail("get-a-successor needs <from> <to>");
+    } else if (verb == "insert-node") {
+      op.kind = TraceOp::Kind::kInsertNode;
+      if (!read_ids(1) || !(ls >> op.x >> op.y)) {
+        return fail("insert-node needs <id> <x> <y>");
+      }
+    } else if (verb == "insert-edge") {
+      op.kind = TraceOp::Kind::kInsertEdge;
+      if (!read_ids(2) || !(ls >> op.cost)) {
+        return fail("insert-edge needs <u> <v> <cost>");
+      }
+    } else if (verb == "delete-edge") {
+      op.kind = TraceOp::Kind::kDeleteEdge;
+      if (!read_ids(2)) return fail("delete-edge needs <u> <v>");
+    } else if (verb == "delete-node") {
+      op.kind = TraceOp::Kind::kDeleteNode;
+      if (!read_ids(1)) return fail("delete-node needs <id>");
+    } else if (verb == "route") {
+      op.kind = TraceOp::Kind::kRoute;
+      NodeId id;
+      while (ls >> id) op.nodes.push_back(id);
+      if (op.nodes.size() < 2) return fail("route needs >= 2 nodes");
+    } else {
+      return fail("unknown operation '" + verb + "'");
+    }
+    std::string extra;
+    if (ls >> extra) return fail("trailing tokens after operands");
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+Result<std::vector<TraceOp>> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTrace(buffer.str());
+}
+
+std::string TraceReport::ToString() const {
+  std::ostringstream out;
+  out << "trace replay: " << total_ops << " operations, " << total_accesses
+      << " data-page accesses\n";
+  for (const auto& [kind, stats] : per_kind) {
+    out << "  " << TraceOpKindName(kind) << ": " << stats.count << " ops";
+    if (stats.failed > 0) out << " (" << stats.failed << " failed)";
+    out << ", mean " << stats.MeanAccesses() << " accesses\n";
+  }
+  return out.str();
+}
+
+Result<TraceReport> ReplayTrace(AccessMethod* am,
+                                const std::vector<TraceOp>& ops,
+                                ReorgPolicy policy) {
+  TraceReport report;
+  std::map<TraceOp::Kind, TraceReport::PerKind> tally;
+  for (const TraceOp& op : ops) {
+    IoStats before = am->DataIoStats();
+    bool ok = true;
+    switch (op.kind) {
+      case TraceOp::Kind::kFind:
+        ok = am->Find(op.nodes[0]).ok();
+        break;
+      case TraceOp::Kind::kGetSuccessors:
+        ok = am->GetSuccessors(op.nodes[0]).ok();
+        break;
+      case TraceOp::Kind::kGetASuccessor:
+        ok = am->GetASuccessor(op.nodes[0], op.nodes[1]).ok();
+        break;
+      case TraceOp::Kind::kInsertNode: {
+        NodeRecord rec;
+        rec.id = op.nodes[0];
+        rec.x = op.x;
+        rec.y = op.y;
+        ok = am->InsertNode(rec, policy).ok();
+        break;
+      }
+      case TraceOp::Kind::kInsertEdge:
+        ok = am->InsertEdge(op.nodes[0], op.nodes[1], op.cost, policy).ok();
+        break;
+      case TraceOp::Kind::kDeleteEdge:
+        ok = am->DeleteEdge(op.nodes[0], op.nodes[1], policy).ok();
+        break;
+      case TraceOp::Kind::kDeleteNode:
+        ok = am->DeleteNode(op.nodes[0], policy).ok();
+        break;
+      case TraceOp::Kind::kRoute: {
+        Route route;
+        route.nodes = op.nodes;
+        ok = EvaluateRoute(am, route).ok();
+        break;
+      }
+    }
+    IoStats after = am->DataIoStats();
+    TraceReport::PerKind& slot = tally[op.kind];
+    ++slot.count;
+    if (!ok) ++slot.failed;
+    slot.page_accesses += (after - before).Accesses();
+    report.total_accesses += (after - before).Accesses();
+    ++report.total_ops;
+  }
+  report.per_kind.assign(tally.begin(), tally.end());
+  return report;
+}
+
+}  // namespace ccam

@@ -1,0 +1,80 @@
+#ifndef CCAM_QUERY_TRACE_H_
+#define CCAM_QUERY_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/access_method.h"
+
+namespace ccam {
+
+/// A trace-driven workload: a text script of operations replayed against
+/// an access method with per-operation-type I/O accounting. Lets users
+/// benchmark their own workloads (and regression-test layouts) without
+/// writing code.
+///
+/// Format — one operation per line, '#' comments allowed:
+///   find <id>
+///   get-successors <id>
+///   get-a-successor <from> <to>
+///   insert-node <id> <x> <y>
+///   insert-edge <u> <v> <cost>
+///   delete-edge <u> <v>
+///   delete-node <id>
+///   route <id> <id> <id> ...
+struct TraceOp {
+  enum class Kind {
+    kFind,
+    kGetSuccessors,
+    kGetASuccessor,
+    kInsertNode,
+    kInsertEdge,
+    kDeleteEdge,
+    kDeleteNode,
+    kRoute,
+  };
+  Kind kind;
+  std::vector<NodeId> nodes;  // operands in order of appearance
+  double x = 0.0, y = 0.0;    // insert-node
+  float cost = 0.0f;          // insert-edge
+};
+
+const char* TraceOpKindName(TraceOp::Kind kind);
+
+/// Parses a trace script. Fails with Corruption on the first bad line.
+Result<std::vector<TraceOp>> ParseTrace(const std::string& text);
+
+/// Loads and parses a trace file.
+Result<std::vector<TraceOp>> LoadTrace(const std::string& path);
+
+/// Replay outcome, per operation kind and overall.
+struct TraceReport {
+  struct PerKind {
+    size_t count = 0;
+    size_t failed = 0;  // e.g. find of a deleted node
+    uint64_t page_accesses = 0;
+
+    double MeanAccesses() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(page_accesses) /
+                              static_cast<double>(count);
+    }
+  };
+  std::vector<std::pair<TraceOp::Kind, PerKind>> per_kind;
+  uint64_t total_accesses = 0;
+  size_t total_ops = 0;
+
+  std::string ToString() const;
+};
+
+/// Replays `ops` against `am`; update operations use `policy`. Operation
+/// failures (NotFound etc.) are tallied, not fatal — traces may reference
+/// state that earlier operations removed.
+Result<TraceReport> ReplayTrace(AccessMethod* am,
+                                const std::vector<TraceOp>& ops,
+                                ReorgPolicy policy);
+
+}  // namespace ccam
+
+#endif  // CCAM_QUERY_TRACE_H_

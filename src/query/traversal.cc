@@ -1,0 +1,89 @@
+#include "src/query/traversal.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace ccam {
+
+Result<ReachabilityResult> ReachableFrom(AccessMethod* am, NodeId source,
+                                         int max_depth) {
+  ReachabilityResult result;
+  IoStats before = am->DataIoStats();
+
+  NodeRecord src;
+  CCAM_ASSIGN_OR_RETURN(src, am->Find(source));
+  std::unordered_set<NodeId> seen{source};
+  std::deque<std::pair<NodeId, int>> frontier{{source, 0}};
+  while (!frontier.empty()) {
+    auto [cur, depth] = frontier.front();
+    frontier.pop_front();
+    result.nodes.push_back(cur);
+    if (max_depth >= 0 && depth >= max_depth) continue;
+    std::vector<NodeRecord> successors;
+    CCAM_ASSIGN_OR_RETURN(successors, am->GetSuccessors(cur));
+    for (const NodeRecord& succ : successors) {
+      if (seen.insert(succ.id).second) {
+        frontier.emplace_back(succ.id, depth + 1);
+      }
+    }
+  }
+
+  IoStats after = am->DataIoStats();
+  result.page_accesses = (after - before).Accesses();
+  return result;
+}
+
+Result<ClosureSample> SampleTransitiveClosure(
+    AccessMethod* am, const std::vector<NodeId>& sources, int max_depth) {
+  ClosureSample sample;
+  if (sources.empty()) return sample;
+  size_t total_reachable = 0;
+  for (NodeId source : sources) {
+    ReachabilityResult one;
+    CCAM_ASSIGN_OR_RETURN(one, ReachableFrom(am, source, max_depth));
+    total_reachable += one.nodes.size();
+    sample.page_accesses += one.page_accesses;
+  }
+  sample.mean_reachable =
+      static_cast<double>(total_reachable) / sources.size();
+  return sample;
+}
+
+Result<ComponentsResult> WeaklyConnectedComponents(AccessMethod* am) {
+  ComponentsResult result;
+  IoStats before = am->DataIoStats();
+
+  // Snapshot the node set up front (PageMap is the in-memory index).
+  std::vector<NodeId> all;
+  all.reserve(am->PageMap().size());
+  for (const auto& [id, page] : am->PageMap()) all.push_back(id);
+  std::sort(all.begin(), all.end());
+
+  std::unordered_set<NodeId> seen;
+  for (NodeId start : all) {
+    if (seen.count(start)) continue;
+    size_t size = 0;
+    std::deque<NodeId> frontier{start};
+    seen.insert(start);
+    while (!frontier.empty()) {
+      NodeId cur = frontier.front();
+      frontier.pop_front();
+      ++size;
+      NodeRecord rec;
+      CCAM_ASSIGN_OR_RETURN(rec, am->Find(cur));
+      for (NodeId nbr : rec.Neighbors()) {
+        if (am->PageMap().count(nbr) && seen.insert(nbr).second) {
+          frontier.push_back(nbr);
+        }
+      }
+    }
+    result.components.emplace_back(start, size);
+  }
+
+  IoStats after = am->DataIoStats();
+  result.page_accesses = (after - before).Accesses();
+  return result;
+}
+
+}  // namespace ccam

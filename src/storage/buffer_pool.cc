@@ -1,0 +1,236 @@
+#include "src/storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace ccam {
+
+const char* ReplacementPolicyName(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "lru";
+    case ReplacementPolicy::kFifo:
+      return "fifo";
+    case ReplacementPolicy::kClock:
+      return "clock";
+  }
+  return "unknown";
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity,
+                       ReplacementPolicy policy)
+    : disk_(disk), capacity_(capacity), policy_(policy) {
+  assert(capacity_ >= 1);
+}
+
+void BufferPool::ForgetResident(PageId id) {
+  auto it = std::find(resident_order_.begin(), resident_order_.end(), id);
+  if (it == resident_order_.end()) return;
+  size_t idx = static_cast<size_t>(it - resident_order_.begin());
+  resident_order_.erase(it);
+  if (clock_hand_ > idx) --clock_hand_;
+  if (!resident_order_.empty()) clock_hand_ %= resident_order_.size();
+}
+
+Status BufferPool::EvictPage(PageId victim) {
+  auto it = frames_.find(victim);
+  assert(it != frames_.end() && it->second.pin_count == 0);
+  if (it->second.dirty) {
+    CCAM_RETURN_NOT_OK(disk_->WritePage(victim, it->second.data.get()));
+  }
+  frames_.erase(it);
+  ForgetResident(victim);
+  return Status::OK();
+}
+
+Status BufferPool::EvictOne() {
+  // Any unpinned frame at all?
+  PageId victim = kInvalidPageId;
+  if (policy_ == ReplacementPolicy::kClock) {
+    // Sweep the residency ring, clearing reference bits; evict the first
+    // unpinned unreferenced frame. Two full sweeps guarantee progress.
+    size_t n = resident_order_.size();
+    for (size_t step = 0; step < 2 * n; ++step) {
+      PageId candidate = resident_order_[clock_hand_];
+      Frame& frame = frames_.at(candidate);
+      if (frame.pin_count == 0) {
+        if (frame.ref_bit) {
+          frame.ref_bit = false;
+        } else {
+          victim = candidate;
+          break;
+        }
+      }
+      clock_hand_ = (clock_hand_ + 1) % n;
+    }
+  } else {
+    uint64_t best = UINT64_MAX;
+    for (PageId id : resident_order_) {
+      const Frame& frame = frames_.at(id);
+      if (frame.pin_count > 0) continue;
+      uint64_t key = policy_ == ReplacementPolicy::kFifo
+                         ? frame.load_seq
+                         : frame.last_use_seq;
+      if (key < best) {
+        best = key;
+        victim = id;
+      }
+    }
+  }
+  if (victim == kInvalidPageId) {
+    return Status::NoSpace("all buffer frames are pinned");
+  }
+  return EvictPage(victim);
+}
+
+Result<char*> BufferPool::FetchPage(PageId id) {
+  ++seq_;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    Frame& frame = it->second;
+    frame.last_use_seq = seq_;
+    frame.ref_bit = true;
+    ++frame.pin_count;
+    return frame.data.get();
+  }
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    CCAM_RETURN_NOT_OK(EvictOne());
+  }
+  Frame frame;
+  frame.data = std::make_unique<char[]>(disk_->page_size());
+  CCAM_RETURN_NOT_OK(disk_->ReadPage(id, frame.data.get()));
+  frame.pin_count = 1;
+  frame.load_seq = seq_;
+  frame.last_use_seq = seq_;
+  frame.ref_bit = true;
+  char* data = frame.data.get();
+  frames_.emplace(id, std::move(frame));
+  resident_order_.push_back(id);
+  return data;
+}
+
+Status BufferPool::UnpinPage(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return Status::InvalidArgument("unpin of unbuffered page " +
+                                   std::to_string(id));
+  }
+  Frame& frame = it->second;
+  if (frame.pin_count <= 0) {
+    return Status::InvalidArgument("unpin of unpinned page " +
+                                   std::to_string(id));
+  }
+  frame.dirty |= dirty;
+  --frame.pin_count;
+  return Status::OK();
+}
+
+Status BufferPool::NewPage(PageId* id, char** data) {
+  ++seq_;
+  if (frames_.size() >= capacity_) {
+    CCAM_RETURN_NOT_OK(EvictOne());
+  }
+  *id = disk_->AllocatePage();
+  Frame frame;
+  frame.data = std::make_unique<char[]>(disk_->page_size());
+  std::memset(frame.data.get(), 0, disk_->page_size());
+  frame.pin_count = 1;
+  frame.dirty = true;  // never materialized on disk yet
+  frame.load_seq = seq_;
+  frame.last_use_seq = seq_;
+  frame.ref_bit = true;
+  *data = frame.data.get();
+  frames_.emplace(*id, std::move(frame));
+  resident_order_.push_back(*id);
+  return Status::OK();
+}
+
+bool BufferPool::Contains(PageId id) const { return frames_.count(id) > 0; }
+
+Status BufferPool::FlushPage(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end() || !it->second.dirty) return Status::OK();
+  CCAM_RETURN_NOT_OK(disk_->WritePage(id, it->second.data.get()));
+  it->second.dirty = false;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      CCAM_RETURN_NOT_OK(disk_->WritePage(id, frame.data.get()));
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Discard(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  assert(it->second.pin_count == 0);
+  frames_.erase(it);
+  ForgetResident(id);
+}
+
+Status BufferPool::Reset() {
+  CCAM_RETURN_NOT_OK(FlushAll());
+  frames_.clear();
+  resident_order_.clear();
+  clock_hand_ = 0;
+  return Status::OK();
+}
+
+int BufferPool::PinCount(PageId id) const {
+  auto it = frames_.find(id);
+  return it == frames_.end() ? 0 : it->second.pin_count;
+}
+
+PageGuard::PageGuard(BufferPool* pool, PageId id) : pool_(pool), id_(id) {
+  auto res = pool->FetchPage(id);
+  if (res.ok()) {
+    data_ = *res;
+  } else {
+    status_ = res.status();
+    pool_ = nullptr;
+  }
+}
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_),
+      id_(other.id_),
+      data_(other.data_),
+      dirty_(other.dirty_),
+      status_(other.status_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    status_ = other.status_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    (void)pool_->UnpinPage(id_, dirty_);
+  }
+  pool_ = nullptr;
+  data_ = nullptr;
+}
+
+}  // namespace ccam

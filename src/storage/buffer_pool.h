@@ -1,0 +1,145 @@
+#ifndef CCAM_STORAGE_BUFFER_POOL_H_
+#define CCAM_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/storage/disk_manager.h"
+
+namespace ccam {
+
+/// Page replacement policy of the buffer pool.
+enum class ReplacementPolicy {
+  /// Least-recently-used (the default; matches the paper's buffering
+  /// discussion).
+  kLru,
+  /// First-in-first-out: eviction order ignores re-references.
+  kFifo,
+  /// CLOCK (second-chance): an approximation of LRU with one reference
+  /// bit per frame, as most real buffer managers implement.
+  kClock,
+};
+
+const char* ReplacementPolicyName(ReplacementPolicy policy);
+
+/// Fixed-capacity buffer pool over a DiskManager. Pages are pinned while
+/// in use; unpinned pages are eviction candidates per the configured
+/// replacement policy (LRU by default). Dirty pages are written back on
+/// eviction or explicit flush.
+///
+/// The paper's experiments assume small data buffers (route evaluation uses
+/// a single one-page buffer); the pool capacity is therefore a first-class
+/// experiment parameter.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity,
+             ReplacementPolicy policy = ReplacementPolicy::kLru);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  size_t NumBuffered() const { return frames_.size(); }
+
+  /// Returns the frame holding page `id`, reading it from disk on a miss,
+  /// and pins it. Fails when every frame is pinned.
+  Result<char*> FetchPage(PageId id);
+
+  /// Releases one pin; `dirty` marks the frame as modified.
+  Status UnpinPage(PageId id, bool dirty);
+
+  /// Allocates a fresh page on disk and installs an empty pinned frame for
+  /// it (no disk read is charged; the caller formats the frame).
+  Status NewPage(PageId* id, char** data);
+
+  /// True if the page currently resides in the pool. Used to implement the
+  /// paper's "check the buffered data-page first" step of
+  /// Get-A-successor()/Get-successors() without incurring I/O.
+  bool Contains(PageId id) const;
+
+  /// Writes the frame back if dirty. No-op for clean or absent pages.
+  Status FlushPage(PageId id);
+
+  /// Flushes every dirty frame.
+  Status FlushAll();
+
+  /// Drops the frame without writing it back (used after FreePage). The
+  /// page must not be pinned.
+  void Discard(PageId id);
+
+  /// Flushes and empties the pool.
+  Status Reset();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetCounters() { hits_ = misses_ = 0; }
+
+  int PinCount(PageId id) const;
+
+ private:
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    int pin_count = 0;
+    bool dirty = false;
+    uint64_t load_seq = 0;      // when the page entered the pool (FIFO)
+    uint64_t last_use_seq = 0;  // last fetch (LRU)
+    bool ref_bit = false;       // referenced since the hand passed (CLOCK)
+  };
+
+  /// Makes room for a new frame by evicting one unpinned page per the
+  /// replacement policy.
+  Status EvictOne();
+  Status EvictPage(PageId victim);
+  /// Removes `id` from the residency order vector.
+  void ForgetResident(PageId id);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  ReplacementPolicy policy_;
+  std::unordered_map<PageId, Frame> frames_;
+  /// Pages in load order (CLOCK sweeps this circularly).
+  std::vector<PageId> resident_order_;
+  size_t clock_hand_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// RAII pin: fetches a page on construction and unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id);
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard();
+
+  bool ok() const { return data_ != nullptr; }
+  const Status& status() const { return status_; }
+  char* data() const { return data_; }
+  PageId id() const { return id_; }
+
+  /// Marks the page dirty so the unpin writes it back eventually.
+  void MarkDirty() { dirty_ = true; }
+
+  /// Unpins immediately (idempotent).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+  Status status_;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,134 @@
+#include "src/storage/disk_manager.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/common/coding.h"
+
+namespace ccam {
+
+DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {}
+
+PageId DiskManager::AllocatePage() {
+  ++stats_.allocs;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    allocated_[id] = true;
+    std::memset(pages_[id].get(), 0, page_size_);
+    return id;
+  }
+  PageId id = static_cast<PageId>(pages_.size());
+  pages_.push_back(std::make_unique<char[]>(page_size_));
+  std::memset(pages_.back().get(), 0, page_size_);
+  allocated_.push_back(true);
+  return id;
+}
+
+Status DiskManager::FreePage(PageId id) {
+  if (id >= pages_.size() || !allocated_[id]) {
+    return Status::InvalidArgument("free of unallocated page " +
+                                   std::to_string(id));
+  }
+  allocated_[id] = false;
+  free_list_.push_back(id);
+  ++stats_.frees;
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) {
+  if (id >= pages_.size() || !allocated_[id]) {
+    return Status::IOError("read of unallocated page " + std::to_string(id));
+  }
+  std::memcpy(out, pages_[id].get(), page_size_);
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* in) {
+  if (id >= pages_.size() || !allocated_[id]) {
+    return Status::IOError("write of unallocated page " + std::to_string(id));
+  }
+  std::memcpy(pages_[id].get(), in, page_size_);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+bool DiskManager::IsAllocated(PageId id) const {
+  return id < pages_.size() && allocated_[id];
+}
+
+size_t DiskManager::NumAllocatedPages() const {
+  return pages_.size() - free_list_.size();
+}
+
+namespace {
+constexpr char kDiskMagic[8] = {'C', 'C', 'A', 'M', 'D', 'I', 'S', 'K'};
+}  // namespace
+
+Status DiskManager::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(kDiskMagic, sizeof(kDiskMagic));
+  char header[8];
+  EncodeFixed32(header, static_cast<uint32_t>(page_size_));
+  EncodeFixed32(header + 4, static_cast<uint32_t>(pages_.size()));
+  out.write(header, sizeof(header));
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    char flag = allocated_[i] ? 1 : 0;
+    out.write(&flag, 1);
+    out.write(pages_[i].get(), static_cast<std::streamsize>(page_size_));
+  }
+  out.flush();
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status DiskManager::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kDiskMagic, sizeof(magic)) != 0) {
+    return Status::Corruption("not a ccam disk image: " + path);
+  }
+  char header[8];
+  in.read(header, sizeof(header));
+  if (!in) return Status::Corruption("truncated image header");
+  uint32_t page_size = DecodeFixed32(header);
+  uint32_t num_pages = DecodeFixed32(header + 4);
+  if (page_size != page_size_) {
+    return Status::InvalidArgument(
+        "image page size " + std::to_string(page_size) +
+        " does not match manager page size " + std::to_string(page_size_));
+  }
+  std::vector<std::unique_ptr<char[]>> pages;
+  std::vector<bool> allocated;
+  std::vector<PageId> free_list;
+  pages.reserve(num_pages);
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    char flag;
+    in.read(&flag, 1);
+    auto buf = std::make_unique<char[]>(page_size_);
+    in.read(buf.get(), static_cast<std::streamsize>(page_size_));
+    if (!in) return Status::Corruption("truncated page data");
+    pages.push_back(std::move(buf));
+    allocated.push_back(flag != 0);
+    if (flag == 0) free_list.push_back(i);
+  }
+  pages_ = std::move(pages);
+  allocated_ = std::move(allocated);
+  free_list_ = std::move(free_list);
+  stats_ = IoStats{};
+  return Status::OK();
+}
+
+std::vector<PageId> DiskManager::AllocatedPageIds() const {
+  std::vector<PageId> out;
+  for (PageId id = 0; id < pages_.size(); ++id) {
+    if (allocated_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace ccam

@@ -1,0 +1,71 @@
+#ifndef CCAM_STORAGE_DISK_MANAGER_H_
+#define CCAM_STORAGE_DISK_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/io_stats.h"
+#include "src/storage/page.h"
+
+namespace ccam {
+
+/// Simulated disk: a growable array of fixed-size pages with exact I/O
+/// accounting. The paper evaluates access methods by the *number of data
+/// page accesses*, which this simulation counts deterministically; latency
+/// is irrelevant to the reproduced results (see DESIGN.md, substitutions).
+class DiskManager {
+ public:
+  explicit DiskManager(size_t page_size);
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  size_t page_size() const { return page_size_; }
+
+  /// Allocates a zeroed page and returns its id. Freed pages are reused.
+  PageId AllocatePage();
+
+  /// Returns a page to the free list. Double-free is an error.
+  Status FreePage(PageId id);
+
+  /// Copies the page contents into `out` (page_size bytes). Counts a read.
+  Status ReadPage(PageId id, char* out);
+
+  /// Overwrites the page from `in` (page_size bytes). Counts a write.
+  Status WritePage(PageId id, const char* in);
+
+  bool IsAllocated(PageId id) const;
+
+  /// Number of live (allocated, not freed) pages.
+  size_t NumAllocatedPages() const;
+
+  /// Ids of all live pages, ascending.
+  std::vector<PageId> AllocatedPageIds() const;
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+  /// Restores a previously captured snapshot — used by diagnostics scans
+  /// that must not perturb experiment counters.
+  void RestoreStats(const IoStats& snapshot) { stats_ = snapshot; }
+
+  /// Writes the whole disk image (page size, allocation bitmap, page
+  /// contents) to a real file. Counts no simulated I/O.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Replaces this disk's contents with a previously saved image. The
+  /// image's page size must match this manager's. Resets the I/O counters.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  size_t page_size_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  std::vector<bool> allocated_;
+  std::vector<PageId> free_list_;
+  IoStats stats_;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_STORAGE_DISK_MANAGER_H_

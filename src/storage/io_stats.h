@@ -1,0 +1,31 @@
+#ifndef CCAM_STORAGE_IO_STATS_H_
+#define CCAM_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace ccam {
+
+/// Page I/O counters. The paper's experiments report the *number of data
+/// page accesses*; these counters are the source of that metric.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+
+  uint64_t Accesses() const { return reads + writes; }
+
+  friend IoStats operator-(const IoStats& a, const IoStats& b) {
+    return {a.reads - b.reads, a.writes - b.writes, a.allocs - b.allocs,
+            a.frees - b.frees};
+  }
+
+  friend bool operator==(const IoStats& a, const IoStats& b) {
+    return a.reads == b.reads && a.writes == b.writes &&
+           a.allocs == b.allocs && a.frees == b.frees;
+  }
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_STORAGE_IO_STATS_H_

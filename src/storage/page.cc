@@ -1,0 +1,214 @@
+#include "src/storage/page.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <string>
+
+#include "src/common/coding.h"
+
+namespace ccam {
+
+void SlottedPage::Initialize(char* data, size_t page_size) {
+  std::memset(data, 0, page_size);
+  EncodeFixed16(data, 0);  // num_slots
+  EncodeFixed16(data + 2, static_cast<uint16_t>(page_size));  // heap_start
+}
+
+uint16_t SlottedPage::heap_start() const { return DecodeFixed16(data_ + 2); }
+
+void SlottedPage::set_heap_start(uint16_t v) { EncodeFixed16(data_ + 2, v); }
+
+int SlottedPage::NumSlots() const { return DecodeFixed16(data_); }
+
+void SlottedPage::set_num_slots(uint16_t v) { EncodeFixed16(data_, v); }
+
+void SlottedPage::GetSlot(int slot, uint16_t* offset, uint16_t* size) const {
+  const char* entry = data_ + kHeaderSize + kSlotOverhead * slot;
+  *offset = DecodeFixed16(entry);
+  *size = DecodeFixed16(entry + 2);
+}
+
+void SlottedPage::SetSlot(int slot, uint16_t offset, uint16_t size) {
+  char* entry = data_ + kHeaderSize + kSlotOverhead * slot;
+  EncodeFixed16(entry, offset);
+  EncodeFixed16(entry + 2, size);
+}
+
+int SlottedPage::NumRecords() const {
+  int live = 0;
+  for (int i = 0; i < NumSlots(); ++i) {
+    uint16_t offset, size;
+    GetSlot(i, &offset, &size);
+    if (offset != 0) ++live;
+  }
+  return live;
+}
+
+std::vector<int> SlottedPage::LiveSlots() const {
+  std::vector<int> out;
+  for (int i = 0; i < NumSlots(); ++i) {
+    uint16_t offset, size;
+    GetSlot(i, &offset, &size);
+    if (offset != 0) out.push_back(i);
+  }
+  return out;
+}
+
+size_t SlottedPage::UsedBytes() const {
+  size_t used = 0;
+  for (int i = 0; i < NumSlots(); ++i) {
+    uint16_t offset, size;
+    GetSlot(i, &offset, &size);
+    if (offset != 0) used += size;
+  }
+  return used;
+}
+
+size_t SlottedPage::ContiguousFree(int extra_slots) const {
+  size_t slots_end = kHeaderSize + kSlotOverhead * (NumSlots() + extra_slots);
+  size_t heap = heap_start();
+  return heap > slots_end ? heap - slots_end : 0;
+}
+
+size_t SlottedPage::FreeSpaceForRecord() const {
+  // An insert can reuse an empty slot; otherwise it needs a new entry.
+  bool has_empty_slot = NumRecords() < NumSlots();
+  size_t slots_bytes =
+      kHeaderSize + kSlotOverhead * (NumSlots() + (has_empty_slot ? 0 : 1));
+  size_t used = UsedBytes();
+  size_t total = slots_bytes + used;
+  return total < page_size_ ? page_size_ - total : 0;
+}
+
+int SlottedPage::InsertRecord(std::string_view record) {
+  if (record.empty() || record.size() > MaxRecordSize(page_size_)) return -1;
+  // Find a reusable slot.
+  int slot = -1;
+  for (int i = 0; i < NumSlots(); ++i) {
+    uint16_t offset, size;
+    GetSlot(i, &offset, &size);
+    if (offset == 0) {
+      slot = i;
+      break;
+    }
+  }
+  int extra_slots = (slot == -1) ? 1 : 0;
+  if (ContiguousFree(extra_slots) < record.size()) {
+    // Total space may still suffice after squeezing out holes.
+    size_t slots_bytes =
+        kHeaderSize + kSlotOverhead * (NumSlots() + extra_slots);
+    if (slots_bytes + UsedBytes() + record.size() > page_size_) return -1;
+    Compact();
+    if (ContiguousFree(extra_slots) < record.size()) return -1;
+  }
+  if (slot == -1) {
+    slot = NumSlots();
+    set_num_slots(static_cast<uint16_t>(slot + 1));
+  }
+  uint16_t new_start = static_cast<uint16_t>(heap_start() - record.size());
+  std::memcpy(data_ + new_start, record.data(), record.size());
+  set_heap_start(new_start);
+  SetSlot(slot, new_start, static_cast<uint16_t>(record.size()));
+  return slot;
+}
+
+Status SlottedPage::DeleteRecord(int slot) {
+  if (slot < 0 || slot >= NumSlots()) {
+    return Status::InvalidArgument("slot out of range");
+  }
+  uint16_t offset, size;
+  GetSlot(slot, &offset, &size);
+  if (offset == 0) return Status::NotFound("slot is empty");
+  SetSlot(slot, 0, 0);
+  // Reclaim heap space immediately when this was the lowest record.
+  if (offset == heap_start()) {
+    uint16_t new_start = static_cast<uint16_t>(page_size_);
+    for (int i = 0; i < NumSlots(); ++i) {
+      uint16_t o, s;
+      GetSlot(i, &o, &s);
+      if (o != 0) new_start = std::min(new_start, o);
+    }
+    set_heap_start(new_start);
+  }
+  // Trim trailing empty slots so the slot array can shrink.
+  int slots = NumSlots();
+  while (slots > 0) {
+    uint16_t o, s;
+    GetSlot(slots - 1, &o, &s);
+    if (o != 0) break;
+    --slots;
+  }
+  set_num_slots(static_cast<uint16_t>(slots));
+  return Status::OK();
+}
+
+Status SlottedPage::UpdateRecord(int slot, std::string_view record) {
+  if (slot < 0 || slot >= NumSlots()) {
+    return Status::InvalidArgument("slot out of range");
+  }
+  uint16_t offset, size;
+  GetSlot(slot, &offset, &size);
+  if (offset == 0) return Status::NotFound("slot is empty");
+  if (record.size() <= size) {
+    // Shrink / equal: rewrite in place (leaves a hole behind the record on
+    // shrink, reclaimed by the next compaction).
+    std::memcpy(data_ + offset, record.data(), record.size());
+    SetSlot(slot, offset, static_cast<uint16_t>(record.size()));
+    return Status::OK();
+  }
+  // Grow: logically remove, compact, then write the (new or, if it does not
+  // fit, the original) value into the freed slot. Clearing via SetSlot keeps
+  // the slot index valid: only DeleteRecord trims the slot array.
+  std::string old(GetRecord(slot));
+  SetSlot(slot, 0, 0);
+  size_t slots_bytes = kHeaderSize + kSlotOverhead * NumSlots();
+  bool fits = slots_bytes + UsedBytes() + record.size() <= page_size_;
+  Compact();
+  std::string_view to_write = fits ? record : std::string_view(old);
+  uint16_t new_start =
+      static_cast<uint16_t>(heap_start() - to_write.size());
+  std::memcpy(data_ + new_start, to_write.data(), to_write.size());
+  set_heap_start(new_start);
+  SetSlot(slot, new_start, static_cast<uint16_t>(to_write.size()));
+  if (!fits) return Status::NoSpace("record does not fit after growth");
+  return Status::OK();
+}
+
+std::string_view SlottedPage::GetRecord(int slot) const {
+  if (slot < 0 || slot >= NumSlots()) return {};
+  uint16_t offset, size;
+  GetSlot(slot, &offset, &size);
+  if (offset == 0) return {};
+  return {data_ + offset, size};
+}
+
+void SlottedPage::Compact() {
+  struct Entry {
+    int slot;
+    uint16_t offset;
+    uint16_t size;
+  };
+  std::vector<Entry> live;
+  for (int i = 0; i < NumSlots(); ++i) {
+    uint16_t offset, size;
+    GetSlot(i, &offset, &size);
+    if (offset != 0) live.push_back({i, offset, size});
+  }
+  // Repack from the end of the page, highest original offset first so that
+  // memmove never overwrites data it still needs.
+  std::sort(live.begin(), live.end(), [](const Entry& a, const Entry& b) {
+    return a.offset > b.offset;
+  });
+  uint16_t cursor = static_cast<uint16_t>(page_size_);
+  for (const Entry& e : live) {
+    cursor = static_cast<uint16_t>(cursor - e.size);
+    if (cursor != e.offset) {
+      std::memmove(data_ + cursor, data_ + e.offset, e.size);
+    }
+    SetSlot(e.slot, cursor, e.size);
+  }
+  set_heap_start(cursor);
+}
+
+}  // namespace ccam

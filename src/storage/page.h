@@ -1,0 +1,92 @@
+#ifndef CCAM_STORAGE_PAGE_H_
+#define CCAM_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ccam {
+
+/// Identifier of a disk page within a DiskManager.
+using PageId = uint32_t;
+
+constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// View over a slotted page holding variable-length records. The page does
+/// not own its buffer; it interprets a `page_size`-byte region (typically a
+/// buffer-pool frame).
+///
+/// Layout:
+///   [0..2)  num_slots   (uint16)
+///   [2..4)  heap_start  (uint16) -- lowest byte offset used by record data
+///   [4..4 + 4*num_slots) slot array: per slot {offset uint16, size uint16};
+///                        offset==0 marks an empty (reusable) slot
+///   [heap_start..page_size) record heap, growing downward
+///
+/// Deleting a record leaves a hole in the heap; the page compacts itself
+/// lazily when an insert does not fit contiguously but total free space
+/// suffices.
+class SlottedPage {
+ public:
+  SlottedPage(char* data, size_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  /// Formats a fresh page (zero slots, empty heap).
+  static void Initialize(char* data, size_t page_size);
+
+  /// Per-record space overhead (one slot array entry).
+  static constexpr size_t kSlotOverhead = 4;
+  static constexpr size_t kHeaderSize = 4;
+
+  /// Largest record that fits on an empty page of `page_size`.
+  static size_t MaxRecordSize(size_t page_size) {
+    return page_size - kHeaderSize - kSlotOverhead;
+  }
+
+  /// Inserts a record; returns the slot number or -1 if it does not fit.
+  int InsertRecord(std::string_view record);
+
+  /// Removes the record in `slot`. Fails if the slot is empty/out of range.
+  Status DeleteRecord(int slot);
+
+  /// Replaces the record in `slot` (the record may move within the page).
+  /// Fails with NoSpace when the new value does not fit.
+  Status UpdateRecord(int slot, std::string_view record);
+
+  /// Returns the record bytes in `slot`, or an empty view if the slot is
+  /// empty or out of range. The view is invalidated by any mutation.
+  std::string_view GetRecord(int slot) const;
+
+  int NumSlots() const;
+  /// Number of live (non-empty) records.
+  int NumRecords() const;
+  std::vector<int> LiveSlots() const;
+
+  /// Total bytes of live record data (excluding slot overhead).
+  size_t UsedBytes() const;
+
+  /// Bytes available for a single new record right now, accounting for the
+  /// slot entry the insert may need and assuming compaction may run.
+  size_t FreeSpaceForRecord() const;
+
+  /// Slides live records together to squeeze out holes.
+  void Compact();
+
+ private:
+  uint16_t heap_start() const;
+  void set_heap_start(uint16_t v);
+  void set_num_slots(uint16_t v);
+  void GetSlot(int slot, uint16_t* offset, uint16_t* size) const;
+  void SetSlot(int slot, uint16_t offset, uint16_t size);
+  /// Contiguous free bytes between the slot array and the heap.
+  size_t ContiguousFree(int extra_slots) const;
+
+  char* data_;
+  size_t page_size_;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_STORAGE_PAGE_H_

@@ -1,0 +1,113 @@
+#include "src/storage/record.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/coding.h"
+
+namespace ccam {
+
+namespace {
+constexpr size_t kFixedHeader = kNodeRecordFixedBytes;
+constexpr size_t kAdjEntrySize = kNodeRecordAdjEntryBytes;
+}  // namespace
+
+NodeRecord NodeRecord::FromNetworkNode(NodeId id, const NetworkNode& node) {
+  NodeRecord rec;
+  rec.id = id;
+  rec.x = node.x;
+  rec.y = node.y;
+  rec.payload = node.payload;
+  rec.succ = node.succ;
+  rec.pred = node.pred;
+  return rec;
+}
+
+size_t NodeRecord::EncodedSize() const {
+  return kFixedHeader + payload.size() +
+         kAdjEntrySize * (succ.size() + pred.size());
+}
+
+std::string NodeRecord::Encode() const {
+  std::string out;
+  out.reserve(EncodedSize());
+  PutFixed32(&out, id);
+  PutDouble(&out, x);
+  PutDouble(&out, y);
+  PutFixed16(&out, static_cast<uint16_t>(payload.size()));
+  PutFixed16(&out, static_cast<uint16_t>(succ.size()));
+  PutFixed16(&out, static_cast<uint16_t>(pred.size()));
+  out.append(payload);
+  for (const AdjEntry& e : succ) {
+    PutFixed32(&out, e.node);
+    PutFloat(&out, e.cost);
+  }
+  for (const AdjEntry& e : pred) {
+    PutFixed32(&out, e.node);
+    PutFloat(&out, e.cost);
+  }
+  return out;
+}
+
+Result<NodeRecord> NodeRecord::Decode(std::string_view bytes) {
+  Decoder dec(bytes.data(), bytes.size());
+  NodeRecord rec;
+  rec.id = dec.GetFixed32();
+  rec.x = dec.GetDouble();
+  rec.y = dec.GetDouble();
+  uint16_t payload_len = dec.GetFixed16();
+  uint16_t n_succ = dec.GetFixed16();
+  uint16_t n_pred = dec.GetFixed16();
+  if (!dec.Ok()) return Status::Corruption("truncated record header");
+  rec.payload.resize(payload_len);
+  dec.GetBytes(rec.payload.data(), payload_len);
+  rec.succ.resize(n_succ);
+  for (uint16_t i = 0; i < n_succ; ++i) {
+    rec.succ[i].node = dec.GetFixed32();
+    rec.succ[i].cost = dec.GetFloat();
+  }
+  rec.pred.resize(n_pred);
+  for (uint16_t i = 0; i < n_pred; ++i) {
+    rec.pred[i].node = dec.GetFixed32();
+    rec.pred[i].cost = dec.GetFloat();
+  }
+  if (!dec.Ok()) return Status::Corruption("truncated record body");
+  return rec;
+}
+
+NodeId NodeRecord::PeekId(std::string_view bytes) {
+  if (bytes.size() < 4) return kInvalidNodeId;
+  return DecodeFixed32(bytes.data());
+}
+
+Result<float> NodeRecord::SuccessorCost(NodeId to) const {
+  for (const AdjEntry& e : succ) {
+    if (e.node == to) return e.cost;
+  }
+  return Status::NotFound("no successor " + std::to_string(to));
+}
+
+bool NodeRecord::HasSuccessor(NodeId to) const {
+  return std::any_of(succ.begin(), succ.end(),
+                     [to](const AdjEntry& e) { return e.node == to; });
+}
+
+bool NodeRecord::HasPredecessor(NodeId from) const {
+  return std::any_of(pred.begin(), pred.end(),
+                     [from](const AdjEntry& e) { return e.node == from; });
+}
+
+std::vector<NodeId> NodeRecord::Neighbors() const {
+  std::set<NodeId> out;
+  for (const AdjEntry& e : succ) out.insert(e.node);
+  for (const AdjEntry& e : pred) out.insert(e.node);
+  return {out.begin(), out.end()};
+}
+
+size_t RecordSizeOf(NodeId id, const NetworkNode& node) {
+  (void)id;
+  return kFixedHeader + node.payload.size() +
+         kAdjEntrySize * (node.succ.size() + node.pred.size());
+}
+
+}  // namespace ccam

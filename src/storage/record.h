@@ -1,0 +1,72 @@
+#ifndef CCAM_STORAGE_RECORD_H_
+#define CCAM_STORAGE_RECORD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/graph/network.h"
+
+namespace ccam {
+
+/// The on-page representation of a network node: node data (coordinates +
+/// attribute payload), the successor-list and the predecessor-list. Records
+/// are variable-size, as the paper notes, because list lengths differ across
+/// nodes.
+///
+/// Encoding (little-endian):
+///   node_id   u32
+///   x, y      f64 each
+///   payload   u16 length + bytes
+///   succ      u16 count + count * {node u32, cost f32}
+///   pred      u16 count + count * {node u32, cost f32}
+/// Fixed bytes of every encoded record (id + coords + three u16 counters).
+constexpr size_t kNodeRecordFixedBytes = 4 + 8 + 8 + 2 + 2 + 2;
+/// Bytes per successor- or predecessor-list entry (node-id + cost).
+constexpr size_t kNodeRecordAdjEntryBytes = 4 + 4;
+
+struct NodeRecord {
+  NodeId id = kInvalidNodeId;
+  double x = 0.0;
+  double y = 0.0;
+  std::string payload;
+  std::vector<AdjEntry> succ;
+  std::vector<AdjEntry> pred;
+
+  /// Builds a record from the logical network node.
+  static NodeRecord FromNetworkNode(NodeId id, const NetworkNode& node);
+
+  /// Size in bytes of the encoded form.
+  size_t EncodedSize() const;
+
+  std::string Encode() const;
+
+  static Result<NodeRecord> Decode(std::string_view bytes);
+
+  /// Decodes only the node-id (the first field) — cheap existence checks.
+  static NodeId PeekId(std::string_view bytes);
+
+  /// Returns the cost of the successor edge to `to`, or NotFound.
+  Result<float> SuccessorCost(NodeId to) const;
+
+  bool HasSuccessor(NodeId to) const;
+  bool HasPredecessor(NodeId from) const;
+
+  /// The neighbor-list: distinct ids appearing in succ or pred.
+  std::vector<NodeId> Neighbors() const;
+
+  friend bool operator==(const NodeRecord& a, const NodeRecord& b) {
+    return a.id == b.id && a.x == b.x && a.y == b.y &&
+           a.payload == b.payload && a.succ == b.succ && a.pred == b.pred;
+  }
+};
+
+/// Encoded size of the record a network node would produce, used as the
+/// node weight during partitioning ("sizeof(record(i))" in the paper's
+/// cluster-nodes-into-pages algorithm).
+size_t RecordSizeOf(NodeId id, const NetworkNode& node);
+
+}  // namespace ccam
+
+#endif  // CCAM_STORAGE_RECORD_H_

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/grid_am.h"
+#include "src/baseline/order_am.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+#include "src/graph/route.h"
+
+namespace ccam {
+namespace {
+
+AccessMethodOptions Opts(size_t page_size) {
+  AccessMethodOptions options;
+  options.page_size = page_size;
+  options.buffer_pool_pages = 8;
+  return options;
+}
+
+TEST(BaselineTest, NamesMatchThePaper) {
+  EXPECT_EQ(OrderAm(Opts(1024), NodeOrderKind::kDfs).Name(), "DFS-AM");
+  EXPECT_EQ(OrderAm(Opts(1024), NodeOrderKind::kBfs).Name(), "BFS-AM");
+  EXPECT_EQ(OrderAm(Opts(1024), NodeOrderKind::kWeightedDfs).Name(),
+            "WDFS-AM");
+  EXPECT_EQ(GridAm(Opts(1024)).Name(), "Grid File");
+  EXPECT_EQ(Ccam(Opts(1024), CcamCreateMode::kStatic).Name(), "CCAM-S");
+  EXPECT_EQ(Ccam(Opts(1024), CcamCreateMode::kIncremental).Name(), "CCAM-D");
+}
+
+TEST(BaselineTest, OrderAmPacksSequentially) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  OrderAm am(Opts(1024), NodeOrderKind::kDfs);
+  ASSERT_TRUE(am.Create(net).ok());
+  EXPECT_EQ(am.PageMap().size(), net.NumNodes());
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  // Pages must be reasonably full (first-fit sequential packing).
+  EXPECT_GT(am.AvgBlockingFactor(), 8.0);
+}
+
+TEST(BaselineTest, GridAmPlacesNeighborsSpatially) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  GridAm am(Opts(1024));
+  ASSERT_TRUE(am.Create(net).ok());
+  EXPECT_EQ(am.PageMap().size(), net.NumNodes());
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  // Spatial proximity correlates with connectivity on road maps, so the
+  // grid file should still achieve a decent CRR (paper Figure 5).
+  double crr = ComputeCrr(net, am.PageMap());
+  EXPECT_GT(crr, 0.25);
+}
+
+/// The paper's headline ordering at 1 KiB pages (Table 5):
+/// CCAM > DFS-AM > Grid File > BFS-AM on CRR.
+TEST(BaselineTest, CrrOrderingMatchesPaper) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+
+  Ccam ccam_s(Opts(1024), CcamCreateMode::kStatic);
+  OrderAm dfs(Opts(1024), NodeOrderKind::kDfs);
+  OrderAm bfs(Opts(1024), NodeOrderKind::kBfs);
+  GridAm grid(Opts(1024));
+  ASSERT_TRUE(ccam_s.Create(net).ok());
+  ASSERT_TRUE(dfs.Create(net).ok());
+  ASSERT_TRUE(bfs.Create(net).ok());
+  ASSERT_TRUE(grid.Create(net).ok());
+
+  double crr_ccam = ComputeCrr(net, ccam_s.PageMap());
+  double crr_dfs = ComputeCrr(net, dfs.PageMap());
+  double crr_bfs = ComputeCrr(net, bfs.PageMap());
+  double crr_grid = ComputeCrr(net, grid.PageMap());
+
+  EXPECT_GT(crr_ccam, crr_dfs);
+  EXPECT_GT(crr_ccam, crr_grid);
+  EXPECT_GT(crr_ccam, crr_bfs);
+  EXPECT_GT(crr_dfs, crr_bfs);
+  EXPECT_GT(crr_grid, crr_bfs);
+  // BFS scatters neighbors across the frontier: very low CRR (paper: 0.098).
+  EXPECT_LT(crr_bfs, 0.35);
+}
+
+TEST(BaselineTest, WdfsBenefitsFromRouteWeights) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  auto routes = GenerateRandomWalkRoutes(net, 100, 20, 3);
+  DeriveEdgeWeightsFromRoutes(&net, routes);
+
+  OrderAm wdfs(Opts(2048), NodeOrderKind::kWeightedDfs);
+  OrderAm bfs(Opts(2048), NodeOrderKind::kBfs);
+  ASSERT_TRUE(wdfs.Create(net).ok());
+  ASSERT_TRUE(bfs.Create(net).ok());
+  // WDFS follows the heavy edges, so its WCRR must clearly beat BFS.
+  EXPECT_GT(ComputeWcrr(net, wdfs.PageMap()),
+            ComputeWcrr(net, bfs.PageMap()));
+}
+
+TEST(BaselineTest, OrderAmInsertAppends) {
+  Network net = GenerateMinneapolisLikeMap(5);
+  OrderAm am(Opts(512), NodeOrderKind::kDfs);
+  ASSERT_TRUE(am.Create(net).ok());
+  size_t pages_before = am.NumDataPages();
+  // Insert several isolated nodes: they pack into the append page(s),
+  // not one page each.
+  for (NodeId id = 90000; id < 90010; ++id) {
+    NodeRecord rec;
+    rec.id = id;
+    rec.x = 1;
+    rec.y = 1;
+    ASSERT_TRUE(am.InsertNode(rec, ReorgPolicy::kFirstOrder).ok());
+  }
+  EXPECT_LE(am.NumDataPages(), pages_before + 2);
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+}
+
+TEST(BaselineTest, GridAmInsertGoesToSpatialBucket) {
+  Network net = GenerateMinneapolisLikeMap(5);
+  GridAm am(Opts(1024));
+  ASSERT_TRUE(am.Create(net).ok());
+  // Insert a node at the position of an existing node: it must land on
+  // that node's page (same bucket) when there is room.
+  const NetworkNode& anchor = net.node(17);
+  NodeRecord rec;
+  rec.id = 91000;
+  rec.x = anchor.x + 0.001;
+  rec.y = anchor.y + 0.001;
+  ASSERT_TRUE(am.InsertNode(rec, ReorgPolicy::kFirstOrder).ok());
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  // Either co-paged with the anchor or the bucket split — in both cases
+  // the file remains consistent and the node findable.
+  EXPECT_TRUE(am.Find(91000).ok());
+}
+
+TEST(BaselineTest, GridAmSurvivesDenseInsertBurst) {
+  Network net = GenerateMinneapolisLikeMap(5);
+  GridAm am(Opts(512));
+  ASSERT_TRUE(am.Create(net).ok());
+  // Hammer one spatial spot with inserts to force repeated bucket splits.
+  for (NodeId id = 92000; id < 92100; ++id) {
+    NodeRecord rec;
+    rec.id = id;
+    rec.x = 500.0 + (id % 10) * 0.5;
+    rec.y = 500.0 + (id % 7) * 0.5;
+    ASSERT_TRUE(am.InsertNode(rec, ReorgPolicy::kFirstOrder).ok()) << id;
+  }
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  for (NodeId id = 92000; id < 92100; ++id) {
+    EXPECT_TRUE(am.Find(id).ok());
+  }
+}
+
+class BlockSizeOrderingTest : public ::testing::TestWithParam<size_t> {};
+
+/// Figure 5's qualitative content, checked per block size.
+TEST_P(BlockSizeOrderingTest, CcamBeatsBaselinesAtEveryBlockSize) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam ccam_s(Opts(GetParam()), CcamCreateMode::kStatic);
+  OrderAm bfs(Opts(GetParam()), NodeOrderKind::kBfs);
+  GridAm grid(Opts(GetParam()));
+  ASSERT_TRUE(ccam_s.Create(net).ok());
+  ASSERT_TRUE(bfs.Create(net).ok());
+  ASSERT_TRUE(grid.Create(net).ok());
+  double crr_ccam = ComputeCrr(net, ccam_s.PageMap());
+  EXPECT_GT(crr_ccam, ComputeCrr(net, bfs.PageMap()));
+  EXPECT_GT(crr_ccam, ComputeCrr(net, grid.PageMap()));
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, BlockSizeOrderingTest,
+                         ::testing::Values(512, 1024, 2048, 4096),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "block" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,209 @@
+#include "src/index/bptree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace ccam {
+namespace {
+
+class BPlusTreeTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  BPlusTreeTest()
+      : disk_(GetParam()), pool_(&disk_, 16), tree_(&disk_, &pool_) {}
+
+  DiskManager disk_;
+  BufferPool pool_;
+  BPlusTree tree_;
+};
+
+TEST_P(BPlusTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_.NumEntries(), 0u);
+  EXPECT_EQ(tree_.Height(), 1);
+  EXPECT_TRUE(tree_.Find(1).status().IsNotFound());
+  EXPECT_FALSE(tree_.Begin().Valid());
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+}
+
+TEST_P(BPlusTreeTest, InsertAndFind) {
+  ASSERT_TRUE(tree_.Insert(5, 50).ok());
+  ASSERT_TRUE(tree_.Insert(3, 30).ok());
+  ASSERT_TRUE(tree_.Insert(8, 80).ok());
+  auto v = tree_.Find(3);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 30u);
+  EXPECT_TRUE(tree_.Find(4).status().IsNotFound());
+  EXPECT_EQ(tree_.NumEntries(), 3u);
+}
+
+TEST_P(BPlusTreeTest, DuplicateInsertRejectedPutOverwrites) {
+  ASSERT_TRUE(tree_.Insert(5, 50).ok());
+  EXPECT_TRUE(tree_.Insert(5, 51).IsAlreadyExists());
+  EXPECT_EQ(*tree_.Find(5), 50u);
+  ASSERT_TRUE(tree_.Put(5, 52).ok());
+  EXPECT_EQ(*tree_.Find(5), 52u);
+  EXPECT_EQ(tree_.NumEntries(), 1u);
+}
+
+TEST_P(BPlusTreeTest, ManyInsertsSplitAndStayOrdered) {
+  const uint64_t n = 2000;
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree_.Insert(k * 7 % n, k * 7 % n + 1).ok()) << k;
+  }
+  EXPECT_EQ(tree_.NumEntries(), n);
+  EXPECT_GT(tree_.Height(), 1);
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  uint64_t expected = 0;
+  for (auto it = tree_.Begin(); it.Valid(); it.Next()) {
+    ASSERT_EQ(it.key(), expected);
+    ASSERT_EQ(it.value(), expected + 1);
+    ++expected;
+  }
+  EXPECT_EQ(expected, n);
+}
+
+TEST_P(BPlusTreeTest, DeleteRebalances) {
+  const uint64_t n = 1500;
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree_.Insert(k, k).ok());
+  }
+  // Delete every third key.
+  for (uint64_t k = 0; k < n; k += 3) {
+    ASSERT_TRUE(tree_.Delete(k).ok()) << k;
+  }
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  for (uint64_t k = 0; k < n; ++k) {
+    if (k % 3 == 0) {
+      EXPECT_TRUE(tree_.Find(k).status().IsNotFound());
+    } else {
+      ASSERT_TRUE(tree_.Find(k).ok()) << k;
+    }
+  }
+}
+
+TEST_P(BPlusTreeTest, DeleteEverythingCollapsesToEmptyRoot) {
+  const uint64_t n = 800;
+  for (uint64_t k = 0; k < n; ++k) ASSERT_TRUE(tree_.Insert(k, k).ok());
+  for (uint64_t k = 0; k < n; ++k) ASSERT_TRUE(tree_.Delete(k).ok()) << k;
+  EXPECT_EQ(tree_.NumEntries(), 0u);
+  EXPECT_EQ(tree_.Height(), 1);
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  EXPECT_TRUE(tree_.Insert(42, 1).ok());  // still usable
+}
+
+TEST_P(BPlusTreeTest, DeleteMissingFails) {
+  ASSERT_TRUE(tree_.Insert(1, 1).ok());
+  EXPECT_TRUE(tree_.Delete(2).IsNotFound());
+  EXPECT_EQ(tree_.NumEntries(), 1u);
+}
+
+TEST_P(BPlusTreeTest, SeekAndRangeScan) {
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree_.Insert(k * 10, k).ok());
+  }
+  auto it = tree_.Seek(95);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 100u);  // smallest key >= 95
+  auto range = tree_.RangeScan(200, 250);
+  ASSERT_EQ(range.size(), 6u);
+  EXPECT_EQ(range.front().first, 200u);
+  EXPECT_EQ(range.back().first, 250u);
+  EXPECT_TRUE(tree_.RangeScan(991, 2000).empty());
+}
+
+TEST_P(BPlusTreeTest, BulkLoadBuildsValidTree) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t k = 0; k < 3000; ++k) entries.emplace_back(k * 2, k);
+  ASSERT_TRUE(tree_.BulkLoad(entries).ok());
+  EXPECT_EQ(tree_.NumEntries(), 3000u);
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  EXPECT_EQ(*tree_.Find(4000), 2000u);
+  EXPECT_TRUE(tree_.Find(4001).status().IsNotFound());
+  // The tree remains fully mutable after a bulk load.
+  ASSERT_TRUE(tree_.Insert(4001, 7).ok());
+  ASSERT_TRUE(tree_.Delete(4000).ok());
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+}
+
+TEST_P(BPlusTreeTest, BulkLoadRejectsUnsortedInput) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries{{5, 1}, {3, 2}};
+  EXPECT_TRUE(tree_.BulkLoad(entries).IsInvalidArgument());
+}
+
+TEST_P(BPlusTreeTest, BulkLoadEmptyYieldsEmptyTree) {
+  ASSERT_TRUE(tree_.Insert(1, 1).ok());
+  ASSERT_TRUE(tree_.BulkLoad({}).ok());
+  EXPECT_EQ(tree_.NumEntries(), 0u);
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+}
+
+TEST_P(BPlusTreeTest, RandomOpsMatchReferenceMap) {
+  Random rng(GetParam());
+  std::map<uint64_t, uint64_t> model;
+  for (int step = 0; step < 6000; ++step) {
+    uint64_t key = rng.Uniform(2000);
+    int op = rng.Uniform(3);
+    if (op == 0) {
+      uint64_t value = rng.Next();
+      Status s = tree_.Insert(key, value);
+      if (model.count(key)) {
+        ASSERT_TRUE(s.IsAlreadyExists());
+      } else {
+        ASSERT_TRUE(s.ok());
+        model[key] = value;
+      }
+    } else if (op == 1) {
+      Status s = tree_.Delete(key);
+      if (model.count(key)) {
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        model.erase(key);
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else {
+      auto res = tree_.Find(key);
+      if (model.count(key)) {
+        ASSERT_TRUE(res.ok());
+        ASSERT_EQ(*res, model[key]);
+      } else {
+        ASSERT_TRUE(res.status().IsNotFound());
+      }
+    }
+    if (step % 500 == 499) {
+      ASSERT_TRUE(tree_.CheckInvariants().ok());
+      ASSERT_EQ(tree_.NumEntries(), model.size());
+    }
+  }
+  // Full final sweep: iteration matches the model exactly.
+  auto it = tree_.Begin();
+  for (const auto& [key, value] : model) {
+    ASSERT_TRUE(it.Valid());
+    ASSERT_EQ(it.key(), key);
+    ASSERT_EQ(it.value(), value);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BPlusTreeTest,
+                         ::testing::Values(256, 512, 1024, 4096),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "page" + std::to_string(info.param);
+                         });
+
+TEST(BPlusTreeIoTest, IndexIoIsCountedOnItsOwnDisk) {
+  DiskManager disk(512);
+  BufferPool pool(&disk, 4);
+  BPlusTree tree(&disk, &pool);
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k).ok());
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_GT(disk.stats().Accesses(), 0u);
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,284 @@
+#include "src/core/ccam.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+AccessMethodOptions DefaultOptions() {
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  options.buffer_pool_pages = 8;
+  options.maintain_bptree_index = true;
+  return options;
+}
+
+/// The paper's Figure 1 example: a small network clustered into pages so
+/// that most edges are unsplit.
+Network Figure1Network() {
+  // Nodes a..i (0..8): three natural clusters {a,b,c}, {d,e,f}, {g,h,i}.
+  Network net;
+  for (NodeId id = 0; id < 9; ++id) {
+    EXPECT_TRUE(
+        net.AddNode(id, (id % 3) * 10.0 + (id / 3) * 30.0, id / 3 * 10.0)
+            .ok());
+  }
+  auto biedge = [&](NodeId u, NodeId v) {
+    EXPECT_TRUE(net.AddBidirectionalEdge(u, v, 1.0f).ok());
+  };
+  biedge(0, 1);
+  biedge(1, 2);
+  biedge(0, 2);  // cluster 1
+  biedge(3, 4);
+  biedge(4, 5);
+  biedge(3, 5);  // cluster 2
+  biedge(6, 7);
+  biedge(7, 8);
+  biedge(6, 8);  // cluster 3
+  biedge(2, 3);  // bridge 1-2
+  biedge(5, 6);  // bridge 2-3
+  return net;
+}
+
+TEST(CcamCreateTest, StaticCreateStoresEveryNode) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam am(DefaultOptions(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  EXPECT_EQ(am.PageMap().size(), net.NumNodes());
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  for (NodeId id : net.NodeIds()) {
+    auto rec = am.Find(id);
+    ASSERT_TRUE(rec.ok()) << id;
+    EXPECT_EQ(rec->id, id);
+    EXPECT_EQ(rec->succ.size(), net.node(id).succ.size());
+    EXPECT_EQ(rec->pred.size(), net.node(id).pred.size());
+    EXPECT_EQ(rec->payload, net.node(id).payload);
+  }
+}
+
+TEST(CcamCreateTest, Figure1ClustersIntoThreeishPages) {
+  Network net = Figure1Network();
+  AccessMethodOptions options = DefaultOptions();
+  options.page_size = 256;  // fits ~3 of these records per page
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  // The three triangles must land on a page each: only the two bridges
+  // (4 directed edges of 22) may be split.
+  double crr = ComputeCrr(net, am.PageMap());
+  EXPECT_DOUBLE_EQ(crr, 18.0 / 22.0);
+  std::set<PageId> pages;
+  for (const auto& [node, page] : am.PageMap()) pages.insert(page);
+  EXPECT_EQ(pages.size(), 3u);
+}
+
+TEST(CcamCreateTest, StaticCrrIsHighOnRoadMap) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam am(DefaultOptions(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  // Paper Table 5: CCAM reaches CRR ~0.76 at 1 KiB pages.
+  double crr = ComputeCrr(net, am.PageMap());
+  EXPECT_GT(crr, 0.60);
+  EXPECT_LT(crr, 0.95);
+}
+
+TEST(CcamCreateTest, IncrementalCreateStoresEveryNode) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam am(DefaultOptions(), CcamCreateMode::kIncremental);
+  ASSERT_TRUE(am.Create(net).ok());
+  EXPECT_EQ(am.PageMap().size(), net.NumNodes());
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  // Records carry complete adjacency lists after the full create.
+  for (NodeId id : net.NodeIds()) {
+    auto rec = am.Find(id);
+    ASSERT_TRUE(rec.ok());
+    ASSERT_EQ(rec->succ.size(), net.node(id).succ.size()) << id;
+  }
+}
+
+TEST(CcamCreateTest, IncrementalCrrCloseToStatic) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam s(DefaultOptions(), CcamCreateMode::kStatic);
+  Ccam d(DefaultOptions(), CcamCreateMode::kIncremental);
+  ASSERT_TRUE(s.Create(net).ok());
+  ASSERT_TRUE(d.Create(net).ok());
+  double crr_s = ComputeCrr(net, s.PageMap());
+  double crr_d = ComputeCrr(net, d.PageMap());
+  EXPECT_GE(crr_s, crr_d - 0.02);  // paper: CCAM-S consistently best
+  EXPECT_GT(crr_d, 0.45);          // CCAM-D still performs well
+}
+
+TEST(CcamCreateTest, DoubleCreateRejected) {
+  Network net = Figure1Network();
+  Ccam am(DefaultOptions(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  EXPECT_FALSE(am.Create(net).ok());
+}
+
+TEST(CcamCreateTest, WeightedCreateFavorsHeavyEdges) {
+  // Two triangles joined by a heavy bridge; a page holds ~4 records. With
+  // WCRR clustering the heavy bridge must be unsplit.
+  Network net;
+  for (NodeId id = 0; id < 8; ++id) {
+    ASSERT_TRUE(net.AddNode(id, id * 10.0, 0.0).ok());
+  }
+  for (NodeId id = 0; id + 1 < 8; ++id) {
+    ASSERT_TRUE(net.AddBidirectionalEdge(id, id + 1, 1.0f).ok());
+  }
+  // Heavy access weight on the middle edge (3,4).
+  net.SetEdgeWeight(3, 4, 500.0);
+  net.SetEdgeWeight(4, 3, 500.0);
+
+  AccessMethodOptions options = DefaultOptions();
+  options.page_size = 256;
+  options.use_access_weights = true;
+  Ccam weighted(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(weighted.Create(net).ok());
+  const NodePageMap& map = weighted.PageMap();
+  EXPECT_EQ(map.at(3), map.at(4));  // heavy edge co-paged
+  EXPECT_GT(ComputeWcrr(net, map), 0.9);
+}
+
+TEST(CcamSearchTest, FindCostsOnePageRead) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam am(DefaultOptions(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  ASSERT_TRUE(am.buffer_pool()->Reset().ok());
+  am.ResetIoStats();
+  ASSERT_TRUE(am.Find(10).ok());
+  EXPECT_EQ(am.DataIoStats().reads, 1u);
+  EXPECT_EQ(am.DataIoStats().writes, 0u);
+  // Second find of the same node: buffered, no I/O.
+  ASSERT_TRUE(am.Find(10).ok());
+  EXPECT_EQ(am.DataIoStats().reads, 1u);
+}
+
+TEST(CcamSearchTest, FindMissingNode) {
+  Network net = Figure1Network();
+  Ccam am(DefaultOptions(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  EXPECT_TRUE(am.Find(999).status().IsNotFound());
+}
+
+TEST(CcamSearchTest, GetASuccessorUsesBuffer) {
+  Network net = Figure1Network();
+  AccessMethodOptions options = DefaultOptions();
+  options.page_size = 256;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  ASSERT_TRUE(am.buffer_pool()->Reset().ok());
+  // Nodes 0,1,2 share a page: after Find(0), Get-A-successor(0,1) is free.
+  ASSERT_TRUE(am.Find(0).ok());
+  am.ResetIoStats();
+  auto rec = am.GetASuccessor(0, 1);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->id, 1u);
+  EXPECT_EQ(am.DataIoStats().Accesses(), 0u);
+  // Crossing to the third cluster costs a read.
+  auto far_rec = am.Find(7);
+  ASSERT_TRUE(far_rec.ok());
+  EXPECT_EQ(am.DataIoStats().reads, 1u);
+}
+
+TEST(CcamSearchTest, GetSuccessorsReturnsAllInOrder) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam am(DefaultOptions(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  for (NodeId id : {0u, 100u, 500u}) {
+    auto succ = am.GetSuccessors(id);
+    ASSERT_TRUE(succ.ok());
+    const NetworkNode& node = net.node(id);
+    ASSERT_EQ(succ->size(), node.succ.size());
+    for (size_t i = 0; i < succ->size(); ++i) {
+      EXPECT_EQ((*succ)[i].id, node.succ[i].node);
+    }
+  }
+}
+
+TEST(CcamSearchTest, GetSuccessorsIoMatchesCostModelShape) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam am(DefaultOptions(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  double crr = ComputeCrr(net, am.PageMap());
+
+  uint64_t total_io = 0;
+  size_t total_succ = 0;
+  int measured = 0;
+  for (NodeId id = 0; id < net.NumNodes(); id += 2) {
+    ASSERT_TRUE(am.buffer_pool()->Reset().ok());
+    ASSERT_TRUE(am.Find(id).ok());  // bring page of id into memory
+    am.ResetIoStats();
+    auto succ = am.GetSuccessors(id);
+    ASSERT_TRUE(succ.ok());
+    total_io += am.DataIoStats().Accesses();
+    total_succ += succ->size();
+    ++measured;
+  }
+  double actual = static_cast<double>(total_io) / measured;
+  double predicted =
+      (1.0 - crr) * (static_cast<double>(total_succ) / measured);
+  // Cold buffers per op: actual should track (1-alpha)*|A| closely.
+  EXPECT_NEAR(actual, predicted, predicted * 0.35 + 0.05);
+}
+
+TEST(CcamIndexTest, BPlusTreeIndexStaysConsistent) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam am(DefaultOptions(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  ASSERT_NE(am.bptree_index(), nullptr);
+  EXPECT_EQ(am.bptree_index()->NumEntries(), net.NumNodes());
+  ASSERT_NE(am.IndexIoStats(), nullptr);
+  // Index I/O is tracked separately from data I/O.
+  am.ResetIoStats();
+  ASSERT_TRUE(am.Find(3).ok());
+  EXPECT_LE(am.DataIoStats().Accesses(), 1u);
+}
+
+TEST(CcamIndexTest, IndexOptional) {
+  AccessMethodOptions options = DefaultOptions();
+  options.maintain_bptree_index = false;
+  Network net = Figure1Network();
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  EXPECT_EQ(am.bptree_index(), nullptr);
+  EXPECT_EQ(am.IndexIoStats(), nullptr);
+  ASSERT_TRUE(am.Find(0).ok());
+}
+
+TEST(CcamStatsTest, BlockingFactorMatchesPaperBallpark) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam am(DefaultOptions(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  // Paper Table 5: gamma = 12.55 at 1 KiB. Within packing tolerance.
+  EXPECT_GT(am.AvgBlockingFactor(), 8.0);
+  EXPECT_LT(am.AvgBlockingFactor(), 14.0);
+}
+
+class CcamBlockSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CcamBlockSizeTest, CrrGrowsWithBlockSize) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  AccessMethodOptions options = DefaultOptions();
+  options.page_size = GetParam();
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  double crr = ComputeCrr(net, am.PageMap());
+  EXPECT_GT(crr, 0.0);
+  EXPECT_LE(crr, 1.0);
+  // Spot-check monotonic trend endpoints (512 -> weaker, 4096 -> stronger).
+  if (GetParam() == 512) EXPECT_LT(crr, 0.85);
+  if (GetParam() == 4096) EXPECT_GT(crr, 0.80);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, CcamBlockSizeTest,
+                         ::testing::Values(512, 1024, 2048, 4096),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "block" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ccam

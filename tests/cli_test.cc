@@ -1,0 +1,141 @@
+// End-to-end tests of the ccam_cli binary: generate -> create -> stats ->
+// find -> route -> window -> replay, checking exit codes and key output
+// fragments. The binary path is injected by CMake (CCAM_CLI_PATH).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace ccam {
+namespace {
+
+#ifndef CCAM_CLI_PATH
+#error "CCAM_CLI_PATH must be defined by the build"
+#endif
+
+struct CommandResult {
+  int exit_code;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& args) {
+  std::string cmd = std::string(CCAM_CLI_PATH) + " " + args + " 2>&1";
+  std::array<char, 512> buf;
+  std::string output;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    output += buf.data();
+  }
+  int status = pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = ::testing::TempDir() + "/cli_test.net";
+    img_ = ::testing::TempDir() + "/cli_test.img";
+    trace_ = ::testing::TempDir() + "/cli_test.trace";
+    auto gen = RunCli("generate --out " + net_ + " --rows 8 --cols 8 --seed 3");
+    ASSERT_EQ(gen.exit_code, 0) << gen.output;
+    auto create = RunCli("create --net " + net_ + " --image " + img_ +
+                      " --page-size 512");
+    ASSERT_EQ(create.exit_code, 0) << create.output;
+  }
+
+  void TearDown() override {
+    std::remove(net_.c_str());
+    std::remove(img_.c_str());
+    std::remove(trace_.c_str());
+  }
+
+  std::string Common() const {
+    return "--net " + net_ + " --image " + img_ + " --page-size 512";
+  }
+
+  std::string net_, img_, trace_;
+};
+
+TEST_F(CliTest, GenerateReportsCounts) {
+  auto res = RunCli("generate --out " + net_ + " --rows 5 --cols 4 --seed 9");
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("nodes"), std::string::npos);
+}
+
+TEST_F(CliTest, CreateReportsCrr) {
+  auto res =
+      RunCli("create --net " + net_ + " --image " + img_ + " --page-size 512");
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("CCAM-S"), std::string::npos);
+  EXPECT_NE(res.output.find("CRR"), std::string::npos);
+}
+
+TEST_F(CliTest, CreateIncrementalAndPartitionerFlags) {
+  auto res = RunCli("create --net " + net_ + " --image " + img_ +
+                 " --page-size 512 --mode incremental --partitioner fm");
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("CCAM-D"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsShowsFileReport) {
+  auto res = RunCli("stats " + Common());
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("CRR"), std::string::npos);
+  EXPECT_NE(res.output.find("gamma"), std::string::npos);
+}
+
+TEST_F(CliTest, FindPrintsAdjacency) {
+  auto res = RunCli("find " + Common() + " --id 5");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("node 5"), std::string::npos);
+  EXPECT_NE(res.output.find("successors:"), std::string::npos);
+}
+
+TEST_F(CliTest, FindMissingNodeFails) {
+  auto res = RunCli("find " + Common() + " --id 99999");
+  EXPECT_NE(res.exit_code, 0);
+  EXPECT_NE(res.output.find("NotFound"), std::string::npos);
+}
+
+TEST_F(CliTest, RoutePrintsPath) {
+  auto res = RunCli("route " + Common() + " --from 0 --to 10");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("path:"), std::string::npos);
+}
+
+TEST_F(CliTest, WindowListsNodes) {
+  auto res =
+      RunCli("window " + Common() + " --xmin 0 --ymin 0 --xmax 900 --ymax 900");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("nodes in window"), std::string::npos);
+}
+
+TEST_F(CliTest, ReplayRunsTrace) {
+  FILE* f = fopen(trace_.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("find 1\nget-successors 2\ninsert-node 500 5 5\ndelete-node 500\n",
+        f);
+  fclose(f);
+  auto res = RunCli("replay " + Common() + " --trace " + trace_ +
+                 " --policy second-order");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("4 operations"), std::string::npos);
+}
+
+TEST_F(CliTest, UsageOnBadCommand) {
+  auto res = RunCli("frobnicate");
+  EXPECT_EQ(res.exit_code, 2);
+  EXPECT_NE(res.output.find("usage"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingRequiredFlagFails) {
+  auto res = RunCli("create --net " + net_);
+  EXPECT_EQ(res.exit_code, 2);
+  EXPECT_NE(res.output.find("--image"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,101 @@
+#include "src/common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ccam {
+namespace {
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  char buf[2];
+  for (uint32_t v : {0u, 1u, 255u, 256u, 65535u}) {
+    EncodeFixed16(buf, static_cast<uint16_t>(v));
+    EXPECT_EQ(DecodeFixed16(buf), v);
+  }
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  char buf[4];
+  for (uint32_t v : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0x01020304u}) {
+    EncodeFixed32(buf, v);
+    EXPECT_EQ(DecodeFixed32(buf), v);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  char buf[8];
+  for (uint64_t v :
+       {uint64_t{0}, uint64_t{1}, uint64_t{0xdeadbeefcafebabeULL},
+        std::numeric_limits<uint64_t>::max()}) {
+    EncodeFixed64(buf, v);
+    EXPECT_EQ(DecodeFixed64(buf), v);
+  }
+}
+
+TEST(CodingTest, LittleEndianLayout) {
+  char buf[4];
+  EncodeFixed32(buf, 0x01020304u);
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(buf[1]), 0x03);
+  EXPECT_EQ(static_cast<unsigned char>(buf[2]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0x01);
+}
+
+TEST(CodingTest, FloatRoundTrip) {
+  char buf[4];
+  for (float v : {0.0f, -1.5f, 3.14159f, 1e30f, -1e-30f}) {
+    EncodeFloat(buf, v);
+    EXPECT_EQ(DecodeFloat(buf), v);
+  }
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  char buf[8];
+  for (double v : {0.0, -1.5, 3.141592653589793, 1e300, -1e-300}) {
+    EncodeDouble(buf, v);
+    EXPECT_EQ(DecodeDouble(buf), v);
+  }
+}
+
+TEST(CodingTest, PutAppends) {
+  std::string s;
+  PutFixed16(&s, 7);
+  PutFixed32(&s, 9);
+  PutFixed64(&s, 11);
+  PutFloat(&s, 2.5f);
+  PutDouble(&s, -4.5);
+  EXPECT_EQ(s.size(), 2u + 4 + 8 + 4 + 8);
+
+  Decoder dec(s.data(), s.size());
+  EXPECT_EQ(dec.GetFixed16(), 7);
+  EXPECT_EQ(dec.GetFixed32(), 9u);
+  EXPECT_EQ(dec.GetFixed64(), 11u);
+  EXPECT_EQ(dec.GetFloat(), 2.5f);
+  EXPECT_EQ(dec.GetDouble(), -4.5);
+  EXPECT_TRUE(dec.Ok());
+  EXPECT_EQ(dec.Remaining(), 0u);
+}
+
+TEST(CodingTest, DecoderDetectsOverrun) {
+  std::string s;
+  PutFixed16(&s, 7);
+  Decoder dec(s.data(), s.size());
+  EXPECT_EQ(dec.GetFixed16(), 7);
+  EXPECT_EQ(dec.GetFixed32(), 0u);  // overrun: returns 0, marks failed
+  EXPECT_FALSE(dec.Ok());
+}
+
+TEST(CodingTest, DecoderGetBytes) {
+  std::string s = "abcdef";
+  Decoder dec(s.data(), s.size());
+  char out[4] = {0};
+  dec.GetBytes(out, 4);
+  EXPECT_TRUE(dec.Ok());
+  EXPECT_EQ(std::string(out, 4), "abcd");
+  dec.GetBytes(out, 4);  // only 2 left
+  EXPECT_FALSE(dec.Ok());
+}
+
+}  // namespace
+}  // namespace ccam

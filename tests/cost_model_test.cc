@@ -1,0 +1,84 @@
+#include "src/core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+CostModelParams PaperParams() {
+  // Table 5's CCAM row: alpha = 0.7606, |A| = 2.833, lambda = 3.20,
+  // gamma = 12.55.
+  return {0.7606, 2.833, 3.20, 12.55};
+}
+
+TEST(CostModelTest, Table3FormulasReproducePaperPredictions) {
+  CostModelParams p = PaperParams();
+  EXPECT_NEAR(PredictedGetSuccessorsCost(p), 0.680, 0.005);
+  EXPECT_NEAR(PredictedGetASuccessorCost(p), 0.239, 0.001);
+}
+
+TEST(CostModelTest, Table5DeletePrediction) {
+  CostModelParams p = PaperParams();
+  // Predicted Delete() accesses (reads + writes) = 3.532 in Table 5.
+  EXPECT_NEAR(PredictedDeleteAccesses(p, ReorgPolicy::kFirstOrder), 3.532,
+              0.01);
+}
+
+TEST(CostModelTest, RouteEvaluationFormula) {
+  CostModelParams p = PaperParams();
+  EXPECT_DOUBLE_EQ(PredictedRouteEvaluationCost(p, 1), 1.0);
+  EXPECT_NEAR(PredictedRouteEvaluationCost(p, 10), 1 + 9 * (1 - 0.7606),
+              1e-12);
+  EXPECT_DOUBLE_EQ(PredictedRouteEvaluationCost(p, 0), 0.0);
+  // Longer routes cost more; higher alpha costs less.
+  EXPECT_GT(PredictedRouteEvaluationCost(p, 40),
+            PredictedRouteEvaluationCost(p, 10));
+  CostModelParams better = p;
+  better.alpha = 0.9;
+  EXPECT_LT(PredictedRouteEvaluationCost(better, 40),
+            PredictedRouteEvaluationCost(p, 40));
+}
+
+TEST(CostModelTest, Table4PolicyStructure) {
+  CostModelParams p = PaperParams();
+  // First and second order have identical worst-case read cost.
+  EXPECT_DOUBLE_EQ(PredictedInsertReadCost(p, ReorgPolicy::kFirstOrder),
+                   PredictedInsertReadCost(p, ReorgPolicy::kSecondOrder));
+  EXPECT_DOUBLE_EQ(PredictedDeleteReadCost(p, ReorgPolicy::kFirstOrder),
+                   PredictedDeleteReadCost(p, ReorgPolicy::kSecondOrder));
+  // Higher order pays the gamma * lambda * (1 - alpha) surcharge.
+  EXPECT_GT(PredictedInsertReadCost(p, ReorgPolicy::kHigherOrder),
+            PredictedInsertReadCost(p, ReorgPolicy::kFirstOrder));
+  EXPECT_NEAR(PredictedInsertReadCost(p, ReorgPolicy::kHigherOrder),
+              3.20 + 12.55 * 3.20 * (1 - 0.7606), 1e-6);
+}
+
+TEST(CostModelTest, CostDecreasesWithCrr) {
+  // "With a higher CRR, the cost of these operations is lower."
+  CostModelParams lo{0.3, 2.8, 3.2, 12.0};
+  CostModelParams hi{0.8, 2.8, 3.2, 12.0};
+  EXPECT_GT(PredictedGetSuccessorsCost(lo), PredictedGetSuccessorsCost(hi));
+  EXPECT_GT(PredictedGetASuccessorCost(lo), PredictedGetASuccessorCost(hi));
+  EXPECT_GT(PredictedDeleteReadCost(lo, ReorgPolicy::kFirstOrder),
+            PredictedDeleteReadCost(hi, ReorgPolicy::kFirstOrder));
+}
+
+TEST(CostModelTest, MeasureParamsFromLiveAccessMethod) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  CostModelParams p = MeasureCostModelParams(net, am);
+  EXPECT_DOUBLE_EQ(p.alpha, ComputeCrr(net, am.PageMap()));
+  EXPECT_NEAR(p.avg_succ, 2.83, 0.3);
+  EXPECT_NEAR(p.lambda, 3.2, 0.4);
+  EXPECT_GT(p.gamma, 8.0);
+  EXPECT_LT(p.gamma, 14.0);
+}
+
+}  // namespace
+}  // namespace ccam

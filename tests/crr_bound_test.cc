@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+#include "src/storage/page.h"
+
+namespace ccam {
+namespace {
+
+TEST(CrrUpperBoundTest, BoundsAchievedCrrAcrossBlockSizes) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  for (size_t page_size : {512u, 1024u, 2048u, 4096u}) {
+    AccessMethodOptions options;
+    options.page_size = page_size;
+    Ccam am(options, CcamCreateMode::kStatic);
+    ASSERT_TRUE(am.Create(net).ok());
+    double achieved = ComputeCrr(net, am.PageMap());
+    double bound = CrrUpperBound(net, page_size - SlottedPage::kHeaderSize,
+                                 SlottedPage::kSlotOverhead);
+    EXPECT_LE(achieved, bound + 1e-12) << "page " << page_size;
+    EXPECT_LE(bound, 1.0);
+  }
+}
+
+TEST(CrrUpperBoundTest, HugePagesAllowPerfectCrr) {
+  Network net = GenerateMinneapolisLikeMap(3);
+  EXPECT_DOUBLE_EQ(CrrUpperBound(net, 1u << 24), 1.0);
+}
+
+TEST(CrrUpperBoundTest, TinyPagesForceSplits) {
+  // Pages holding ~2 records: each node can keep at most 1 neighbor, so
+  // CRR can never exceed (sum min(deg,1)) / E — far below 1 on a grid.
+  Network net = GenerateMinneapolisLikeMap(3);
+  double bound = CrrUpperBound(net, 200);
+  EXPECT_LT(bound, 0.75);
+  EXPECT_GT(bound, 0.0);
+}
+
+TEST(CrrUpperBoundTest, EmptyAndEdgelessNetworks) {
+  Network empty;
+  EXPECT_DOUBLE_EQ(CrrUpperBound(empty, 1024), 1.0);
+  Network isolated;
+  ASSERT_TRUE(isolated.AddNode(1, 0, 0).ok());
+  EXPECT_DOUBLE_EQ(CrrUpperBound(isolated, 1024), 1.0);
+}
+
+TEST(CrrUpperBoundTest, MonotoneInPageCapacity) {
+  Network net = GenerateMinneapolisLikeMap(9);
+  double prev = 0.0;
+  for (size_t capacity : {256u, 512u, 1024u, 2048u, 4096u}) {
+    double bound = CrrUpperBound(net, capacity);
+    EXPECT_GE(bound, prev - 1e-12);
+    prev = bound;
+  }
+}
+
+TEST(ReorganizeAllTest, RestoresCrrAfterChurn) {
+  Network net = GenerateMinneapolisLikeMap(404);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  double initial = ComputeCrr(net, am.PageMap());
+
+  // Degrade the clustering: delete/reinsert many nodes under first-order.
+  Network mirror = net;
+  Random rng(8);
+  std::vector<NodeId> ids = net.NodeIds();
+  rng.Shuffle(&ids);
+  for (size_t i = 0; i < 250; ++i) {
+    auto rec = am.Find(ids[i]);
+    ASSERT_TRUE(rec.ok());
+    ASSERT_TRUE(am.DeleteNode(ids[i], ReorgPolicy::kFirstOrder).ok());
+    ASSERT_TRUE(am.InsertNode(*rec, ReorgPolicy::kFirstOrder).ok());
+  }
+  double degraded = ComputeCrr(net, am.PageMap());
+
+  ASSERT_TRUE(am.ReorganizeAll().ok());
+  double restored = ComputeCrr(net, am.PageMap());
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  EXPECT_GT(restored, degraded);
+  EXPECT_GT(restored, initial - 0.05);  // near-create quality
+  // All records still intact.
+  EXPECT_EQ(am.PageMap().size(), net.NumNodes());
+  for (NodeId probe : {0u, 500u, 1000u}) {
+    EXPECT_TRUE(am.Find(probe).ok());
+  }
+}
+
+TEST(ReorganizeAllTest, CountsAsStructuralAndCostsIo) {
+  Network net = GenerateMinneapolisLikeMap(5);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  am.ResetIoStats();
+  ASSERT_TRUE(am.ReorganizeAll().ok());
+  EXPECT_TRUE(am.LastOpChangedStructure());
+  // Full pass: roughly read+write every page.
+  EXPECT_GE(am.DataIoStats().Accesses(), am.NumDataPages());
+}
+
+}  // namespace
+}  // namespace ccam

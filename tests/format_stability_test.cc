@@ -1,0 +1,130 @@
+// Golden-bytes tests pinning the on-disk formats. Disk images are only as
+// durable as the encodings; if any of these fail, a format change broke
+// compatibility with existing images and must bump/convert instead.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "src/common/coding.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+#include "src/index/zorder.h"
+#include "src/storage/page.h"
+#include "src/storage/record.h"
+
+namespace ccam {
+namespace {
+
+std::string ToHex(const std::string& bytes) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+TEST(FormatStabilityTest, NodeRecordGoldenBytes) {
+  NodeRecord rec;
+  rec.id = 0x01020304;
+  rec.x = 1.0;   // IEEE-754: 0x3ff0000000000000
+  rec.y = -2.0;  // IEEE-754: 0xc000000000000000
+  rec.payload = "AB";
+  rec.succ = {{7, 0.5f}};   // 0.5f = 0x3f000000
+  rec.pred = {{9, 2.0f}};   // 2.0f = 0x40000000
+
+  EXPECT_EQ(ToHex(rec.Encode()),
+            // id (LE)
+            "04030201"
+            // x, y (LE doubles)
+            "000000000000f03f"
+            "00000000000000c0"
+            // payload_len, n_succ, n_pred (LE u16)
+            "0200"
+            "0100"
+            "0100"
+            // payload
+            "4142"
+            // succ {7, 0.5f}
+            "07000000" "0000003f"
+            // pred {9, 2.0f}
+            "09000000" "00000040");
+}
+
+TEST(FormatStabilityTest, FixedIntEncodingsAreLittleEndian) {
+  std::string s;
+  PutFixed16(&s, 0x1122);
+  PutFixed32(&s, 0x33445566);
+  PutFixed64(&s, 0x778899aabbccddeeULL);
+  EXPECT_EQ(ToHex(s), "2211" "66554433" "eeddccbbaa998877");
+}
+
+TEST(FormatStabilityTest, SlottedPageHeaderLayout) {
+  char buf[128];
+  SlottedPage::Initialize(buf, sizeof(buf));
+  SlottedPage page(buf, sizeof(buf));
+  int slot = page.InsertRecord("xyz");
+  ASSERT_EQ(slot, 0);
+  // Header: num_slots = 1, heap_start = 128 - 3 = 125 (0x7d).
+  EXPECT_EQ(ToHex(std::string(buf, 4)), "0100" "7d00");
+  // Slot 0 entry at offset 4: {offset = 125, size = 3}.
+  EXPECT_EQ(ToHex(std::string(buf + 4, 4)), "7d00" "0300");
+  // Record bytes at the heap start.
+  EXPECT_EQ(std::string(buf + 125, 3), "xyz");
+}
+
+TEST(FormatStabilityTest, ZOrderCodesAreStable) {
+  // These values are baked into every saved spatial index.
+  EXPECT_EQ(ZOrderEncode(0x0000ffff, 0x00000000), 0x0000000055555555ULL);
+  EXPECT_EQ(ZOrderEncode(0x00000000, 0x0000ffff), 0x00000000aaaaaaaaULL);
+  EXPECT_EQ(ZOrderEncode(0xffffffff, 0xffffffff), 0xffffffffffffffffULL);
+  EXPECT_EQ(ZOrderFromPoint(0.0, 0.0, 0.0, 1.0), 0u);
+}
+
+TEST(FormatStabilityTest, ImageRoundTripAcrossInstancesIsExact) {
+  // A saved image must byte-stably describe the same logical file: save,
+  // load, re-save — the two images must be identical.
+  Network net = GenerateMinneapolisLikeMap(21);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  std::string path_a = ::testing::TempDir() + "/fmt_a.img";
+  std::string path_b = ::testing::TempDir() + "/fmt_b.img";
+  {
+    Ccam am(options, CcamCreateMode::kStatic);
+    ASSERT_TRUE(am.Create(net).ok());
+    ASSERT_TRUE(am.SaveImage(path_a).ok());
+  }
+  {
+    Ccam am(options, CcamCreateMode::kStatic);
+    ASSERT_TRUE(am.OpenImage(path_a).ok());
+    ASSERT_TRUE(am.SaveImage(path_b).ok());
+  }
+  std::ifstream a(path_a, std::ios::binary), b(path_b, std::ios::binary);
+  std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                      std::istreambuf_iterator<char>());
+  std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(FormatStabilityTest, OversizedAddNodeRejected) {
+  AccessMethodOptions options;
+  options.page_size = 512;
+  Ccam am(options, CcamCreateMode::kIncremental);
+  Network empty;
+  ASSERT_TRUE(am.Create(empty).ok());
+  NodeRecord rec;
+  rec.id = 1;
+  rec.payload = std::string(1000, 'p');  // larger than the page
+  EXPECT_TRUE(am.AddNode(rec, ReorgPolicy::kFirstOrder).IsNoSpace());
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,135 @@
+#include "src/graph/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/index/zorder.h"
+
+namespace ccam {
+namespace {
+
+TEST(GeneratorTest, MinneapolisLikeMapMatchesPaperStatistics) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  // Paper: 1079 nodes, 3057 directed edges, |A| = 2.833, lambda = 3.20.
+  EXPECT_EQ(net.NumNodes(), 1079u);
+  EXPECT_NEAR(static_cast<double>(net.NumEdges()), 3057.0, 3057.0 * 0.08);
+  EXPECT_NEAR(net.AvgOutDegree(), 2.833, 0.25);
+  EXPECT_NEAR(net.AvgNeighborListSize(), 3.20, 0.35);
+}
+
+TEST(GeneratorTest, MapIsWeaklyConnected) {
+  Network net = GenerateMinneapolisLikeMap(7);
+  EXPECT_TRUE(net.IsWeaklyConnected());
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  Network a = GenerateMinneapolisLikeMap(3);
+  Network b = GenerateMinneapolisLikeMap(3);
+  EXPECT_EQ(a.NumNodes(), b.NumNodes());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  auto ea = a.Edges();
+  auto eb = b.Edges();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].from, eb[i].from);
+    EXPECT_EQ(ea[i].to, eb[i].to);
+    EXPECT_EQ(ea[i].cost, eb[i].cost);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentMaps) {
+  Network a = GenerateMinneapolisLikeMap(1);
+  Network b = GenerateMinneapolisLikeMap(2);
+  EXPECT_NE(a.NumEdges(), b.NumEdges());
+}
+
+TEST(GeneratorTest, NodeIdsAreDenseFromZero) {
+  Network net = GenerateMinneapolisLikeMap(5);
+  std::vector<NodeId> ids = net.NodeIds();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<NodeId>(i));
+  }
+}
+
+TEST(GeneratorTest, NodeIdsFollowZOrder) {
+  Network net = GenerateMinneapolisLikeMap(5);
+  // Compute the coordinate bounds, then verify ids ascend with Z-code.
+  double min_c = 1e300, max_c = -1e300;
+  for (NodeId id : net.NodeIds()) {
+    const NetworkNode& n = net.node(id);
+    min_c = std::min({min_c, n.x, n.y});
+    max_c = std::max({max_c, n.x, n.y});
+  }
+  uint64_t prev = 0;
+  bool first = true;
+  for (NodeId id : net.NodeIds()) {
+    const NetworkNode& n = net.node(id);
+    uint64_t code = ZOrderFromPoint(n.x, n.y, min_c, max_c);
+    if (!first) {
+      EXPECT_GE(code, prev) << "node " << id;
+    }
+    prev = code;
+    first = false;
+  }
+}
+
+TEST(GeneratorTest, EdgeCostsArePositiveAndDistanceLike) {
+  Network net = GenerateMinneapolisLikeMap(5);
+  RoadMapOptions options;  // defaults used by the Minneapolis map
+  double max_plausible = options.spacing * (1.0 + 2 * options.jitter) *
+                         (1.0 + options.cost_spread) * 1.6;
+  for (const auto& e : net.Edges()) {
+    EXPECT_GT(e.cost, 0.0f);
+    const NetworkNode& u = net.node(e.from);
+    const NetworkNode& v = net.node(e.to);
+    double dist = std::hypot(u.x - v.x, u.y - v.y);
+    // Connectivity-patch edges can span farther; regular streets cannot.
+    if (dist < options.spacing * 1.8) {
+      EXPECT_LT(e.cost, max_plausible);
+    }
+  }
+}
+
+TEST(GeneratorTest, PayloadBytesRespected) {
+  RoadMapOptions options;
+  options.rows = 5;
+  options.cols = 5;
+  options.nodes_to_remove = 0;
+  options.payload_bytes = 24;
+  Network net = GenerateRoadMap(options);
+  for (NodeId id : net.NodeIds()) {
+    EXPECT_EQ(net.node(id).payload.size(), 24u);
+  }
+}
+
+TEST(GeneratorTest, SmallGridHasExpectedShape) {
+  RoadMapOptions options;
+  options.rows = 4;
+  options.cols = 6;
+  options.nodes_to_remove = 0;
+  options.street_keep_prob = 1.0;
+  options.oneway_fraction = 0.0;
+  Network net = GenerateRoadMap(options);
+  EXPECT_EQ(net.NumNodes(), 24u);
+  // Full bidirectional grid: 2 * (r*(c-1) + c*(r-1)) directed edges.
+  EXPECT_EQ(net.NumEdges(), 2u * (4 * 5 + 6 * 3));
+}
+
+TEST(GeneratorTest, RandomGeometricNetworkConnectsClosePairs) {
+  Network net = GenerateRandomGeometricNetwork(100, 200.0, 1000.0, 11);
+  EXPECT_EQ(net.NumNodes(), 100u);
+  EXPECT_TRUE(net.IsWeaklyConnected());
+  for (const auto& e : net.Edges()) {
+    const NetworkNode& u = net.node(e.from);
+    const NetworkNode& v = net.node(e.to);
+    double dist = std::hypot(u.x - v.x, u.y - v.y);
+    // All but the connectivity patches respect the radius.
+    EXPECT_LT(dist, 1500.0);
+    EXPECT_NEAR(e.cost, dist, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/graph/graph_io.h"
+#include "src/graph/network.h"
+#include "src/storage/buffer_pool.h"
+
+namespace ccam {
+namespace {
+
+/// Verifies the Network's core structural invariant: (u,v) is in u's
+/// successor-list exactly when u is in v's predecessor-list, with matching
+/// costs, and NumEdges() equals the list totals.
+void CheckAdjacencyInvariant(const Network& net) {
+  size_t succ_total = 0, pred_total = 0;
+  for (NodeId id : net.NodeIds()) {
+    const NetworkNode& n = net.node(id);
+    succ_total += n.succ.size();
+    pred_total += n.pred.size();
+    for (const AdjEntry& e : n.succ) {
+      ASSERT_TRUE(net.HasNode(e.node)) << "dangling successor";
+      const NetworkNode& other = net.node(e.node);
+      auto it = std::find_if(
+          other.pred.begin(), other.pred.end(),
+          [id](const AdjEntry& p) { return p.node == id; });
+      ASSERT_NE(it, other.pred.end()) << "missing back-link";
+      ASSERT_EQ(it->cost, e.cost) << "cost mismatch across lists";
+    }
+  }
+  ASSERT_EQ(succ_total, net.NumEdges());
+  ASSERT_EQ(pred_total, net.NumEdges());
+}
+
+TEST(GraphFuzzTest, RandomMutationsPreserveInvariants) {
+  Random rng(99);
+  Network net;
+  NodeId next_id = 0;
+  for (int step = 0; step < 4000; ++step) {
+    int op = rng.Uniform(5);
+    std::vector<NodeId> ids = net.NodeIds();
+    if (op == 0 || ids.size() < 2) {  // add node
+      ASSERT_TRUE(net.AddNode(next_id++, rng.NextDouble() * 100,
+                              rng.NextDouble() * 100)
+                      .ok());
+    } else if (op == 1) {  // add edge
+      NodeId u = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+      NodeId v = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+      Status s = net.AddEdge(u, v, 1.0f + static_cast<float>(u % 7));
+      if (u == v) {
+        ASSERT_TRUE(s.IsInvalidArgument());
+      } else if (net.HasEdge(u, v)) {
+        ASSERT_TRUE(s.ok() || s.IsAlreadyExists());
+      }
+    } else if (op == 2) {  // remove edge (maybe absent)
+      NodeId u = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+      NodeId v = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+      bool had = net.HasEdge(u, v);
+      Status s = net.RemoveEdge(u, v);
+      ASSERT_EQ(s.ok(), had);
+    } else if (op == 3 && ids.size() > 3) {  // remove node
+      NodeId u = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+      ASSERT_TRUE(net.RemoveNode(u).ok());
+    } else if (!ids.empty()) {  // weight churn
+      NodeId u = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+      const NetworkNode& n = net.node(u);
+      if (!n.succ.empty()) {
+        net.SetEdgeWeight(u, n.succ[0].node, rng.NextDouble() * 10);
+      }
+    }
+    if (step % 400 == 399) CheckAdjacencyInvariant(net);
+  }
+  CheckAdjacencyInvariant(net);
+}
+
+TEST(GraphFuzzTest, RandomNetworksRoundTripThroughText) {
+  Random rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Network net;
+    int n = 2 + rng.Uniform(40);
+    for (int i = 0; i < n; ++i) {
+      std::string payload(rng.Uniform(16), static_cast<char>(rng.Next()));
+      ASSERT_TRUE(net.AddNode(i, rng.NextDouble() * 1e4 - 5e3,
+                              rng.NextDouble() * 1e4 - 5e3, payload)
+                      .ok());
+    }
+    int edges = rng.Uniform(static_cast<uint32_t>(n * 3));
+    for (int e = 0; e < edges; ++e) {
+      NodeId u = rng.Uniform(n), v = rng.Uniform(n);
+      if (u == v) continue;
+      if (net.AddEdge(u, v, static_cast<float>(rng.NextDouble() * 100))
+              .ok() &&
+          rng.Bernoulli(0.5)) {
+        net.SetEdgeWeight(u, v, rng.NextDouble() * 50);
+      }
+    }
+    auto loaded = NetworkFromString(NetworkToString(net));
+    ASSERT_TRUE(loaded.ok()) << trial;
+    ASSERT_EQ(loaded->NumNodes(), net.NumNodes());
+    ASSERT_EQ(loaded->NumEdges(), net.NumEdges());
+    for (const auto& e : net.Edges()) {
+      ASSERT_TRUE(loaded->HasEdge(e.from, e.to));
+      ASSERT_EQ(loaded->EdgeWeight(e.from, e.to),
+                net.EdgeWeight(e.from, e.to));
+    }
+    CheckAdjacencyInvariant(*loaded);
+  }
+}
+
+/// LRU differential test: BufferPool hit/miss pattern against a reference
+/// LRU model over a random access trace.
+TEST(BufferPoolFuzzTest, LruMatchesReferenceModel) {
+  DiskManager disk(64);
+  const size_t kCapacity = 5;
+  BufferPool pool(&disk, kCapacity);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 20; ++i) {
+    PageId id;
+    char* data;
+    ASSERT_TRUE(pool.NewPage(&id, &data).ok());
+    ASSERT_TRUE(pool.UnpinPage(id, true).ok());
+    pages.push_back(id);
+  }
+  ASSERT_TRUE(pool.Reset().ok());
+
+  // Reference LRU: vector ordered most-recent-last.
+  std::vector<PageId> lru_model;
+  Random rng(31);
+  for (int step = 0; step < 5000; ++step) {
+    PageId pick = pages[rng.Uniform(static_cast<uint32_t>(pages.size()))];
+    bool expect_hit =
+        std::find(lru_model.begin(), lru_model.end(), pick) !=
+        lru_model.end();
+    uint64_t hits = pool.hits();
+    auto res = pool.FetchPage(pick);
+    ASSERT_TRUE(res.ok());
+    ASSERT_TRUE(pool.UnpinPage(pick, false).ok());
+    bool was_hit = pool.hits() > hits;
+    ASSERT_EQ(was_hit, expect_hit) << "step " << step;
+    // Update the model.
+    lru_model.erase(std::remove(lru_model.begin(), lru_model.end(), pick),
+                    lru_model.end());
+    lru_model.push_back(pick);
+    if (lru_model.size() > kCapacity) lru_model.erase(lru_model.begin());
+  }
+}
+
+}  // namespace
+}  // namespace ccam

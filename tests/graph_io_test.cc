@@ -1,0 +1,110 @@
+#include "src/graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+Network SampleNet() {
+  Network net;
+  EXPECT_TRUE(net.AddNode(1, 0.5, 1.5, "ab").ok());
+  EXPECT_TRUE(net.AddNode(2, -3.25, 4.0).ok());
+  EXPECT_TRUE(net.AddEdge(1, 2, 2.5f).ok());
+  net.SetEdgeWeight(1, 2, 7.0);
+  return net;
+}
+
+void ExpectNetworksEqual(const Network& a, const Network& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId id : a.NodeIds()) {
+    ASSERT_TRUE(b.HasNode(id));
+    EXPECT_EQ(a.node(id).x, b.node(id).x);
+    EXPECT_EQ(a.node(id).y, b.node(id).y);
+    EXPECT_EQ(a.node(id).payload, b.node(id).payload);
+  }
+  auto ea = a.Edges();
+  auto eb = b.Edges();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].from, eb[i].from);
+    EXPECT_EQ(ea[i].to, eb[i].to);
+    EXPECT_EQ(ea[i].cost, eb[i].cost);
+    EXPECT_EQ(a.EdgeWeight(ea[i].from, ea[i].to),
+              b.EdgeWeight(eb[i].from, eb[i].to));
+  }
+}
+
+TEST(GraphIoTest, StringRoundTrip) {
+  Network net = SampleNet();
+  auto loaded = NetworkFromString(NetworkToString(net));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectNetworksEqual(net, *loaded);
+}
+
+TEST(GraphIoTest, FullMapRoundTrip) {
+  Network net = GenerateMinneapolisLikeMap(123);
+  auto loaded = NetworkFromString(NetworkToString(net));
+  ASSERT_TRUE(loaded.ok());
+  ExpectNetworksEqual(net, *loaded);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Network net = SampleNet();
+  std::string path = ::testing::TempDir() + "/ccam_net_test.txt";
+  ASSERT_TRUE(SaveNetwork(net, path).ok());
+  auto loaded = LoadNetwork(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectNetworksEqual(net, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  auto loaded = NetworkFromString(
+      "# header\n"
+      "\n"
+      "n 1 0 0\n"
+      "# middle\n"
+      "n 2 1 1\n"
+      "e 1 2 3.5\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->NumNodes(), 2u);
+  EXPECT_EQ(loaded->NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, WeightlessEdgesDefaultToOne) {
+  auto loaded = NetworkFromString("n 1 0 0\nn 2 1 1\ne 1 2 3.5\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->EdgeWeight(1, 2), 1.0);
+}
+
+TEST(GraphIoTest, BadInputRejected) {
+  EXPECT_FALSE(NetworkFromString("x 1 2 3\n").ok());       // unknown tag
+  EXPECT_FALSE(NetworkFromString("n 1\n").ok());           // short node
+  EXPECT_FALSE(NetworkFromString("e 1 2 3\n").ok());       // missing nodes
+  EXPECT_FALSE(NetworkFromString("n 1 0 0 zz\n").ok());    // bad hex
+  EXPECT_FALSE(NetworkFromString("n 1 0 0 abc\n").ok());   // odd hex
+  EXPECT_FALSE(
+      NetworkFromString("n 1 0 0\nn 1 0 0\n").ok());       // dup node
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_TRUE(LoadNetwork("/nonexistent/really/not/here").status().IsIOError());
+}
+
+TEST(GraphIoTest, BinaryPayloadSurvivesHexEncoding) {
+  Network net;
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  ASSERT_TRUE(net.AddNode(1, 0, 0, payload).ok());
+  auto loaded = NetworkFromString(NetworkToString(net));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->node(1).payload, payload);
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,184 @@
+#include "src/index/grid_file.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "src/common/random.h"
+
+namespace ccam {
+namespace {
+
+class GridFileTest : public ::testing::Test {
+ protected:
+  GridFileTest() : disk_(256), pool_(&disk_, 8), grid_(&disk_, &pool_) {}
+
+  DiskManager disk_;
+  BufferPool pool_;
+  GridFile grid_;
+};
+
+TEST_F(GridFileTest, EmptyGrid) {
+  EXPECT_EQ(grid_.NumEntries(), 0u);
+  EXPECT_EQ(grid_.NumBuckets(), 1u);
+  auto res = grid_.Search(1.0, 2.0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->empty());
+  EXPECT_TRUE(grid_.CheckInvariants().ok());
+}
+
+TEST_F(GridFileTest, InsertAndSearch) {
+  ASSERT_TRUE(grid_.Insert(1.0, 2.0, 42).ok());
+  ASSERT_TRUE(grid_.Insert(1.0, 2.0, 43).ok());  // same point, new value
+  ASSERT_TRUE(grid_.Insert(5.0, 5.0, 44).ok());
+  auto res = grid_.Search(1.0, 2.0);
+  ASSERT_TRUE(res.ok());
+  std::set<uint64_t> values(res->begin(), res->end());
+  EXPECT_EQ(values, (std::set<uint64_t>{42, 43}));
+  EXPECT_EQ(grid_.NumEntries(), 3u);
+}
+
+TEST_F(GridFileTest, ExactDuplicateRejected) {
+  ASSERT_TRUE(grid_.Insert(1.0, 2.0, 42).ok());
+  EXPECT_TRUE(grid_.Insert(1.0, 2.0, 42).IsAlreadyExists());
+}
+
+TEST_F(GridFileTest, NonFiniteCoordinatesRejected) {
+  EXPECT_TRUE(grid_.Insert(std::nan(""), 0.0, 1).IsInvalidArgument());
+  EXPECT_TRUE(
+      grid_.Insert(std::numeric_limits<double>::infinity(), 0.0, 1)
+          .IsInvalidArgument());
+}
+
+TEST_F(GridFileTest, DeleteRemovesExactEntry) {
+  ASSERT_TRUE(grid_.Insert(1.0, 2.0, 42).ok());
+  ASSERT_TRUE(grid_.Insert(1.0, 2.0, 43).ok());
+  ASSERT_TRUE(grid_.Delete(1.0, 2.0, 42).ok());
+  EXPECT_TRUE(grid_.Delete(1.0, 2.0, 42).IsNotFound());
+  auto res = grid_.Search(1.0, 2.0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(*res, std::vector<uint64_t>{43});
+  EXPECT_EQ(grid_.NumEntries(), 1u);
+}
+
+TEST_F(GridFileTest, OverflowSplitsBuckets) {
+  // 256-byte pages hold ~10 of the 24-byte entries; 200 inserts force many
+  // splits and directory refinements.
+  Random rng(3);
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(grid_
+                    .Insert(rng.NextDouble() * 1000.0,
+                            rng.NextDouble() * 1000.0, i)
+                    .ok())
+        << i;
+  }
+  EXPECT_GT(grid_.NumBuckets(), 10u);
+  EXPECT_EQ(grid_.NumEntries(), 200u);
+  ASSERT_TRUE(grid_.CheckInvariants().ok());
+}
+
+TEST_F(GridFileTest, EverythingFindableAfterSplits) {
+  Random rng(5);
+  std::vector<GridFile::Entry> inserted;
+  for (uint64_t i = 0; i < 300; ++i) {
+    double x = rng.NextDouble() * 100.0;
+    double y = rng.NextDouble() * 100.0;
+    ASSERT_TRUE(grid_.Insert(x, y, i).ok());
+    inserted.push_back({x, y, i});
+  }
+  for (const auto& e : inserted) {
+    auto res = grid_.Search(e.x, e.y);
+    ASSERT_TRUE(res.ok());
+    EXPECT_NE(std::find(res->begin(), res->end(), e.value), res->end());
+  }
+}
+
+TEST_F(GridFileTest, RangeQueryMatchesBruteForce) {
+  Random rng(7);
+  std::vector<GridFile::Entry> inserted;
+  for (uint64_t i = 0; i < 250; ++i) {
+    double x = rng.NextDouble() * 100.0;
+    double y = rng.NextDouble() * 100.0;
+    ASSERT_TRUE(grid_.Insert(x, y, i).ok());
+    inserted.push_back({x, y, i});
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    double xmin = rng.NextDouble() * 80.0;
+    double ymin = rng.NextDouble() * 80.0;
+    double xmax = xmin + rng.NextDouble() * 30.0;
+    double ymax = ymin + rng.NextDouble() * 30.0;
+    auto res = grid_.RangeQuery(xmin, ymin, xmax, ymax);
+    ASSERT_TRUE(res.ok());
+    std::set<uint64_t> got;
+    for (const auto& e : *res) got.insert(e.value);
+    std::set<uint64_t> expected;
+    for (const auto& e : inserted) {
+      if (e.x >= xmin && e.x <= xmax && e.y >= ymin && e.y <= ymax) {
+        expected.insert(e.value);
+      }
+    }
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST_F(GridFileTest, InvertedRangeRejected) {
+  EXPECT_TRUE(grid_.RangeQuery(10, 0, 0, 10).status().IsInvalidArgument());
+}
+
+TEST_F(GridFileTest, BucketOfIsStableForPoints) {
+  ASSERT_TRUE(grid_.Insert(1.0, 1.0, 1).ok());
+  PageId bucket = grid_.BucketOf(1.0, 1.0);
+  auto res = grid_.Search(1.0, 1.0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->size(), 1u);
+  EXPECT_EQ(grid_.BucketOf(1.0, 1.0), bucket);
+}
+
+TEST_F(GridFileTest, ClusteredInsertsStillSplit) {
+  // Clustered points around two hot spots — the grid must separate them.
+  Random rng(11);
+  for (uint64_t i = 0; i < 150; ++i) {
+    double cx = (i % 2 == 0) ? 10.0 : 90.0;
+    ASSERT_TRUE(grid_
+                    .Insert(cx + rng.NextDouble(), cx + rng.NextDouble(), i)
+                    .ok());
+  }
+  EXPECT_EQ(grid_.NumEntries(), 150u);
+  ASSERT_TRUE(grid_.CheckInvariants().ok());
+}
+
+TEST_F(GridFileTest, AllEntriesAtOnePointEventuallyFails) {
+  // A page holds ~10 entries; duplicates of a single point cannot be split.
+  Status last = Status::OK();
+  for (uint64_t i = 0; i < 50 && last.ok(); ++i) {
+    last = grid_.Insert(5.0, 5.0, i);
+  }
+  EXPECT_TRUE(last.IsNoSpace());
+  ASSERT_TRUE(grid_.CheckInvariants().ok());
+}
+
+TEST_F(GridFileTest, DeleteThenReinsertKeepsStructureValid) {
+  Random rng(13);
+  std::vector<GridFile::Entry> entries;
+  for (uint64_t i = 0; i < 120; ++i) {
+    double x = rng.NextDouble() * 50.0, y = rng.NextDouble() * 50.0;
+    ASSERT_TRUE(grid_.Insert(x, y, i).ok());
+    entries.push_back({x, y, i});
+  }
+  for (size_t i = 0; i < entries.size(); i += 2) {
+    ASSERT_TRUE(grid_.Delete(entries[i].x, entries[i].y, entries[i].value).ok());
+  }
+  ASSERT_TRUE(grid_.CheckInvariants().ok());
+  for (size_t i = 0; i < entries.size(); i += 2) {
+    ASSERT_TRUE(
+        grid_.Insert(entries[i].x, entries[i].y, entries[i].value).ok());
+  }
+  EXPECT_EQ(grid_.NumEntries(), 120u);
+  ASSERT_TRUE(grid_.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace ccam

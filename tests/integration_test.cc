@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/baseline/grid_am.h"
+#include "src/baseline/order_am.h"
+#include "src/common/random.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+#include "src/query/route_eval.h"
+
+namespace ccam {
+namespace {
+
+/// Long randomized maintenance workload, executed simultaneously against
+/// the paged access method and an in-memory Network mirror; the two must
+/// agree at every checkpoint. This is the strongest whole-system property
+/// test in the suite.
+class WorkloadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadTest, RandomWorkloadMatchesInMemoryMirror) {
+  Network net = GenerateMinneapolisLikeMap(100 + GetParam());
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  options.buffer_pool_pages = 8;
+  options.maintain_bptree_index = true;
+
+  std::unique_ptr<NetworkFile> am;
+  ReorgPolicy policy = ReorgPolicy::kFirstOrder;
+  switch (GetParam()) {
+    case 0:
+      am = std::make_unique<Ccam>(options, CcamCreateMode::kStatic);
+      policy = ReorgPolicy::kSecondOrder;
+      break;
+    case 1:
+      am = std::make_unique<Ccam>(options, CcamCreateMode::kIncremental);
+      policy = ReorgPolicy::kHigherOrder;
+      break;
+    case 2:
+      am = std::make_unique<OrderAm>(options, NodeOrderKind::kDfs);
+      break;
+    case 3:
+      am = std::make_unique<GridAm>(options);
+      break;
+  }
+  ASSERT_TRUE(am->Create(net).ok());
+
+  Network mirror = net;
+  Random rng(4242 + GetParam());
+  NodeId next_new_id = 100000;
+  std::vector<NodeId> removed_pool;
+
+  auto any_node = [&](const Network& n) {
+    std::vector<NodeId> ids = n.NodeIds();
+    return ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+  };
+
+  const int kSteps = 400;
+  for (int step = 0; step < kSteps; ++step) {
+    int op = rng.Uniform(6);
+    if (op == 0) {  // delete a random node
+      NodeId victim = any_node(mirror);
+      ASSERT_TRUE(am->DeleteNode(victim, policy).ok()) << victim;
+      ASSERT_TRUE(mirror.RemoveNode(victim).ok());
+    } else if (op == 1) {  // insert a brand-new node wired to 2 anchors
+      NodeId id = next_new_id++;
+      NodeId a = any_node(mirror), b = any_node(mirror);
+      NodeRecord rec;
+      rec.id = id;
+      rec.x = rng.NextDouble() * 3000;
+      rec.y = rng.NextDouble() * 3000;
+      rec.payload = "w";
+      rec.succ.push_back({a, 1.0f});
+      if (b != a) rec.pred.push_back({b, 2.0f});
+      ASSERT_TRUE(am->InsertNode(rec, policy).ok());
+      ASSERT_TRUE(mirror.AddNode(id, rec.x, rec.y, rec.payload).ok());
+      ASSERT_TRUE(mirror.AddEdge(id, a, 1.0f).ok());
+      if (b != a) ASSERT_TRUE(mirror.AddEdge(b, id, 2.0f).ok());
+    } else if (op == 2) {  // insert a random edge
+      NodeId u = any_node(mirror), v = any_node(mirror);
+      if (u == v || mirror.HasEdge(u, v)) continue;
+      float cost = static_cast<float>(1.0 + rng.NextDouble() * 10);
+      ASSERT_TRUE(am->InsertEdge(u, v, cost, policy).ok());
+      ASSERT_TRUE(mirror.AddEdge(u, v, cost).ok());
+    } else if (op == 3) {  // delete a random existing edge
+      auto edges = mirror.Edges();
+      if (edges.empty()) continue;
+      const auto& e = edges[rng.Uniform(static_cast<uint32_t>(edges.size()))];
+      ASSERT_TRUE(am->DeleteEdge(e.from, e.to, policy).ok());
+      ASSERT_TRUE(mirror.RemoveEdge(e.from, e.to).ok());
+    } else {  // probe: Find + GetSuccessors on a random node
+      NodeId probe = any_node(mirror);
+      auto rec = am->Find(probe);
+      ASSERT_TRUE(rec.ok()) << probe;
+      const NetworkNode& mnode = mirror.node(probe);
+      ASSERT_EQ(rec->succ.size(), mnode.succ.size()) << probe;
+      ASSERT_EQ(rec->pred.size(), mnode.pred.size()) << probe;
+      auto succ = am->GetSuccessors(probe);
+      ASSERT_TRUE(succ.ok());
+      ASSERT_EQ(succ->size(), mnode.succ.size());
+    }
+
+    if (step % 100 == 99) {
+      ASSERT_TRUE(am->CheckFileInvariants().ok()) << "step " << step;
+      ASSERT_EQ(am->PageMap().size(), mirror.NumNodes());
+    }
+  }
+
+  // Final deep comparison: every record matches the mirror as a set.
+  ASSERT_TRUE(am->CheckFileInvariants().ok());
+  for (NodeId id : mirror.NodeIds()) {
+    auto rec = am->Find(id);
+    ASSERT_TRUE(rec.ok()) << id;
+    auto sort_adj = [](std::vector<AdjEntry> list) {
+      std::sort(list.begin(), list.end(),
+                [](const AdjEntry& a, const AdjEntry& b) {
+                  return a.node < b.node;
+                });
+      return list;
+    };
+    EXPECT_EQ(sort_adj(rec->succ), sort_adj(mirror.node(id).succ)) << id;
+    EXPECT_EQ(sort_adj(rec->pred), sort_adj(mirror.node(id).pred)) << id;
+  }
+  // CRR is still meaningful after heavy churn.
+  double crr = ComputeCrr(mirror, am->PageMap());
+  EXPECT_GE(crr, 0.0);
+  EXPECT_LE(crr, 1.0);
+}
+
+std::string WorkloadName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0:
+      return "CcamS";
+    case 1:
+      return "CcamD";
+    case 2:
+      return "DfsAm";
+    default:
+      return "GridAm";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ams, WorkloadTest, ::testing::Values(0, 1, 2, 3),
+                         WorkloadName);
+
+TEST(EndToEndTest, RouteEvalImprovesWithCcamOverBfs) {
+  // The headline end-to-end claim: identical queries, identical network,
+  // fewer data page accesses under connectivity clustering.
+  Network net = GenerateMinneapolisLikeMap(1995);
+  auto routes = GenerateRandomWalkRoutes(net, 100, 30, 17);
+
+  AccessMethodOptions options;
+  options.page_size = 2048;
+  options.buffer_pool_pages = 1;  // the paper's one-page buffer
+
+  Ccam ccam_s(options, CcamCreateMode::kStatic);
+  OrderAm bfs(options, NodeOrderKind::kBfs);
+  ASSERT_TRUE(ccam_s.Create(net).ok());
+  ASSERT_TRUE(bfs.Create(net).ok());
+
+  auto mean_io = [&](AccessMethod* am) {
+    uint64_t total = 0;
+    for (const Route& r : routes) {
+      EXPECT_TRUE(am->buffer_pool()->Reset().ok());
+      auto res = EvaluateRoute(am, r);
+      EXPECT_TRUE(res.ok());
+      total += res->page_accesses;
+    }
+    return static_cast<double>(total) / routes.size();
+  };
+  double io_ccam = mean_io(&ccam_s);
+  double io_bfs = mean_io(&bfs);
+  EXPECT_LT(io_ccam, io_bfs * 0.6);
+}
+
+}  // namespace
+}  // namespace ccam

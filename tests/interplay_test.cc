@@ -1,0 +1,190 @@
+// Cross-feature interplay: the features added on top of the paper's core
+// (persistence, lazy reorganization, bulk insert, spatial engine,
+// replacement policies) composed with each other and with the query layer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/common/random.h"
+#include "src/core/ccam.h"
+#include "src/core/file_stats.h"
+#include "src/graph/generator.h"
+#include "src/graph/route.h"
+#include "src/query/route_eval.h"
+#include "src/query/search.h"
+#include "src/query/spatial.h"
+#include "src/query/traversal.h"
+
+namespace ccam {
+namespace {
+
+AccessMethodOptions Opts() {
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  options.buffer_pool_pages = 8;
+  options.maintain_bptree_index = true;
+  return options;
+}
+
+TEST(InterplayTest, QueriesWorkOnReopenedImage) {
+  Network net = GenerateMinneapolisLikeMap(12);
+  std::string path = ::testing::TempDir() + "/interplay_image.bin";
+  {
+    Ccam am(Opts(), CcamCreateMode::kStatic);
+    ASSERT_TRUE(am.Create(net).ok());
+    ASSERT_TRUE(am.SaveImage(path).ok());
+  }
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.OpenImage(path).ok());
+
+  // Route evaluation.
+  auto routes = GenerateRandomWalkRoutes(net, 5, 10, 2);
+  for (const Route& r : routes) {
+    ASSERT_TRUE(EvaluateRoute(&am, r).ok());
+  }
+  // Shortest path.
+  auto sp = ShortestPathDijkstra(&am, 0, 500);
+  ASSERT_TRUE(sp.ok());
+  EXPECT_TRUE(sp->Found());
+  // Traversal.
+  auto reach = ReachableFrom(&am, 0, 6);
+  ASSERT_TRUE(reach.ok());
+  EXPECT_GT(reach->nodes.size(), 10u);
+  // Spatial engine built over the reopened file.
+  auto engine = SpatialQueryEngine::Build(&am);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->NumIndexedNodes(), net.NumNodes());
+  auto window = (*engine)->WindowQuery(0, 0, 800, 800);
+  ASSERT_TRUE(window.ok());
+  EXPECT_GT(window->records.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(InterplayTest, LazyReorgSurvivesImageCycle) {
+  Network net = GenerateMinneapolisLikeMap(13);
+  std::string path = ::testing::TempDir() + "/interplay_lazy.bin";
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  am.EnableLazyReorganization(4);
+  auto edges = net.Edges();
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        am.DeleteEdge(edges[i * 5].from, edges[i * 5].to,
+                      ReorgPolicy::kFirstOrder)
+            .ok());
+  }
+  ASSERT_TRUE(am.SaveImage(path).ok());
+
+  Ccam reopened(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(reopened.OpenImage(path).ok());
+  reopened.EnableLazyReorganization(4);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(reopened
+                    .InsertEdge(edges[i * 5].from, edges[i * 5].to,
+                                edges[i * 5].cost, ReorgPolicy::kFirstOrder)
+                    .ok());
+  }
+  ASSERT_TRUE(reopened.CheckFileInvariants().ok());
+  EXPECT_GT(reopened.LazyReorgCount(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(InterplayTest, BulkInsertThenSpatialQueriesSeeNewNodes) {
+  Network net = GenerateMinneapolisLikeMap(14);
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+
+  std::vector<NodeRecord> batch;
+  for (NodeId id = 80000; id < 80020; ++id) {
+    NodeRecord rec;
+    rec.id = id;
+    rec.x = 5000.0 + (id % 5);
+    rec.y = 5000.0 + (id % 7);
+    batch.push_back(rec);
+  }
+  ASSERT_TRUE(am.BulkInsert(batch, ReorgPolicy::kSecondOrder).ok());
+
+  auto engine = SpatialQueryEngine::Build(&am);
+  ASSERT_TRUE(engine.ok());
+  auto window = (*engine)->WindowQuery(4990, 4990, 5010, 5010);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->records.size(), batch.size());
+}
+
+TEST(InterplayTest, ReplacementPoliciesAgreeOnResults) {
+  // The replacement policy may change the I/O, never the answers.
+  Network net = GenerateMinneapolisLikeMap(15);
+  auto routes = GenerateRandomWalkRoutes(net, 8, 20, 6);
+  std::vector<double> costs;
+  for (ReplacementPolicy policy :
+       {ReplacementPolicy::kLru, ReplacementPolicy::kFifo,
+        ReplacementPolicy::kClock}) {
+    AccessMethodOptions options = Opts();
+    options.buffer_pool_pages = 2;
+    options.replacement = policy;
+    Ccam am(options, CcamCreateMode::kStatic);
+    ASSERT_TRUE(am.Create(net).ok());
+    double total = 0.0;
+    for (const Route& r : routes) {
+      auto res = EvaluateRoute(&am, r);
+      ASSERT_TRUE(res.ok());
+      total += res->total_cost;
+    }
+    costs.push_back(total);
+  }
+  EXPECT_DOUBLE_EQ(costs[0], costs[1]);
+  EXPECT_DOUBLE_EQ(costs[0], costs[2]);
+}
+
+TEST(InterplayTest, FileStatsAfterHeavyCompositeWorkload) {
+  Network net = GenerateMinneapolisLikeMap(16);
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  am.EnableLazyReorganization(6);
+
+  Network mirror = net;
+  Random rng(1);
+  for (int step = 0; step < 150; ++step) {
+    auto ids = mirror.NodeIds();
+    NodeId a = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+    if (step % 3 == 0) {
+      ASSERT_TRUE(am.DeleteNode(a, ReorgPolicy::kFirstOrder).ok());
+      ASSERT_TRUE(mirror.RemoveNode(a).ok());
+    } else {
+      NodeId b = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+      if (a == b || mirror.HasEdge(a, b)) continue;
+      ASSERT_TRUE(am.InsertEdge(a, b, 1.0f, ReorgPolicy::kFirstOrder).ok());
+      ASSERT_TRUE(mirror.AddEdge(a, b, 1.0f).ok());
+    }
+  }
+  auto stats = CollectFileStats(&am, mirror);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_nodes, mirror.NumNodes());
+  EXPECT_LE(stats->crr, stats->crr_upper_bound + 1e-12);
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+}
+
+TEST(InterplayTest, GetSuccessorsPageGroupingHelpsTinyPools) {
+  // With a one-page buffer, grouped fetching must not exceed the number
+  // of distinct pages the successors occupy (plus the source page).
+  Network net = GenerateMinneapolisLikeMap(17);
+  AccessMethodOptions options = Opts();
+  options.buffer_pool_pages = 1;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  for (NodeId id : {3u, 77u, 444u, 901u}) {
+    ASSERT_TRUE(am.Find(id).ok());
+    am.ResetIoStats();
+    auto succ = am.GetSuccessors(id);
+    ASSERT_TRUE(succ.ok());
+    std::set<PageId> pages;
+    for (const NodeRecord& s : *succ) pages.insert(am.PageMap().at(s.id));
+    // Each distinct page is read at most once, plus possibly re-fetching
+    // the source page once.
+    EXPECT_LE(am.DataIoStats().reads, pages.size() + 1) << id;
+  }
+}
+
+}  // namespace
+}  // namespace ccam

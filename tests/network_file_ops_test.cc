@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baseline/grid_am.h"
+#include "src/baseline/order_am.h"
+#include "src/common/random.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+AccessMethodOptions SmallPages() {
+  AccessMethodOptions options;
+  options.page_size = 512;
+  options.buffer_pool_pages = 8;
+  options.maintain_bptree_index = true;
+  return options;
+}
+
+enum class AmKind { kCcam, kDfs, kBfs, kWdfs, kGrid };
+
+const char* AmKindName(AmKind kind) {
+  switch (kind) {
+    case AmKind::kCcam:
+      return "Ccam";
+    case AmKind::kDfs:
+      return "Dfs";
+    case AmKind::kBfs:
+      return "Bfs";
+    case AmKind::kWdfs:
+      return "Wdfs";
+    case AmKind::kGrid:
+      return "Grid";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<NetworkFile> MakeAm(AmKind kind,
+                                    const AccessMethodOptions& options) {
+  switch (kind) {
+    case AmKind::kCcam:
+      return std::make_unique<Ccam>(options, CcamCreateMode::kStatic);
+    case AmKind::kDfs:
+      return std::make_unique<OrderAm>(options, NodeOrderKind::kDfs);
+    case AmKind::kBfs:
+      return std::make_unique<OrderAm>(options, NodeOrderKind::kBfs);
+    case AmKind::kWdfs:
+      return std::make_unique<OrderAm>(options, NodeOrderKind::kWeightedDfs);
+    case AmKind::kGrid:
+      return std::make_unique<GridAm>(options);
+  }
+  return nullptr;
+}
+
+/// Parameterized across every access method: the maintenance operations
+/// must behave identically at the logical level.
+class OpsTest : public ::testing::TestWithParam<AmKind> {
+ protected:
+  void SetUp() override {
+    net_ = GenerateMinneapolisLikeMap(1995);
+    am_ = MakeAm(GetParam(), SmallPages());
+    ASSERT_TRUE(am_->Create(net_).ok());
+  }
+
+  Network net_;
+  std::unique_ptr<NetworkFile> am_;
+};
+
+TEST_P(OpsTest, CreateCoversAllNodesAndInvariantsHold) {
+  EXPECT_EQ(am_->PageMap().size(), net_.NumNodes());
+  ASSERT_TRUE(am_->CheckFileInvariants().ok());
+}
+
+TEST_P(OpsTest, DeleteNodePatchesNeighbors) {
+  NodeId victim = 100;
+  std::vector<NodeId> nbrs = net_.Neighbors(victim);
+  ASSERT_FALSE(nbrs.empty());
+  ASSERT_TRUE(am_->DeleteNode(victim, ReorgPolicy::kFirstOrder).ok());
+  EXPECT_TRUE(am_->Find(victim).status().IsNotFound());
+  for (NodeId nbr : nbrs) {
+    auto rec = am_->Find(nbr);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_FALSE(rec->HasSuccessor(victim));
+    EXPECT_FALSE(rec->HasPredecessor(victim));
+  }
+  ASSERT_TRUE(am_->CheckFileInvariants().ok());
+}
+
+TEST_P(OpsTest, DeleteMissingNodeFails) {
+  EXPECT_TRUE(
+      am_->DeleteNode(99999, ReorgPolicy::kFirstOrder).IsNotFound());
+}
+
+TEST_P(OpsTest, DeleteThenReinsertRestoresRecord) {
+  NodeId victim = 200;
+  auto before = am_->Find(victim);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(am_->DeleteNode(victim, ReorgPolicy::kFirstOrder).ok());
+  ASSERT_TRUE(am_->InsertNode(*before, ReorgPolicy::kFirstOrder).ok());
+  auto after = am_->Find(victim);
+  ASSERT_TRUE(after.ok());
+  // The adjacency lists must match as sets (order may differ).
+  EXPECT_EQ(after->Neighbors(), before->Neighbors());
+  EXPECT_EQ(after->succ.size(), before->succ.size());
+  EXPECT_EQ(after->pred.size(), before->pred.size());
+  // And the neighbors' lists reference the node again.
+  for (const AdjEntry& e : before->succ) {
+    auto nbr = am_->Find(e.node);
+    ASSERT_TRUE(nbr.ok());
+    EXPECT_TRUE(nbr->HasPredecessor(victim));
+  }
+  ASSERT_TRUE(am_->CheckFileInvariants().ok());
+}
+
+TEST_P(OpsTest, InsertDuplicateNodeFails) {
+  auto rec = am_->Find(5);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(
+      am_->InsertNode(*rec, ReorgPolicy::kFirstOrder).IsAlreadyExists());
+}
+
+TEST_P(OpsTest, InsertBrandNewNodeWithEdges) {
+  NodeRecord rec;
+  rec.id = 50000;
+  rec.x = 500.0;
+  rec.y = 500.0;
+  rec.payload = "new";
+  rec.succ = {{10, 1.5f}, {11, 2.5f}};
+  rec.pred = {{10, 1.5f}};
+  ASSERT_TRUE(am_->InsertNode(rec, ReorgPolicy::kFirstOrder).ok());
+  auto found = am_->Find(50000);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->succ.size(), 2u);
+  auto n10 = am_->Find(10);
+  ASSERT_TRUE(n10.ok());
+  EXPECT_TRUE(n10->HasSuccessor(50000));
+  EXPECT_TRUE(n10->HasPredecessor(50000));
+  auto n11 = am_->Find(11);
+  ASSERT_TRUE(n11.ok());
+  EXPECT_TRUE(n11->HasPredecessor(50000));
+  EXPECT_FALSE(n11->HasSuccessor(50000));
+  ASSERT_TRUE(am_->CheckFileInvariants().ok());
+}
+
+TEST_P(OpsTest, InsertDropsEdgesToAbsentNodes) {
+  NodeRecord rec;
+  rec.id = 60000;
+  rec.x = 1.0;
+  rec.y = 1.0;
+  rec.succ = {{12, 1.0f}, {77777, 9.0f}};  // 77777 does not exist
+  ASSERT_TRUE(am_->InsertNode(rec, ReorgPolicy::kFirstOrder).ok());
+  auto found = am_->Find(60000);
+  ASSERT_TRUE(found.ok());
+  ASSERT_EQ(found->succ.size(), 1u);
+  EXPECT_EQ(found->succ[0].node, 12u);
+}
+
+TEST_P(OpsTest, InsertEdgeUpdatesBothRecords) {
+  // Find two unconnected nodes.
+  NodeId u = 0, v = 0;
+  for (NodeId a = 0; a < 50 && v == 0; ++a) {
+    for (NodeId b = 500; b < 550; ++b) {
+      if (!net_.HasEdge(a, b)) {
+        u = a;
+        v = b;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(v, 0u);
+  ASSERT_TRUE(am_->InsertEdge(u, v, 7.5f, ReorgPolicy::kFirstOrder).ok());
+  auto ru = am_->Find(u);
+  auto rv = am_->Find(v);
+  ASSERT_TRUE(ru.ok());
+  ASSERT_TRUE(rv.ok());
+  EXPECT_TRUE(ru->HasSuccessor(v));
+  EXPECT_TRUE(rv->HasPredecessor(u));
+  auto cost = ru->SuccessorCost(v);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(*cost, 7.5f);
+  // Duplicate rejected.
+  EXPECT_TRUE(am_->InsertEdge(u, v, 1.0f, ReorgPolicy::kFirstOrder)
+                  .IsAlreadyExists());
+  ASSERT_TRUE(am_->CheckFileInvariants().ok());
+}
+
+TEST_P(OpsTest, DeleteEdgeRemovesBothSides) {
+  // Pick an existing edge.
+  auto edges = net_.Edges();
+  NodeId u = edges[42].from, v = edges[42].to;
+  ASSERT_TRUE(am_->DeleteEdge(u, v, ReorgPolicy::kFirstOrder).ok());
+  auto ru = am_->Find(u);
+  auto rv = am_->Find(v);
+  ASSERT_TRUE(ru.ok());
+  ASSERT_TRUE(rv.ok());
+  EXPECT_FALSE(ru->HasSuccessor(v));
+  EXPECT_FALSE(rv->HasPredecessor(u));
+  EXPECT_TRUE(
+      am_->DeleteEdge(u, v, ReorgPolicy::kFirstOrder).IsNotFound());
+  ASSERT_TRUE(am_->CheckFileInvariants().ok());
+}
+
+TEST_P(OpsTest, ManyEdgeInsertsForceOverflowSplits) {
+  // Grow one node's lists until its page must split (but stay under the
+  // single-record-per-page format limit of ~60 adjacency entries at 512 B).
+  NodeId hub = 300;
+  int added = 0;
+  for (NodeId v = 700; v < 735; ++v) {
+    if (net_.HasEdge(hub, v)) continue;
+    ASSERT_TRUE(
+        am_->InsertEdge(hub, v, 1.0f, ReorgPolicy::kFirstOrder).ok())
+        << v;
+    ++added;
+  }
+  ASSERT_GT(added, 25);
+  auto rec = am_->Find(hub);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GE(rec->succ.size(), static_cast<size_t>(added));
+  ASSERT_TRUE(am_->CheckFileInvariants().ok());
+}
+
+TEST_P(OpsTest, RecordGrowthBeyondPageFailsGracefully) {
+  // A single record can never exceed one page (variable-length record
+  // format limit); the operation must fail with NoSpace and leave the
+  // file consistent.
+  NodeId hub = 300;
+  Status last = Status::OK();
+  for (NodeId v = 700; v < 800 && last.ok(); ++v) {
+    if (net_.HasEdge(hub, v)) continue;
+    last = am_->InsertEdge(hub, v, 1.0f, ReorgPolicy::kFirstOrder);
+  }
+  EXPECT_TRUE(last.IsNoSpace()) << last.ToString();
+  ASSERT_TRUE(am_->CheckFileInvariants().ok());
+}
+
+TEST_P(OpsTest, MassDeletionKeepsFileConsistent) {
+  Random rng(99);
+  std::vector<NodeId> ids = net_.NodeIds();
+  rng.Shuffle(&ids);
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(am_->DeleteNode(ids[i], ReorgPolicy::kFirstOrder).ok())
+        << "i=" << i << " node=" << ids[i];
+  }
+  EXPECT_EQ(am_->PageMap().size(), net_.NumNodes() - 200);
+  ASSERT_TRUE(am_->CheckFileInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAms, OpsTest,
+                         ::testing::Values(AmKind::kCcam, AmKind::kDfs,
+                                           AmKind::kBfs, AmKind::kWdfs,
+                                           AmKind::kGrid),
+                         [](const ::testing::TestParamInfo<AmKind>& info) {
+                           return AmKindName(info.param);
+                         });
+
+/// Reorganization-policy behavior (CCAM only, as in the paper).
+class PolicyTest : public ::testing::TestWithParam<ReorgPolicy> {};
+
+TEST_P(PolicyTest, InsertUnderPolicyKeepsInvariants) {
+  Network net = GenerateMinneapolisLikeMap(77);
+  AccessMethodOptions options = SmallPages();
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  for (NodeId id = 2000; id < 2030; ++id) {
+    NodeRecord rec;
+    rec.id = id;
+    rec.x = 100.0 + id % 7;
+    rec.y = 100.0 + id % 5;
+    rec.succ = {{id - 1990, 1.0f}, {id - 1980, 2.0f}};
+    rec.pred = {{id - 1990, 1.0f}};
+    ASSERT_TRUE(am.InsertNode(rec, GetParam()).ok()) << id;
+  }
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  for (NodeId id = 2000; id < 2030; ++id) {
+    EXPECT_TRUE(am.Find(id).ok());
+  }
+}
+
+TEST_P(PolicyTest, DeleteUnderPolicyKeepsInvariants) {
+  Network net = GenerateMinneapolisLikeMap(78);
+  Ccam am(SmallPages(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  Random rng(5);
+  std::vector<NodeId> ids = net.NodeIds();
+  rng.Shuffle(&ids);
+  for (size_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(am.DeleteNode(ids[i], GetParam()).ok()) << ids[i];
+  }
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+}
+
+TEST_P(PolicyTest, EdgeOpsUnderPolicyKeepInvariants) {
+  Network net = GenerateMinneapolisLikeMap(79);
+  Ccam am(SmallPages(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  auto edges = net.Edges();
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(
+        am.DeleteEdge(edges[i * 3].from, edges[i * 3].to, GetParam()).ok());
+  }
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(am.InsertEdge(edges[i * 3].from, edges[i * 3].to,
+                              edges[i * 3].cost, GetParam())
+                    .ok());
+  }
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyTest,
+    ::testing::Values(ReorgPolicy::kFirstOrder, ReorgPolicy::kSecondOrder,
+                      ReorgPolicy::kHigherOrder),
+    [](const ::testing::TestParamInfo<ReorgPolicy>& info) {
+      std::string name = ReorgPolicyName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(PolicyComparisonTest, HigherOrderCostsMoreIoThanFirstOrder) {
+  // Insert the same nodes under first-order and higher-order policies; the
+  // higher-order policy must pay more I/O (paper Figure 7, left panel).
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Random rng(12);
+  std::vector<NodeId> ids = net.NodeIds();
+  rng.Shuffle(&ids);
+  std::vector<NodeId> removed(ids.begin(), ids.begin() + 100);
+  std::vector<NodeId> kept(ids.begin() + 100, ids.end());
+  std::sort(kept.begin(), kept.end());
+  Network base = net.InducedSubnetwork(kept);
+
+  uint64_t io[2];
+  int idx = 0;
+  for (ReorgPolicy policy :
+       {ReorgPolicy::kFirstOrder, ReorgPolicy::kHigherOrder}) {
+    AccessMethodOptions options;
+    options.page_size = 1024;
+    Ccam am(options, CcamCreateMode::kStatic);
+    ASSERT_TRUE(am.Create(base).ok());
+    am.ResetIoStats();
+    for (NodeId id : removed) {
+      NodeRecord rec = NodeRecord::FromNetworkNode(id, net.node(id));
+      ASSERT_TRUE(am.InsertNode(rec, policy).ok());
+    }
+    io[idx++] = am.DataIoStats().Accesses();
+    ASSERT_TRUE(am.CheckFileInvariants().ok());
+  }
+  EXPECT_GT(io[1], io[0] * 2);
+}
+
+TEST(PolicyComparisonTest, SecondOrderCrrBeatsFirstOrder) {
+  // After inserting 20% of the nodes, second-order reclustering must hold
+  // a higher CRR than first-order (paper Figure 7, right panel).
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Random rng(12);
+  std::vector<NodeId> ids = net.NodeIds();
+  rng.Shuffle(&ids);
+  size_t n_removed = net.NumNodes() / 5;
+  std::vector<NodeId> removed(ids.begin(), ids.begin() + n_removed);
+  std::vector<NodeId> kept(ids.begin() + n_removed, ids.end());
+  Network base = net.InducedSubnetwork(kept);
+
+  double crr[2];
+  int idx = 0;
+  for (ReorgPolicy policy :
+       {ReorgPolicy::kFirstOrder, ReorgPolicy::kSecondOrder}) {
+    AccessMethodOptions options;
+    options.page_size = 1024;
+    Ccam am(options, CcamCreateMode::kStatic);
+    ASSERT_TRUE(am.Create(base).ok());
+    for (NodeId id : removed) {
+      NodeRecord rec = NodeRecord::FromNetworkNode(id, net.node(id));
+      ASSERT_TRUE(am.InsertNode(rec, policy).ok());
+    }
+    crr[idx++] = ComputeCrr(net, am.PageMap());
+  }
+  EXPECT_GT(crr[1], crr[0]);
+}
+
+TEST(StructuralFlagTest, FlagReflectsSplitsAndMerges) {
+  Network net = GenerateMinneapolisLikeMap(55);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  // An edge delete between co-paged nodes never splits anything.
+  auto edges = net.Edges();
+  for (const auto& e : edges) {
+    if (am.PageMap().at(e.from) == am.PageMap().at(e.to)) {
+      ASSERT_TRUE(am.DeleteEdge(e.from, e.to, ReorgPolicy::kFirstOrder).ok());
+      EXPECT_FALSE(am.LastOpChangedStructure());
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,170 @@
+#include "src/graph/network.h"
+
+#include <gtest/gtest.h>
+
+namespace ccam {
+namespace {
+
+Network Triangle() {
+  Network net;
+  EXPECT_TRUE(net.AddNode(1, 0, 0).ok());
+  EXPECT_TRUE(net.AddNode(2, 1, 0).ok());
+  EXPECT_TRUE(net.AddNode(3, 0, 1).ok());
+  EXPECT_TRUE(net.AddEdge(1, 2, 1.0f).ok());
+  EXPECT_TRUE(net.AddEdge(2, 3, 2.0f).ok());
+  EXPECT_TRUE(net.AddEdge(3, 1, 3.0f).ok());
+  return net;
+}
+
+TEST(NetworkTest, AddNodesAndEdges) {
+  Network net = Triangle();
+  EXPECT_EQ(net.NumNodes(), 3u);
+  EXPECT_EQ(net.NumEdges(), 3u);
+  EXPECT_TRUE(net.HasEdge(1, 2));
+  EXPECT_FALSE(net.HasEdge(2, 1));  // directed
+}
+
+TEST(NetworkTest, DuplicateNodeRejected) {
+  Network net;
+  ASSERT_TRUE(net.AddNode(1, 0, 0).ok());
+  EXPECT_TRUE(net.AddNode(1, 5, 5).IsAlreadyExists());
+}
+
+TEST(NetworkTest, ReservedNodeIdRejected) {
+  Network net;
+  EXPECT_TRUE(net.AddNode(kInvalidNodeId, 0, 0).IsInvalidArgument());
+}
+
+TEST(NetworkTest, DuplicateEdgeRejected) {
+  Network net = Triangle();
+  EXPECT_TRUE(net.AddEdge(1, 2, 9.0f).IsAlreadyExists());
+}
+
+TEST(NetworkTest, SelfLoopRejected) {
+  Network net = Triangle();
+  EXPECT_TRUE(net.AddEdge(1, 1, 1.0f).IsInvalidArgument());
+}
+
+TEST(NetworkTest, EdgeNeedsBothEndpoints) {
+  Network net = Triangle();
+  EXPECT_TRUE(net.AddEdge(1, 99, 1.0f).IsNotFound());
+  EXPECT_TRUE(net.AddEdge(99, 1, 1.0f).IsNotFound());
+}
+
+TEST(NetworkTest, SuccAndPredListsAreConsistent) {
+  Network net = Triangle();
+  const NetworkNode& n1 = net.node(1);
+  ASSERT_EQ(n1.succ.size(), 1u);
+  EXPECT_EQ(n1.succ[0].node, 2u);
+  ASSERT_EQ(n1.pred.size(), 1u);
+  EXPECT_EQ(n1.pred[0].node, 3u);
+}
+
+TEST(NetworkTest, EdgeCostLookup) {
+  Network net = Triangle();
+  float cost = 0;
+  ASSERT_TRUE(net.EdgeCost(2, 3, &cost).ok());
+  EXPECT_EQ(cost, 2.0f);
+  EXPECT_TRUE(net.EdgeCost(3, 2, &cost).IsNotFound());
+}
+
+TEST(NetworkTest, RemoveEdge) {
+  Network net = Triangle();
+  ASSERT_TRUE(net.RemoveEdge(1, 2).ok());
+  EXPECT_FALSE(net.HasEdge(1, 2));
+  EXPECT_EQ(net.NumEdges(), 2u);
+  EXPECT_TRUE(net.node(2).pred.empty());
+  EXPECT_TRUE(net.RemoveEdge(1, 2).IsNotFound());
+}
+
+TEST(NetworkTest, RemoveNodeDetachesAllEdges) {
+  Network net = Triangle();
+  ASSERT_TRUE(net.RemoveNode(2).ok());
+  EXPECT_EQ(net.NumNodes(), 2u);
+  EXPECT_EQ(net.NumEdges(), 1u);  // only 3->1 remains
+  EXPECT_TRUE(net.node(1).succ.empty());
+  EXPECT_TRUE(net.node(3).pred.empty());
+  EXPECT_TRUE(net.RemoveNode(2).IsNotFound());
+}
+
+TEST(NetworkTest, BidirectionalEdgeAddsBothDirections) {
+  Network net;
+  ASSERT_TRUE(net.AddNode(1, 0, 0).ok());
+  ASSERT_TRUE(net.AddNode(2, 1, 1).ok());
+  ASSERT_TRUE(net.AddBidirectionalEdge(1, 2, 4.0f).ok());
+  EXPECT_TRUE(net.HasEdge(1, 2));
+  EXPECT_TRUE(net.HasEdge(2, 1));
+  EXPECT_EQ(net.NumEdges(), 2u);
+}
+
+TEST(NetworkTest, NeighborsIsDistinctUnion) {
+  Network net;
+  for (NodeId id : {1u, 2u, 3u}) ASSERT_TRUE(net.AddNode(id, id, id).ok());
+  ASSERT_TRUE(net.AddBidirectionalEdge(1, 2, 1.0f).ok());
+  ASSERT_TRUE(net.AddEdge(3, 1, 1.0f).ok());
+  EXPECT_EQ(net.Neighbors(1), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(NetworkTest, EdgesSortedAndComplete) {
+  Network net = Triangle();
+  auto edges = net.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].from, 1u);
+  EXPECT_EQ(edges[1].from, 2u);
+  EXPECT_EQ(edges[2].from, 3u);
+}
+
+TEST(NetworkTest, EdgeWeightsDefaultToOne) {
+  Network net = Triangle();
+  EXPECT_EQ(net.EdgeWeight(1, 2), 1.0);
+  EXPECT_EQ(net.TotalEdgeWeight(), 3.0);
+  net.SetEdgeWeight(1, 2, 5.0);
+  EXPECT_EQ(net.EdgeWeight(1, 2), 5.0);
+  EXPECT_EQ(net.TotalEdgeWeight(), 7.0);
+  net.ClearEdgeWeights();
+  EXPECT_EQ(net.TotalEdgeWeight(), 3.0);
+}
+
+TEST(NetworkTest, WeightRemovedWithEdge) {
+  Network net = Triangle();
+  net.SetEdgeWeight(1, 2, 5.0);
+  ASSERT_TRUE(net.RemoveEdge(1, 2).ok());
+  ASSERT_TRUE(net.AddEdge(1, 2, 1.0f).ok());
+  EXPECT_EQ(net.EdgeWeight(1, 2), 1.0);  // back to default
+}
+
+TEST(NetworkTest, DegreeStatistics) {
+  Network net = Triangle();
+  EXPECT_DOUBLE_EQ(net.AvgOutDegree(), 1.0);
+  EXPECT_DOUBLE_EQ(net.AvgNeighborListSize(), 2.0);
+}
+
+TEST(NetworkTest, InducedSubnetwork) {
+  Network net = Triangle();
+  net.SetEdgeWeight(1, 2, 3.5);
+  Network sub = net.InducedSubnetwork({1, 2});
+  EXPECT_EQ(sub.NumNodes(), 2u);
+  EXPECT_EQ(sub.NumEdges(), 1u);  // only 1->2; 2->3 and 3->1 cut away
+  EXPECT_TRUE(sub.HasEdge(1, 2));
+  EXPECT_EQ(sub.EdgeWeight(1, 2), 3.5);
+}
+
+TEST(NetworkTest, WeakConnectivity) {
+  Network net = Triangle();
+  EXPECT_TRUE(net.IsWeaklyConnected());
+  ASSERT_TRUE(net.AddNode(10, 9, 9).ok());
+  EXPECT_FALSE(net.IsWeaklyConnected());
+  ASSERT_TRUE(net.AddEdge(10, 1, 1.0f).ok());
+  EXPECT_TRUE(net.IsWeaklyConnected());
+  Network empty;
+  EXPECT_TRUE(empty.IsWeaklyConnected());
+}
+
+TEST(NetworkTest, NodeIdsAscending) {
+  Network net;
+  for (NodeId id : {5u, 1u, 3u}) ASSERT_TRUE(net.AddNode(id, 0, 0).ok());
+  EXPECT_EQ(net.NodeIds(), (std::vector<NodeId>{1, 3, 5}));
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+#include "src/query/route_eval.h"
+
+namespace ccam {
+namespace {
+
+/// CCAM maintenance correctness across page sizes and a minimal buffer
+/// pool — the configurations the experiments sweep.
+struct Config {
+  size_t page_size;
+  size_t pool_pages;
+};
+
+class PageSizeOpsTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(PageSizeOpsTest, ChurnKeepsFileConsistent) {
+  Network net = GenerateMinneapolisLikeMap(777);
+  AccessMethodOptions options;
+  options.page_size = GetParam().page_size;
+  options.buffer_pool_pages = GetParam().pool_pages;
+  options.maintain_bptree_index = true;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+
+  Network mirror = net;
+  Random rng(GetParam().page_size + GetParam().pool_pages);
+  for (int step = 0; step < 120; ++step) {
+    int op = rng.Uniform(4);
+    auto ids = mirror.NodeIds();
+    NodeId a = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+    NodeId b = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+    switch (op) {
+      case 0:
+        ASSERT_TRUE(am.DeleteNode(a, ReorgPolicy::kSecondOrder).ok());
+        ASSERT_TRUE(mirror.RemoveNode(a).ok());
+        break;
+      case 1:
+        if (a == b || mirror.HasEdge(a, b)) break;
+        ASSERT_TRUE(
+            am.InsertEdge(a, b, 2.0f, ReorgPolicy::kFirstOrder).ok());
+        ASSERT_TRUE(mirror.AddEdge(a, b, 2.0f).ok());
+        break;
+      case 2:
+        if (!mirror.HasEdge(a, b)) break;
+        ASSERT_TRUE(am.DeleteEdge(a, b, ReorgPolicy::kHigherOrder).ok());
+        ASSERT_TRUE(mirror.RemoveEdge(a, b).ok());
+        break;
+      default: {
+        auto rec = am.Find(a);
+        ASSERT_TRUE(rec.ok());
+        ASSERT_EQ(rec->succ.size(), mirror.node(a).succ.size());
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  EXPECT_EQ(am.PageMap().size(), mirror.NumNodes());
+}
+
+TEST_P(PageSizeOpsTest, RouteEvalWorksEvenWithOnePageBuffer) {
+  Network net = GenerateMinneapolisLikeMap(778);
+  AccessMethodOptions options;
+  options.page_size = GetParam().page_size;
+  options.buffer_pool_pages = GetParam().pool_pages;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  auto routes = GenerateRandomWalkRoutes(net, 10, 15, 1);
+  for (const Route& r : routes) {
+    auto res = EvaluateRoute(&am, r);
+    ASSERT_TRUE(res.ok());
+    EXPECT_GT(res->total_cost, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PageSizeOpsTest,
+    ::testing::Values(Config{512, 8}, Config{1024, 1}, Config{2048, 4},
+                      Config{4096, 2}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "page" + std::to_string(info.param.page_size) + "pool" +
+             std::to_string(info.param.pool_pages);
+    });
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,118 @@
+#include "src/graph/orders.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+Network PathGraph(int n) {
+  Network net;
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(net.AddNode(i, i, 0).ok());
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(net.AddBidirectionalEdge(i, i + 1, 1.0f).ok());
+  }
+  return net;
+}
+
+void ExpectPermutationOfAllNodes(const Network& net,
+                                 const std::vector<NodeId>& order) {
+  EXPECT_EQ(order.size(), net.NumNodes());
+  std::set<NodeId> uniq(order.begin(), order.end());
+  EXPECT_EQ(uniq.size(), net.NumNodes());
+  for (NodeId id : order) EXPECT_TRUE(net.HasNode(id));
+}
+
+TEST(OrdersTest, DfsCoversAllNodes) {
+  Network net = GenerateMinneapolisLikeMap(3);
+  ExpectPermutationOfAllNodes(net, DfsOrder(net, 0));
+}
+
+TEST(OrdersTest, BfsCoversAllNodes) {
+  Network net = GenerateMinneapolisLikeMap(3);
+  ExpectPermutationOfAllNodes(net, BfsOrder(net, 0));
+}
+
+TEST(OrdersTest, WeightedDfsCoversAllNodes) {
+  Network net = GenerateMinneapolisLikeMap(3);
+  ExpectPermutationOfAllNodes(net, WeightedDfsOrder(net, 0));
+}
+
+TEST(OrdersTest, PathGraphDfsIsSequential) {
+  Network net = PathGraph(8);
+  std::vector<NodeId> order = DfsOrder(net, 0);
+  std::vector<NodeId> expected{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(OrdersTest, StarGraphBfsVisitsCenterThenLeaves) {
+  Network net;
+  ASSERT_TRUE(net.AddNode(0, 0, 0).ok());
+  for (NodeId leaf : {1u, 2u, 3u, 4u}) {
+    ASSERT_TRUE(net.AddNode(leaf, leaf, leaf).ok());
+    ASSERT_TRUE(net.AddBidirectionalEdge(0, leaf, 1.0f).ok());
+  }
+  std::vector<NodeId> order = BfsOrder(net, 0);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order.size(), 5u);
+}
+
+TEST(OrdersTest, BfsOrderDiffersFromDfsOnGrids) {
+  Network net = GenerateMinneapolisLikeMap(3);
+  EXPECT_NE(DfsOrder(net, 0), BfsOrder(net, 0));
+}
+
+TEST(OrdersTest, DisconnectedGraphStillFullyCovered) {
+  Network net;
+  for (NodeId id : {0u, 1u, 10u, 11u}) {
+    ASSERT_TRUE(net.AddNode(id, id, id).ok());
+  }
+  ASSERT_TRUE(net.AddBidirectionalEdge(0, 1, 1.0f).ok());
+  ASSERT_TRUE(net.AddBidirectionalEdge(10, 11, 1.0f).ok());
+  ExpectPermutationOfAllNodes(net, DfsOrder(net, 0));
+  ExpectPermutationOfAllNodes(net, BfsOrder(net, 10));
+}
+
+TEST(OrdersTest, WeightedDfsPrefersHeavyEdges) {
+  // Star with weighted spokes: WDFS from the center must explore the
+  // heaviest spoke first.
+  Network net;
+  ASSERT_TRUE(net.AddNode(0, 0, 0).ok());
+  for (NodeId leaf : {1u, 2u, 3u}) {
+    ASSERT_TRUE(net.AddNode(leaf, leaf, leaf).ok());
+    ASSERT_TRUE(net.AddBidirectionalEdge(0, leaf, 1.0f).ok());
+  }
+  net.SetEdgeWeight(0, 2, 100.0);
+  net.SetEdgeWeight(2, 0, 100.0);
+  std::vector<NodeId> order = WeightedDfsOrder(net, 0);
+  ASSERT_GE(order.size(), 2u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 2u);
+}
+
+TEST(OrdersTest, TraversalTreatsDirectionAsUndirected) {
+  // A directed chain 0 -> 1 -> 2: starting from node 2, DFS must still
+  // reach everything through predecessor links.
+  Network net;
+  for (NodeId id : {0u, 1u, 2u}) ASSERT_TRUE(net.AddNode(id, id, 0).ok());
+  ASSERT_TRUE(net.AddEdge(0, 1, 1.0f).ok());
+  ASSERT_TRUE(net.AddEdge(1, 2, 1.0f).ok());
+  std::vector<NodeId> order = DfsOrder(net, 2);
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2u);
+}
+
+TEST(OrdersTest, MissingStartFallsBackToLowestId) {
+  Network net = PathGraph(4);
+  std::vector<NodeId> order = DfsOrder(net, 999);
+  ExpectPermutationOfAllNodes(net, order);
+  EXPECT_EQ(order[0], 0u);
+}
+
+}  // namespace
+}  // namespace ccam

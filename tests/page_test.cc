@@ -1,0 +1,211 @@
+#include "src/storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace ccam {
+namespace {
+
+constexpr size_t kPageSize = 512;
+
+class PageTest : public ::testing::Test {
+ protected:
+  PageTest() : page_(buf_, kPageSize) {
+    SlottedPage::Initialize(buf_, kPageSize);
+  }
+  char buf_[kPageSize];
+  SlottedPage page_;
+};
+
+TEST_F(PageTest, FreshPageIsEmpty) {
+  EXPECT_EQ(page_.NumSlots(), 0);
+  EXPECT_EQ(page_.NumRecords(), 0);
+  EXPECT_EQ(page_.UsedBytes(), 0u);
+  EXPECT_EQ(page_.FreeSpaceForRecord(),
+            kPageSize - SlottedPage::kHeaderSize - SlottedPage::kSlotOverhead);
+}
+
+TEST_F(PageTest, InsertAndGet) {
+  int slot = page_.InsertRecord("hello");
+  ASSERT_GE(slot, 0);
+  EXPECT_EQ(page_.GetRecord(slot), "hello");
+  EXPECT_EQ(page_.NumRecords(), 1);
+  EXPECT_EQ(page_.UsedBytes(), 5u);
+}
+
+TEST_F(PageTest, MultipleInsertsKeepDistinctContents) {
+  int a = page_.InsertRecord("alpha");
+  int b = page_.InsertRecord("bravo!");
+  int c = page_.InsertRecord("c");
+  EXPECT_EQ(page_.GetRecord(a), "alpha");
+  EXPECT_EQ(page_.GetRecord(b), "bravo!");
+  EXPECT_EQ(page_.GetRecord(c), "c");
+  EXPECT_EQ(page_.NumRecords(), 3);
+}
+
+TEST_F(PageTest, DeleteFreesSlotAndSpace) {
+  int a = page_.InsertRecord("aaaa");
+  int b = page_.InsertRecord("bbbb");
+  ASSERT_TRUE(page_.DeleteRecord(a).ok());
+  EXPECT_EQ(page_.NumRecords(), 1);
+  EXPECT_TRUE(page_.GetRecord(a).empty());
+  EXPECT_EQ(page_.GetRecord(b), "bbbb");
+  // Slot a is reusable.
+  int c = page_.InsertRecord("cccc");
+  EXPECT_EQ(c, a);
+}
+
+TEST_F(PageTest, DeleteErrors) {
+  EXPECT_TRUE(page_.DeleteRecord(0).IsInvalidArgument());
+  int a = page_.InsertRecord("x");
+  ASSERT_TRUE(page_.DeleteRecord(a).ok());
+  EXPECT_FALSE(page_.DeleteRecord(a).ok());
+  EXPECT_TRUE(page_.DeleteRecord(-1).IsInvalidArgument());
+  EXPECT_TRUE(page_.DeleteRecord(99).IsInvalidArgument());
+}
+
+TEST_F(PageTest, InsertUntilFullThenFail) {
+  std::string rec(40, 'r');
+  int inserted = 0;
+  while (page_.InsertRecord(rec) >= 0) ++inserted;
+  // 512-byte page, 4B header, 44B per record incl. slot: ~11 records.
+  EXPECT_GE(inserted, 10);
+  EXPECT_LE(inserted, 12);
+  EXPECT_LT(page_.FreeSpaceForRecord(), rec.size());
+}
+
+TEST_F(PageTest, RejectOversizedRecord) {
+  std::string big(kPageSize, 'b');
+  EXPECT_EQ(page_.InsertRecord(big), -1);
+  std::string exact(SlottedPage::MaxRecordSize(kPageSize), 'e');
+  EXPECT_GE(page_.InsertRecord(exact), 0);
+}
+
+TEST_F(PageTest, RejectEmptyRecord) {
+  EXPECT_EQ(page_.InsertRecord(""), -1);
+}
+
+TEST_F(PageTest, CompactionReclaimsHoles) {
+  // Fill, delete every other record, then insert something that only fits
+  // after compaction.
+  std::vector<int> slots;
+  std::string rec(40, 'r');
+  for (;;) {
+    int s = page_.InsertRecord(rec);
+    if (s < 0) break;
+    slots.push_back(s);
+  }
+  size_t freed = 0;
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page_.DeleteRecord(slots[i]).ok());
+    freed += rec.size();
+  }
+  std::string big(freed - 8, 'B');
+  int s = page_.InsertRecord(big);
+  ASSERT_GE(s, 0);
+  EXPECT_EQ(page_.GetRecord(s), big);
+  // Remaining original records survive compaction intact.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(page_.GetRecord(slots[i]), rec);
+  }
+}
+
+TEST_F(PageTest, UpdateShrinkInPlace) {
+  int a = page_.InsertRecord("long-record-content");
+  ASSERT_TRUE(page_.UpdateRecord(a, "tiny").ok());
+  EXPECT_EQ(page_.GetRecord(a), "tiny");
+}
+
+TEST_F(PageTest, UpdateGrow) {
+  int a = page_.InsertRecord("aa");
+  int b = page_.InsertRecord("bb");
+  ASSERT_TRUE(page_.UpdateRecord(a, std::string(100, 'A')).ok());
+  EXPECT_EQ(page_.GetRecord(a), std::string(100, 'A'));
+  EXPECT_EQ(page_.GetRecord(b), "bb");
+}
+
+TEST_F(PageTest, UpdateGrowBeyondCapacityFailsAndPreserves) {
+  std::string rec(200, 'x');
+  int a = page_.InsertRecord(rec);
+  int b = page_.InsertRecord(rec);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  Status s = page_.UpdateRecord(a, std::string(400, 'y'));
+  EXPECT_TRUE(s.IsNoSpace());
+  EXPECT_EQ(page_.GetRecord(a), rec);  // original preserved
+  EXPECT_EQ(page_.GetRecord(b), rec);
+}
+
+TEST_F(PageTest, UpdateErrors) {
+  EXPECT_TRUE(page_.UpdateRecord(0, "x").IsInvalidArgument());
+  int a = page_.InsertRecord("x");
+  ASSERT_TRUE(page_.DeleteRecord(a).ok());
+  // After trimming trailing slots the slot is out of range again.
+  EXPECT_FALSE(page_.UpdateRecord(a, "y").ok());
+}
+
+TEST_F(PageTest, LiveSlotsListsOnlyOccupied) {
+  int a = page_.InsertRecord("a");
+  int b = page_.InsertRecord("b");
+  int c = page_.InsertRecord("c");
+  ASSERT_TRUE(page_.DeleteRecord(b).ok());
+  std::vector<int> live = page_.LiveSlots();
+  EXPECT_EQ(live, (std::vector<int>{a, c}));
+}
+
+/// Randomized differential test against a std::map reference model.
+TEST(PageFuzzTest, RandomOpsMatchReferenceModel) {
+  Random rng(2024);
+  char buf[1024];
+  SlottedPage::Initialize(buf, sizeof(buf));
+  SlottedPage page(buf, sizeof(buf));
+  std::map<int, std::string> model;  // slot -> content
+  int next_tag = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    int op = rng.Uniform(3);
+    if (op == 0) {  // insert
+      std::string rec(1 + rng.Uniform(60), 'a' + (next_tag % 26));
+      rec += std::to_string(next_tag++);
+      int slot = page.InsertRecord(rec);
+      if (slot >= 0) {
+        ASSERT_EQ(model.count(slot), 0u);
+        model[slot] = rec;
+      }
+    } else if (op == 1 && !model.empty()) {  // delete random live slot
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(static_cast<uint32_t>(model.size())));
+      ASSERT_TRUE(page.DeleteRecord(it->first).ok());
+      model.erase(it);
+    } else if (op == 2 && !model.empty()) {  // update random live slot
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(static_cast<uint32_t>(model.size())));
+      std::string rec(1 + rng.Uniform(80), 'Z');
+      rec += std::to_string(next_tag++);
+      Status s = page.UpdateRecord(it->first, rec);
+      if (s.ok()) {
+        it->second = rec;
+      } else {
+        ASSERT_TRUE(s.IsNoSpace());
+      }
+    }
+    // Verify the whole page against the model periodically.
+    if (step % 97 == 0) {
+      ASSERT_EQ(page.NumRecords(), static_cast<int>(model.size()));
+      for (const auto& [slot, content] : model) {
+        ASSERT_EQ(page.GetRecord(slot), content) << "step " << step;
+      }
+      size_t used = 0;
+      for (const auto& [slot, content] : model) used += content.size();
+      ASSERT_EQ(page.UsedBytes(), used);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccam

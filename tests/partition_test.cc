@@ -1,0 +1,328 @@
+#include "src/partition/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/generator.h"
+#include "src/partition/recursive_bisection.h"
+#include "src/storage/record.h"
+
+namespace ccam {
+namespace {
+
+/// Two dense clusters joined by one bridge edge — any sensible bisection
+/// cuts exactly the bridge.
+Network TwoClusters() {
+  Network net;
+  for (NodeId id = 0; id < 8; ++id) {
+    EXPECT_TRUE(net.AddNode(id, id < 4 ? 0.0 : 100.0, id % 4).ok());
+  }
+  auto clique = [&](NodeId base) {
+    for (NodeId i = 0; i < 4; ++i) {
+      for (NodeId j = i + 1; j < 4; ++j) {
+        EXPECT_TRUE(net.AddBidirectionalEdge(base + i, base + j, 1.0f).ok());
+      }
+    }
+  };
+  clique(0);
+  clique(4);
+  EXPECT_TRUE(net.AddBidirectionalEdge(3, 4, 1.0f).ok());
+  return net;
+}
+
+TEST(PartitionGraphTest, FromNetworkCollapsesDirectedPairs) {
+  Network net = TwoClusters();
+  PartitionGraph g =
+      PartitionGraph::FromNetwork(net, net.NodeIds(), false);
+  EXPECT_EQ(g.NumNodes(), 8u);
+  // 13 undirected edges (6 + 6 + bridge), each a bidirectional pair.
+  size_t adj_entries = 0;
+  for (const auto& a : g.adj) adj_entries += a.size();
+  EXPECT_EQ(adj_entries, 2u * 13u);
+  // Each undirected edge weight = 2 (two directed edges of weight 1).
+  for (const auto& a : g.adj) {
+    for (const auto& e : a) EXPECT_DOUBLE_EQ(e.weight, 2.0);
+  }
+}
+
+TEST(PartitionGraphTest, NodeSizesAreRecordSizes) {
+  Network net = TwoClusters();
+  PartitionGraph g =
+      PartitionGraph::FromNetwork(net, net.NodeIds(), false, 4);
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    EXPECT_EQ(g.node_sizes[i],
+              RecordSizeOf(g.ids[i], net.node(g.ids[i])) + 4);
+  }
+}
+
+TEST(PartitionGraphTest, AccessWeightsUsedWhenRequested) {
+  Network net = TwoClusters();
+  net.SetEdgeWeight(3, 4, 10.0);
+  net.SetEdgeWeight(4, 3, 20.0);
+  PartitionGraph g = PartitionGraph::FromNetwork(net, net.NodeIds(), true);
+  double bridge_weight = 0.0;
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    if (g.ids[i] != 3) continue;
+    for (const auto& e : g.adj[i]) {
+      if (g.ids[e.to] == 4) bridge_weight = e.weight;
+    }
+  }
+  EXPECT_DOUBLE_EQ(bridge_weight, 30.0);
+}
+
+TEST(PartitionGraphTest, SubsetRestricts) {
+  Network net = TwoClusters();
+  PartitionGraph g = PartitionGraph::FromNetwork(net, {0, 1, 2}, false);
+  EXPECT_EQ(g.NumNodes(), 3u);
+}
+
+TEST(CrrTest, PerfectAndWorstClustering) {
+  Network net = TwoClusters();
+  NodePageMap same, split;
+  for (NodeId id = 0; id < 8; ++id) {
+    same[id] = 0;
+    split[id] = id;  // every node on its own page
+  }
+  EXPECT_DOUBLE_EQ(ComputeCrr(net, same), 1.0);
+  EXPECT_DOUBLE_EQ(ComputeCrr(net, split), 0.0);
+}
+
+TEST(CrrTest, BridgeOnlyCut) {
+  Network net = TwoClusters();
+  NodePageMap map;
+  for (NodeId id = 0; id < 8; ++id) map[id] = id < 4 ? 0 : 1;
+  // 26 directed edges total, 2 split (the bidirectional bridge).
+  EXPECT_DOUBLE_EQ(ComputeCrr(net, map), 24.0 / 26.0);
+}
+
+TEST(CrrTest, UnmappedNodesCountAsSplit) {
+  Network net = TwoClusters();
+  NodePageMap map;  // empty
+  EXPECT_DOUBLE_EQ(ComputeCrr(net, map), 0.0);
+  Network empty;
+  EXPECT_DOUBLE_EQ(ComputeCrr(empty, map), 1.0);  // vacuous
+}
+
+TEST(WcrrTest, WeightsShiftTheRatio) {
+  Network net = TwoClusters();
+  NodePageMap map;
+  for (NodeId id = 0; id < 8; ++id) map[id] = id < 4 ? 0 : 1;
+  // Make the (split) bridge dominate the weight mass.
+  net.SetEdgeWeight(3, 4, 100.0);
+  net.SetEdgeWeight(4, 3, 100.0);
+  double wcrr = ComputeWcrr(net, map);
+  EXPECT_DOUBLE_EQ(wcrr, 24.0 / 224.0);
+  // Uniform weights: WCRR == CRR.
+  net.ClearEdgeWeights();
+  EXPECT_DOUBLE_EQ(ComputeWcrr(net, map), ComputeCrr(net, map));
+}
+
+class BisectionTest
+    : public ::testing::TestWithParam<PartitionAlgorithm> {};
+
+TEST_P(BisectionTest, FindsTheBridgeCut) {
+  Network net = TwoClusters();
+  PartitionGraph g = PartitionGraph::FromNetwork(net, net.NodeIds(), false);
+  size_t min_side = g.TotalSize() / 4;
+  Bisection b = TwoWayPartition(g, min_side, GetParam(), 11);
+  ASSERT_EQ(b.side.size(), 8u);
+  EXPECT_GE(b.size_a, min_side);
+  EXPECT_GE(b.size_b, min_side);
+  if (GetParam() != PartitionAlgorithm::kRandom) {
+    // The heuristics must find the 1-bridge (undirected weight 2) cut.
+    EXPECT_DOUBLE_EQ(b.cut_weight, 2.0);
+    // Each clique lands on one side.
+    for (NodeId id = 1; id < 4; ++id) EXPECT_EQ(b.side[id], b.side[0]);
+    for (NodeId id = 5; id < 8; ++id) EXPECT_EQ(b.side[id], b.side[4]);
+    EXPECT_NE(b.side[0], b.side[4]);
+  }
+}
+
+TEST_P(BisectionTest, CutWeightMatchesAssignment) {
+  Network net = GenerateMinneapolisLikeMap(17);
+  std::vector<NodeId> ids = net.NodeIds();
+  std::vector<NodeId> subset(ids.begin(), ids.begin() + 200);
+  PartitionGraph g = PartitionGraph::FromNetwork(net, subset, false);
+  Bisection b = TwoWayPartition(g, g.TotalSize() / 4, GetParam(), 5);
+  EXPECT_DOUBLE_EQ(b.cut_weight, CutWeight(g, b.side));
+  size_t sa, sb;
+  SideSizes(g, b.side, &sa, &sb);
+  EXPECT_EQ(sa, b.size_a);
+  EXPECT_EQ(sb, b.size_b);
+  EXPECT_GE(sa, g.TotalSize() / 4);
+  EXPECT_GE(sb, g.TotalSize() / 4);
+}
+
+TEST_P(BisectionTest, HeuristicsBeatRandom) {
+  if (GetParam() == PartitionAlgorithm::kRandom) GTEST_SKIP();
+  Network net = GenerateMinneapolisLikeMap(23);
+  std::vector<NodeId> ids = net.NodeIds();
+  std::vector<NodeId> subset(ids.begin(), ids.begin() + 400);
+  PartitionGraph g = PartitionGraph::FromNetwork(net, subset, false);
+  Bisection smart = TwoWayPartition(g, g.TotalSize() / 4, GetParam(), 5);
+  Bisection random =
+      TwoWayPartition(g, g.TotalSize() / 4, PartitionAlgorithm::kRandom, 5);
+  EXPECT_LT(smart.cut_weight, random.cut_weight * 0.5);
+}
+
+TEST_P(BisectionTest, DeterministicForSeed) {
+  Network net = GenerateMinneapolisLikeMap(41);
+  std::vector<NodeId> ids = net.NodeIds();
+  std::vector<NodeId> subset(ids.begin(), ids.begin() + 300);
+  PartitionGraph g = PartitionGraph::FromNetwork(net, subset, false);
+  Bisection a = TwoWayPartition(g, g.TotalSize() / 4, GetParam(), 99);
+  Bisection b = TwoWayPartition(g, g.TotalSize() / 4, GetParam(), 99);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_EQ(a.cut_weight, b.cut_weight);
+}
+
+TEST_P(BisectionTest, EmptyGraph) {
+  PartitionGraph g;
+  Bisection b = TwoWayPartition(g, 0, GetParam(), 1);
+  EXPECT_TRUE(b.side.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, BisectionTest,
+    ::testing::Values(PartitionAlgorithm::kRatioCut, PartitionAlgorithm::kFm,
+                      PartitionAlgorithm::kKl, PartitionAlgorithm::kRandom),
+    [](const ::testing::TestParamInfo<PartitionAlgorithm>& info) {
+      std::string name = PartitionAlgorithmName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+class ClusterTest : public ::testing::TestWithParam<PartitionAlgorithm> {};
+
+TEST_P(ClusterTest, PagesRespectCapacityAndPartitionNodes) {
+  Network net = GenerateMinneapolisLikeMap(29);
+  ClusterOptions options;
+  options.page_capacity = 1020;
+  options.per_record_overhead = 4;
+  options.algorithm = GetParam();
+  auto pages = ClusterNodesIntoPages(net, net.NodeIds(), options);
+  ASSERT_TRUE(pages.ok());
+  std::set<NodeId> seen;
+  for (const auto& page : pages.value()) {
+    EXPECT_FALSE(page.empty());
+    size_t bytes = 0;
+    for (NodeId id : page) {
+      EXPECT_TRUE(seen.insert(id).second) << "node appears twice";
+      bytes += RecordSizeOf(id, net.node(id)) + 4;
+    }
+    EXPECT_LE(bytes, options.page_capacity);
+  }
+  EXPECT_EQ(seen.size(), net.NumNodes());
+}
+
+TEST_P(ClusterTest, PagesAreReasonablyFull) {
+  Network net = GenerateMinneapolisLikeMap(29);
+  ClusterOptions options;
+  options.page_capacity = 1020;
+  options.algorithm = GetParam();
+  auto pages = ClusterNodesIntoPages(net, net.NodeIds(), options);
+  ASSERT_TRUE(pages.ok());
+  size_t total_bytes = 0;
+  for (NodeId id : net.NodeIds()) {
+    total_bytes += RecordSizeOf(id, net.node(id)) + 4;
+  }
+  // Average fill must beat 50% (every 2-way split keeps sides above the
+  // half-page minimum whenever possible).
+  double avg_fill = static_cast<double>(total_bytes) /
+                    (pages->size() * options.page_capacity);
+  EXPECT_GT(avg_fill, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ClusterTest,
+    ::testing::Values(PartitionAlgorithm::kRatioCut, PartitionAlgorithm::kFm,
+                      PartitionAlgorithm::kKl, PartitionAlgorithm::kRandom),
+    [](const ::testing::TestParamInfo<PartitionAlgorithm>& info) {
+      std::string name = PartitionAlgorithmName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(ClusterTest2, SmallSubsetBecomesOnePage) {
+  Network net = TwoClusters();
+  ClusterOptions options;
+  options.page_capacity = 4096;
+  auto pages = ClusterNodesIntoPages(net, net.NodeIds(), options);
+  ASSERT_TRUE(pages.ok());
+  EXPECT_EQ(pages->size(), 1u);
+}
+
+TEST(ClusterTest2, OversizedRecordRejected) {
+  Network net;
+  ASSERT_TRUE(net.AddNode(1, 0, 0, std::string(500, 'p')).ok());
+  ClusterOptions options;
+  options.page_capacity = 100;
+  auto pages = ClusterNodesIntoPages(net, net.NodeIds(), options);
+  EXPECT_TRUE(pages.status().IsNoSpace());
+}
+
+TEST(ClusterTest2, MissingSubsetNodeRejected) {
+  Network net = TwoClusters();
+  ClusterOptions options;
+  auto pages = ClusterNodesIntoPages(net, {999}, options);
+  EXPECT_TRUE(pages.status().IsInvalidArgument());
+}
+
+TEST(ClusterTest2, RatioCutBeatsRandomOnCrr) {
+  Network net = GenerateMinneapolisLikeMap(31);
+  ClusterOptions options;
+  options.page_capacity = 1020;
+  options.algorithm = PartitionAlgorithm::kRatioCut;
+  auto smart = ClusterNodesIntoPages(net, net.NodeIds(), options);
+  options.algorithm = PartitionAlgorithm::kRandom;
+  auto random = ClusterNodesIntoPages(net, net.NodeIds(), options);
+  ASSERT_TRUE(smart.ok());
+  ASSERT_TRUE(random.ok());
+  auto to_map = [](const std::vector<std::vector<NodeId>>& pages) {
+    NodePageMap map;
+    for (size_t p = 0; p < pages.size(); ++p) {
+      for (NodeId id : pages[p]) map[id] = static_cast<PageId>(p);
+    }
+    return map;
+  };
+  double crr_smart = ComputeCrr(net, to_map(*smart));
+  double crr_random = ComputeCrr(net, to_map(*random));
+  EXPECT_GT(crr_smart, 0.55);
+  EXPECT_GT(crr_smart, crr_random + 0.3);
+}
+
+TEST(RefineTest, PairwiseRefinementDoesNotHurt) {
+  Network net = GenerateMinneapolisLikeMap(37);
+  ClusterOptions options;
+  options.page_capacity = 1020;
+  options.algorithm = PartitionAlgorithm::kFm;
+  auto pages = ClusterNodesIntoPages(net, net.NodeIds(), options);
+  ASSERT_TRUE(pages.ok());
+  auto to_map = [](const std::vector<std::vector<NodeId>>& pages) {
+    NodePageMap map;
+    for (size_t p = 0; p < pages.size(); ++p) {
+      for (NodeId id : pages[p]) map[id] = static_cast<PageId>(p);
+    }
+    return map;
+  };
+  double before = ComputeCrr(net, to_map(*pages));
+  std::vector<std::vector<NodeId>> refined = *pages;
+  RefinePagesPairwise(net, &refined, options, 2);
+  double after = ComputeCrr(net, to_map(refined));
+  EXPECT_GE(after, before);
+  // Refinement must preserve the node partition and page capacity.
+  std::set<NodeId> seen;
+  for (const auto& page : refined) {
+    size_t bytes = 0;
+    for (NodeId id : page) {
+      EXPECT_TRUE(seen.insert(id).second);
+      bytes += RecordSizeOf(id, net.node(id)) + 4;
+    }
+    EXPECT_LE(bytes, options.page_capacity);
+  }
+  EXPECT_EQ(seen.size(), net.NumNodes());
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+#include "src/query/aggregate.h"
+#include "src/query/route_eval.h"
+#include "src/query/search.h"
+
+namespace ccam {
+namespace {
+
+/// Reference in-memory Dijkstra, for differential testing.
+double ReferenceShortestPath(const Network& net, NodeId src, NodeId dst) {
+  std::unordered_map<NodeId, double> dist;
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> open;
+  open.push({0.0, src});
+  dist[src] = 0.0;
+  while (!open.empty()) {
+    auto [d, u] = open.top();
+    open.pop();
+    if (d > dist[u] + 1e-12) continue;
+    if (u == dst) return d;
+    for (const AdjEntry& e : net.node(u).succ) {
+      double nd = d + e.cost;
+      auto it = dist.find(e.node);
+      if (it == dist.end() || nd < it->second) {
+        dist[e.node] = nd;
+        open.push({nd, e.node});
+      }
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : net_(GenerateMinneapolisLikeMap(1995)) {
+    AccessMethodOptions options;
+    options.page_size = 1024;
+    options.buffer_pool_pages = 8;
+    am_ = std::make_unique<Ccam>(options, CcamCreateMode::kStatic);
+    EXPECT_TRUE(am_->Create(net_).ok());
+  }
+
+  Network net_;
+  std::unique_ptr<Ccam> am_;
+};
+
+TEST_F(QueryTest, RouteEvalComputesTotalCost) {
+  auto routes = GenerateRandomWalkRoutes(net_, 5, 12, 3);
+  for (const Route& route : routes) {
+    auto result = EvaluateRoute(am_.get(), route);
+    ASSERT_TRUE(result.ok());
+    double expected = 0.0;
+    for (size_t i = 0; i + 1 < route.nodes.size(); ++i) {
+      float c;
+      ASSERT_TRUE(net_.EdgeCost(route.nodes[i], route.nodes[i + 1], &c).ok());
+      expected += c;
+    }
+    EXPECT_NEAR(result->total_cost, expected, 1e-3);
+    EXPECT_EQ(result->num_edges, route.nodes.size() - 1);
+  }
+}
+
+TEST_F(QueryTest, RouteEvalFailsOnBrokenRoute) {
+  Route bad;
+  bad.nodes = {0, 999999};
+  EXPECT_FALSE(EvaluateRoute(am_.get(), bad).ok());
+  // A pair of nodes with no edge also fails.
+  NodeId u = 0, v = 600;
+  ASSERT_FALSE(net_.HasEdge(u, v));
+  Route noedge;
+  noedge.nodes = {u, v};
+  EXPECT_FALSE(EvaluateRoute(am_.get(), noedge).ok());
+}
+
+TEST_F(QueryTest, EmptyRouteIsFree) {
+  auto result = EvaluateRoute(am_.get(), Route{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->page_accesses, 0u);
+}
+
+TEST_F(QueryTest, RouteEvalIoMatchesCostFormulaWithOnePageBuffer) {
+  // The paper's model: 1 + (L-1)(1-alpha) with one data-page buffer.
+  AccessMethodOptions options;
+  options.page_size = 2048;
+  options.buffer_pool_pages = 1;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net_).ok());
+  double alpha = ComputeCrr(net_, am.PageMap());
+
+  auto routes = GenerateRandomWalkRoutes(net_, 100, 20, 9);
+  uint64_t total = 0;
+  for (const Route& r : routes) {
+    ASSERT_TRUE(am.buffer_pool()->Reset().ok());
+    auto res = EvaluateRoute(&am, r);
+    ASSERT_TRUE(res.ok());
+    total += res->page_accesses;
+  }
+  double actual = static_cast<double>(total) / routes.size();
+  double predicted = 1 + 19 * (1 - alpha);
+  // Random-walk locality makes actual <= predicted, but the same order.
+  EXPECT_LT(actual, predicted * 1.15);
+  EXPECT_GT(actual, predicted * 0.4);
+}
+
+TEST_F(QueryTest, DijkstraMatchesReferenceCosts) {
+  for (auto [src, dst] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 1000}, {5, 900}, {250, 750}, {42, 43}}) {
+    auto result = ShortestPathDijkstra(am_.get(), src, dst);
+    ASSERT_TRUE(result.ok());
+    double expected = ReferenceShortestPath(net_, src, dst);
+    ASSERT_TRUE(result->Found());
+    EXPECT_NEAR(result->cost, expected, expected * 1e-5 + 1e-6);
+    // Path endpoints and continuity.
+    EXPECT_EQ(result->path.front(), src);
+    EXPECT_EQ(result->path.back(), dst);
+    for (size_t i = 0; i + 1 < result->path.size(); ++i) {
+      EXPECT_TRUE(net_.HasEdge(result->path[i], result->path[i + 1]));
+    }
+  }
+}
+
+TEST_F(QueryTest, AStarFindsSameCostWithFewerExpansions) {
+  NodeId src = 0, dst = 1000;
+  auto dij = ShortestPathDijkstra(am_.get(), src, dst);
+  auto astar = ShortestPathAStar(am_.get(), src, dst, 0.7);
+  ASSERT_TRUE(dij.ok());
+  ASSERT_TRUE(astar.ok());
+  ASSERT_TRUE(astar->Found());
+  EXPECT_NEAR(astar->cost, dij->cost, dij->cost * 1e-6);
+  EXPECT_LT(astar->nodes_expanded, dij->nodes_expanded);
+}
+
+TEST_F(QueryTest, SearchToSelfIsFree) {
+  auto res = ShortestPathDijkstra(am_.get(), 7, 7);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->cost, 0.0);
+  EXPECT_EQ(res->path, std::vector<NodeId>{7});
+}
+
+TEST_F(QueryTest, SearchMissingNodeFails) {
+  EXPECT_FALSE(ShortestPathDijkstra(am_.get(), 0, 999999).ok());
+  EXPECT_FALSE(ShortestPathDijkstra(am_.get(), 999999, 0).ok());
+}
+
+TEST_F(QueryTest, RouteUnitAggregation) {
+  auto routes = GenerateRandomWalkRoutes(net_, 1, 15, 21);
+  ASSERT_EQ(routes.size(), 1u);
+  RouteUnit unit;
+  unit.name = "route 21";
+  double expected_total = 0.0;
+  for (size_t i = 0; i + 1 < routes[0].nodes.size(); ++i) {
+    unit.edges.emplace_back(routes[0].nodes[i], routes[0].nodes[i + 1]);
+    float c;
+    ASSERT_TRUE(
+        net_.EdgeCost(routes[0].nodes[i], routes[0].nodes[i + 1], &c).ok());
+    expected_total += c;
+  }
+  auto agg = AggregateRouteUnit(am_.get(), unit);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_NEAR(agg->total_edge_cost, expected_total, 1e-3);
+  EXPECT_EQ(agg->num_edges, unit.edges.size());
+  EXPECT_GE(agg->max_edge_cost, agg->min_edge_cost);
+  EXPECT_GT(agg->num_nodes, 0u);
+}
+
+TEST_F(QueryTest, EmptyRouteUnit) {
+  auto agg = AggregateRouteUnit(am_.get(), RouteUnit{"empty", {}});
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->num_edges, 0u);
+  EXPECT_EQ(agg->total_edge_cost, 0.0);
+}
+
+TEST_F(QueryTest, TourEvaluationClosesTheLoop) {
+  // Find a short cycle: a bidirectional edge gives u -> v -> u.
+  NodeId u = kInvalidNodeId, v = kInvalidNodeId;
+  for (const auto& e : net_.Edges()) {
+    if (net_.HasEdge(e.to, e.from)) {
+      u = e.from;
+      v = e.to;
+      break;
+    }
+  }
+  ASSERT_NE(u, kInvalidNodeId);
+  Route tour;
+  tour.nodes = {u, v};  // open: EvaluateTour must close it
+  auto res = EvaluateTour(am_.get(), tour);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->num_edges, 2u);
+  float c1, c2;
+  ASSERT_TRUE(net_.EdgeCost(u, v, &c1).ok());
+  ASSERT_TRUE(net_.EdgeCost(v, u, &c2).ok());
+  EXPECT_NEAR(res->total_cost, double{c1} + double{c2}, 1e-4);
+}
+
+TEST_F(QueryTest, TourTooShortRejected) {
+  Route tiny;
+  tiny.nodes = {3};
+  EXPECT_TRUE(EvaluateTour(am_.get(), tiny).status().IsInvalidArgument());
+}
+
+TEST_F(QueryTest, LocationAllocationServesReachableDemands) {
+  std::vector<NodeId> facilities{10, 500, 900};
+  std::vector<NodeId> demands;
+  for (NodeId id = 0; id < 1079; id += 25) demands.push_back(id);
+  auto res = EvaluateLocationAllocation(am_.get(), facilities, demands);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->num_served, demands.size() * 9 / 10);
+  EXPECT_GT(res->total_cost, 0.0);
+  EXPECT_GE(res->max_cost, res->total_cost / res->num_served);
+  // A facility node itself is served at distance 0.
+  auto only_facility = EvaluateLocationAllocation(am_.get(), {10}, {10});
+  ASSERT_TRUE(only_facility.ok());
+  EXPECT_EQ(only_facility->num_served, 1u);
+  EXPECT_EQ(only_facility->total_cost, 0.0);
+}
+
+TEST_F(QueryTest, LocationAllocationNeedsFacilities) {
+  EXPECT_TRUE(EvaluateLocationAllocation(am_.get(), {}, {1})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryTest, MultiSourceDistancesAreShortest) {
+  std::vector<NodeId> sources{0, 1000};
+  auto res = MultiSourceDistances(am_.get(), sources);
+  ASSERT_TRUE(res.ok());
+  std::unordered_map<NodeId, double> dist;
+  for (const auto& [node, d] : res->distances) dist[node] = d;
+  for (NodeId probe : {57u, 333u, 808u}) {
+    double expected = std::min(ReferenceShortestPath(net_, 0, probe),
+                               ReferenceShortestPath(net_, 1000, probe));
+    if (std::isinf(expected)) {
+      EXPECT_EQ(dist.count(probe), 0u);
+    } else {
+      ASSERT_TRUE(dist.count(probe)) << probe;
+      EXPECT_NEAR(dist[probe], expected, expected * 1e-5 + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccam

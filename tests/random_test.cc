@@ -1,0 +1,113 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace ccam {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(7);
+  for (uint32_t n : {1u, 2u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(n), n);
+    }
+  }
+}
+
+TEST(RandomTest, UniformIntCoversInclusiveRange) {
+  Random rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    int v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(17);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.03);
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(19);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RandomTest, ShuffleEmptyAndSingleton) {
+  Random rng(21);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(RandomTest, SampleDistinctAndBounded) {
+  Random rng(23);
+  auto sample = rng.Sample(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<uint32_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (uint32_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RandomTest, SampleClampsToPopulation) {
+  Random rng(25);
+  auto sample = rng.Sample(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<uint32_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ccam

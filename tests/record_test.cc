@@ -1,0 +1,126 @@
+#include "src/storage/record.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace ccam {
+namespace {
+
+NodeRecord SampleRecord() {
+  NodeRecord rec;
+  rec.id = 42;
+  rec.x = 1.5;
+  rec.y = -2.25;
+  rec.payload = "attrs";
+  rec.succ = {{7, 1.0f}, {9, 2.5f}};
+  rec.pred = {{3, 0.5f}};
+  return rec;
+}
+
+TEST(RecordTest, EncodeDecodeRoundTrip) {
+  NodeRecord rec = SampleRecord();
+  std::string bytes = rec.Encode();
+  EXPECT_EQ(bytes.size(), rec.EncodedSize());
+  auto decoded = NodeRecord::Decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, rec);
+}
+
+TEST(RecordTest, EncodedSizeFormula) {
+  NodeRecord rec = SampleRecord();
+  EXPECT_EQ(rec.EncodedSize(),
+            kNodeRecordFixedBytes + rec.payload.size() +
+                kNodeRecordAdjEntryBytes * (rec.succ.size() +
+                                            rec.pred.size()));
+}
+
+TEST(RecordTest, EmptyListsRoundTrip) {
+  NodeRecord rec;
+  rec.id = 1;
+  rec.x = 0;
+  rec.y = 0;
+  auto decoded = NodeRecord::Decode(rec.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, rec);
+}
+
+TEST(RecordTest, PeekIdReadsWithoutFullDecode) {
+  NodeRecord rec = SampleRecord();
+  std::string bytes = rec.Encode();
+  EXPECT_EQ(NodeRecord::PeekId(bytes), 42u);
+  EXPECT_EQ(NodeRecord::PeekId("abc"), kInvalidNodeId);  // too short
+}
+
+TEST(RecordTest, DecodeRejectsTruncation) {
+  NodeRecord rec = SampleRecord();
+  std::string bytes = rec.Encode();
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{10}, bytes.size() - 1}) {
+    auto res = NodeRecord::Decode(std::string_view(bytes.data(), cut));
+    EXPECT_FALSE(res.ok()) << "cut=" << cut;
+    EXPECT_TRUE(res.status().IsCorruption());
+  }
+}
+
+TEST(RecordTest, SuccessorCostLookup) {
+  NodeRecord rec = SampleRecord();
+  auto c = rec.SuccessorCost(9);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 2.5f);
+  EXPECT_TRUE(rec.SuccessorCost(3).status().IsNotFound());  // 3 is a pred
+}
+
+TEST(RecordTest, HasSuccessorPredecessor) {
+  NodeRecord rec = SampleRecord();
+  EXPECT_TRUE(rec.HasSuccessor(7));
+  EXPECT_FALSE(rec.HasSuccessor(3));
+  EXPECT_TRUE(rec.HasPredecessor(3));
+  EXPECT_FALSE(rec.HasPredecessor(7));
+}
+
+TEST(RecordTest, NeighborsAreDistinctUnion) {
+  NodeRecord rec = SampleRecord();
+  rec.pred.push_back({7, 9.0f});  // 7 in both lists
+  EXPECT_EQ(rec.Neighbors(), (std::vector<NodeId>{3, 7, 9}));
+}
+
+TEST(RecordTest, FromNetworkNodeCopiesEverything) {
+  NetworkNode node;
+  node.x = 3.5;
+  node.y = 4.5;
+  node.payload = "p";
+  node.succ = {{2, 1.0f}};
+  node.pred = {{4, 2.0f}};
+  NodeRecord rec = NodeRecord::FromNetworkNode(9, node);
+  EXPECT_EQ(rec.id, 9u);
+  EXPECT_EQ(rec.x, 3.5);
+  EXPECT_EQ(rec.payload, "p");
+  EXPECT_EQ(rec.succ, node.succ);
+  EXPECT_EQ(rec.pred, node.pred);
+  EXPECT_EQ(RecordSizeOf(9, node), rec.EncodedSize());
+}
+
+/// Property sweep: random records round-trip for many shapes.
+TEST(RecordTest, RandomRecordsRoundTrip) {
+  Random rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    NodeRecord rec;
+    rec.id = rng.Next();
+    rec.x = rng.NextDouble() * 1e6 - 5e5;
+    rec.y = rng.NextDouble() * 1e6 - 5e5;
+    rec.payload = std::string(rng.Uniform(32), static_cast<char>('a' + trial % 26));
+    int ns = rng.Uniform(8), np = rng.Uniform(8);
+    for (int i = 0; i < ns; ++i) {
+      rec.succ.push_back({rng.Next(), static_cast<float>(rng.NextDouble())});
+    }
+    for (int i = 0; i < np; ++i) {
+      rec.pred.push_back({rng.Next(), static_cast<float>(rng.NextDouble())});
+    }
+    auto decoded = NodeRecord::Decode(rec.Encode());
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(*decoded, rec);
+  }
+}
+
+}  // namespace
+}  // namespace ccam

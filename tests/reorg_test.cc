@@ -1,0 +1,97 @@
+#include "src/core/reorg.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+/// 6 nodes on 3 pages: pages 0-1 and 1-2 are PAG neighbors; 0-2 are not.
+struct Fixture {
+  Network net;
+  NodePageMap map;
+
+  Fixture() {
+    for (NodeId id = 0; id < 6; ++id) {
+      EXPECT_TRUE(net.AddNode(id, id, 0).ok());
+      map[id] = id / 2;  // pages 0,0,1,1,2,2
+    }
+    EXPECT_TRUE(net.AddBidirectionalEdge(0, 1, 1.0f).ok());  // intra page 0
+    EXPECT_TRUE(net.AddBidirectionalEdge(2, 3, 1.0f).ok());  // intra page 1
+    EXPECT_TRUE(net.AddBidirectionalEdge(4, 5, 1.0f).ok());  // intra page 2
+    EXPECT_TRUE(net.AddEdge(1, 2, 1.0f).ok());               // page 0 - 1
+    EXPECT_TRUE(net.AddEdge(3, 4, 1.0f).ok());               // page 1 - 2
+  }
+};
+
+TEST(PagTest, BuildMatchesDefinition) {
+  Fixture f;
+  PageAccessGraph pag = PageAccessGraph::Build(f.net, f.map);
+  EXPECT_EQ(pag.NumPages(), 3u);
+  EXPECT_EQ(pag.NumEdges(), 2u);
+  EXPECT_TRUE(pag.IsNeighborPage(0, 1));
+  EXPECT_TRUE(pag.IsNeighborPage(1, 0));  // symmetric
+  EXPECT_TRUE(pag.IsNeighborPage(1, 2));
+  EXPECT_FALSE(pag.IsNeighborPage(0, 2));
+  EXPECT_FALSE(pag.IsNeighborPage(0, 0));  // intra-page edges excluded
+}
+
+TEST(PagTest, NbrPages) {
+  Fixture f;
+  PageAccessGraph pag = PageAccessGraph::Build(f.net, f.map);
+  EXPECT_EQ(pag.NbrPages(0), std::vector<PageId>{1});
+  EXPECT_EQ(pag.NbrPages(1), (std::vector<PageId>{0, 2}));
+  EXPECT_EQ(pag.NbrPages(2), std::vector<PageId>{1});
+  EXPECT_TRUE(pag.NbrPages(99).empty());
+}
+
+TEST(PagTest, PagesAndDegree) {
+  Fixture f;
+  PageAccessGraph pag = PageAccessGraph::Build(f.net, f.map);
+  EXPECT_EQ(pag.Pages(), (std::vector<PageId>{0, 1, 2}));
+  EXPECT_NEAR(pag.AvgDegree(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(PagTest, PagesOfNbrsDefinition) {
+  Fixture f;
+  // Node 2 (page 1) has neighbors 1 (page 0) and 3 (page 1).
+  EXPECT_EQ(PagesOfNbrs(f.net, 2, f.map), (std::vector<PageId>{0, 1}));
+  // Node 0 has only neighbor 1 (same page 0).
+  EXPECT_EQ(PagesOfNbrs(f.net, 0, f.map), std::vector<PageId>{0});
+}
+
+TEST(PagTest, UnmappedNodesIgnored) {
+  Fixture f;
+  f.map.erase(4);
+  PageAccessGraph pag = PageAccessGraph::Build(f.net, f.map);
+  EXPECT_FALSE(pag.IsNeighborPage(1, 2));  // 3-4 edge lost its endpoint
+}
+
+TEST(PagTest, HighCrrClusteringHasSparsePag) {
+  // A good clustering confines edges within pages, so the PAG is sparse
+  // relative to a random assignment of the same page count.
+  Network net = GenerateMinneapolisLikeMap(1995);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  PageAccessGraph good = PageAccessGraph::Build(net, am.PageMap());
+
+  // Scramble: same pages, nodes assigned round-robin.
+  NodePageMap scrambled;
+  std::vector<PageId> pages;
+  for (const auto& [node, page] : am.PageMap()) pages.push_back(page);
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  size_t i = 0;
+  for (NodeId id : net.NodeIds()) {
+    scrambled[id] = pages[i++ % pages.size()];
+  }
+  PageAccessGraph bad = PageAccessGraph::Build(net, scrambled);
+  EXPECT_LT(good.AvgDegree(), bad.AvgDegree() * 0.5);
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,95 @@
+#include "src/graph/route.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+class RouteTest : public ::testing::Test {
+ protected:
+  RouteTest() : net_(GenerateMinneapolisLikeMap(1995)) {}
+  Network net_;
+};
+
+TEST_F(RouteTest, RandomWalksHaveRequestedLength) {
+  for (int length : {10, 20, 30, 40}) {
+    auto routes = GenerateRandomWalkRoutes(net_, 100, length, 42);
+    ASSERT_EQ(routes.size(), 100u) << "length " << length;
+    for (const Route& r : routes) {
+      EXPECT_EQ(static_cast<int>(r.Length()), length);
+    }
+  }
+}
+
+TEST_F(RouteTest, RandomWalksAreValidRoutes) {
+  auto routes = GenerateRandomWalkRoutes(net_, 50, 25, 7);
+  for (const Route& r : routes) {
+    EXPECT_TRUE(IsValidRoute(net_, r));
+  }
+}
+
+TEST_F(RouteTest, WalksAvoidImmediateBacktrackWhenPossible) {
+  auto routes = GenerateRandomWalkRoutes(net_, 50, 20, 9);
+  int backtracks = 0, steps = 0;
+  for (const Route& r : routes) {
+    for (size_t i = 2; i < r.nodes.size(); ++i) {
+      ++steps;
+      if (r.nodes[i] == r.nodes[i - 2]) ++backtracks;
+    }
+  }
+  // Backtracking happens only at (rare) dead ends.
+  EXPECT_LT(backtracks, steps / 10);
+}
+
+TEST_F(RouteTest, DeterministicForSeed) {
+  auto a = GenerateRandomWalkRoutes(net_, 10, 15, 3);
+  auto b = GenerateRandomWalkRoutes(net_, 10, 15, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+  }
+}
+
+TEST_F(RouteTest, WeightsCountTraversals) {
+  auto routes = GenerateRandomWalkRoutes(net_, 100, 10, 5);
+  Network net = net_;
+  DeriveEdgeWeightsFromRoutes(&net, routes);
+  // Total weight equals total number of edge traversals.
+  double total = net.TotalEdgeWeight();
+  EXPECT_DOUBLE_EQ(total, 100.0 * 9.0);
+  // Every traversed edge has weight >= 1; untouched edges have weight 0.
+  for (const Route& r : routes) {
+    for (size_t i = 0; i + 1 < r.nodes.size(); ++i) {
+      EXPECT_GE(net.EdgeWeight(r.nodes[i], r.nodes[i + 1]), 1.0);
+    }
+  }
+}
+
+TEST_F(RouteTest, UnusedEdgesGetZeroWeight) {
+  Network net = net_;
+  DeriveEdgeWeightsFromRoutes(&net, {});  // no routes at all
+  EXPECT_DOUBLE_EQ(net.TotalEdgeWeight(), 0.0);
+}
+
+TEST(RouteValidityTest, DetectsBrokenRoutes) {
+  Network net;
+  ASSERT_TRUE(net.AddNode(1, 0, 0).ok());
+  ASSERT_TRUE(net.AddNode(2, 1, 0).ok());
+  ASSERT_TRUE(net.AddEdge(1, 2, 1.0f).ok());
+  EXPECT_TRUE(IsValidRoute(net, Route{{1, 2}}));
+  EXPECT_FALSE(IsValidRoute(net, Route{{2, 1}}));   // wrong direction
+  EXPECT_FALSE(IsValidRoute(net, Route{{1, 99}}));  // missing node
+  EXPECT_TRUE(IsValidRoute(net, Route{{1}}));       // single node ok
+  EXPECT_TRUE(IsValidRoute(net, Route{}));          // empty ok
+}
+
+TEST(RouteDegenerateTest, EmptyNetworkYieldsNoRoutes) {
+  Network net;
+  auto routes = GenerateRandomWalkRoutes(net, 5, 10, 1);
+  EXPECT_TRUE(routes.empty());
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,194 @@
+#include "src/index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace ccam {
+namespace {
+
+TEST(RectTest, Basics) {
+  Rect a{0, 0, 10, 10};
+  Rect b{5, 5, 15, 15};
+  Rect c{20, 20, 30, 30};
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Contains(Rect{2, 2, 3, 3}));
+  EXPECT_FALSE(a.Contains(b));
+  EXPECT_DOUBLE_EQ(a.Area(), 100.0);
+  Rect u = a.Union(c);
+  EXPECT_DOUBLE_EQ(u.xmin, 0.0);
+  EXPECT_DOUBLE_EQ(u.xmax, 30.0);
+}
+
+TEST(RectTest, DistanceSq) {
+  Rect r{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(r.DistanceSq(5, 5), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(r.DistanceSq(13, 5), 9.0);  // right of
+  EXPECT_DOUBLE_EQ(r.DistanceSq(13, 14), 25.0);  // corner
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_EQ(tree.NumEntries(), 0u);
+  EXPECT_TRUE(tree.Search(Rect{0, 0, 100, 100}).empty());
+  EXPECT_TRUE(tree.KNearest(0, 0, 3).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, InsertAndSearch) {
+  RTree tree;
+  tree.Insert(Rect::Point(1, 1), 11);
+  tree.Insert(Rect::Point(5, 5), 55);
+  tree.Insert(Rect{2, 2, 4, 4}, 99);
+  auto hits = tree.Search(Rect{0, 0, 3, 3});
+  std::set<uint64_t> got(hits.begin(), hits.end());
+  EXPECT_EQ(got, (std::set<uint64_t>{11, 99}));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, SplitsKeepInvariants) {
+  RTree tree(6);
+  Random rng(1);
+  for (uint64_t i = 0; i < 500; ++i) {
+    tree.Insert(Rect::Point(rng.NextDouble() * 100, rng.NextDouble() * 100),
+                i);
+  }
+  EXPECT_EQ(tree.NumEntries(), 500u);
+  EXPECT_GT(tree.Height(), 1);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, SearchMatchesBruteForce) {
+  RTree tree(8);
+  Random rng(2);
+  std::vector<std::pair<Rect, uint64_t>> data;
+  for (uint64_t i = 0; i < 400; ++i) {
+    double x = rng.NextDouble() * 100, y = rng.NextDouble() * 100;
+    Rect r{x, y, x + rng.NextDouble() * 5, y + rng.NextDouble() * 5};
+    tree.Insert(r, i);
+    data.emplace_back(r, i);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    double x = rng.NextDouble() * 90, y = rng.NextDouble() * 90;
+    Rect q{x, y, x + rng.NextDouble() * 20, y + rng.NextDouble() * 20};
+    auto hits = tree.Search(q);
+    std::set<uint64_t> got(hits.begin(), hits.end());
+    std::set<uint64_t> expected;
+    for (const auto& [r, v] : data) {
+      if (r.Intersects(q)) expected.insert(v);
+    }
+    ASSERT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, DeleteRemovesAndCondenses) {
+  RTree tree(5);
+  Random rng(3);
+  std::vector<std::pair<Rect, uint64_t>> data;
+  for (uint64_t i = 0; i < 300; ++i) {
+    Rect r = Rect::Point(rng.NextDouble() * 50, rng.NextDouble() * 50);
+    tree.Insert(r, i);
+    data.emplace_back(r, i);
+  }
+  for (size_t i = 0; i < data.size(); i += 2) {
+    ASSERT_TRUE(tree.Delete(data[i].first, data[i].second).ok()) << i;
+    if (i % 20 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "after delete " << i;
+    }
+  }
+  EXPECT_EQ(tree.NumEntries(), 150u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // Deleted entries are gone; kept entries remain findable.
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto hits = tree.Search(data[i].first);
+    bool found =
+        std::find(hits.begin(), hits.end(), data[i].second) != hits.end();
+    EXPECT_EQ(found, i % 2 == 1) << i;
+  }
+}
+
+TEST(RTreeTest, DeleteMissingFails) {
+  RTree tree;
+  tree.Insert(Rect::Point(1, 1), 7);
+  EXPECT_TRUE(tree.Delete(Rect::Point(2, 2), 7).IsNotFound());
+  EXPECT_TRUE(tree.Delete(Rect::Point(1, 1), 8).IsNotFound());
+  EXPECT_TRUE(tree.Delete(Rect::Point(1, 1), 7).ok());
+  EXPECT_EQ(tree.NumEntries(), 0u);
+}
+
+TEST(RTreeTest, DeleteEverything) {
+  RTree tree(4);
+  Random rng(4);
+  std::vector<std::pair<Rect, uint64_t>> data;
+  for (uint64_t i = 0; i < 200; ++i) {
+    Rect r = Rect::Point(rng.NextDouble() * 10, rng.NextDouble() * 10);
+    tree.Insert(r, i);
+    data.emplace_back(r, i);
+  }
+  for (const auto& [r, v] : data) {
+    ASSERT_TRUE(tree.Delete(r, v).ok());
+  }
+  EXPECT_EQ(tree.NumEntries(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, KNearestMatchesBruteForce) {
+  RTree tree(8);
+  Random rng(5);
+  std::vector<std::pair<double, uint64_t>> by_dist;
+  std::vector<std::pair<Rect, uint64_t>> data;
+  const double qx = 50, qy = 50;
+  for (uint64_t i = 0; i < 300; ++i) {
+    double x = rng.NextDouble() * 100, y = rng.NextDouble() * 100;
+    tree.Insert(Rect::Point(x, y), i);
+    data.emplace_back(Rect::Point(x, y), i);
+    by_dist.emplace_back(std::hypot(x - qx, y - qy), i);
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  for (size_t k : {size_t{1}, size_t{5}, size_t{20}}) {
+    auto got = tree.KNearest(qx, qy, k);
+    ASSERT_EQ(got.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(got[i], by_dist[i].second) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(RTreeTest, KNearestClampsToSize) {
+  RTree tree;
+  tree.Insert(Rect::Point(1, 1), 1);
+  tree.Insert(Rect::Point(2, 2), 2);
+  EXPECT_EQ(tree.KNearest(0, 0, 10).size(), 2u);
+}
+
+TEST(RTreeTest, MixedInsertDeleteChurn) {
+  RTree tree(6);
+  Random rng(6);
+  std::vector<std::pair<Rect, uint64_t>> live;
+  uint64_t next = 0;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      Rect r = Rect::Point(rng.NextDouble() * 100, rng.NextDouble() * 100);
+      tree.Insert(r, next);
+      live.emplace_back(r, next++);
+    } else {
+      size_t pick = rng.Uniform(static_cast<uint32_t>(live.size()));
+      ASSERT_TRUE(tree.Delete(live[pick].first, live[pick].second).ok());
+      live.erase(live.begin() + pick);
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "step " << step;
+      ASSERT_EQ(tree.NumEntries(), live.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccam

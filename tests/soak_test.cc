@@ -1,0 +1,125 @@
+// Long-haul soak: 2000 mixed operations with randomly chosen
+// reorganization policies, lazy reclustering enabled, against the
+// in-memory mirror. Catches rare interactions the per-feature tests and
+// the 400-step integration workload may miss.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+TEST(SoakTest, TwoThousandMixedOpsUnderRandomPolicies) {
+  Network net = GenerateMinneapolisLikeMap(31337);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  options.buffer_pool_pages = 6;
+  options.maintain_bptree_index = true;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  am.EnableLazyReorganization(9);
+
+  Network mirror = net;
+  Random rng(271828);
+  NodeId next_new_id = 200000;
+  auto policy = [&]() {
+    switch (rng.Uniform(3)) {
+      case 0:
+        return ReorgPolicy::kFirstOrder;
+      case 1:
+        return ReorgPolicy::kSecondOrder;
+      default:
+        return ReorgPolicy::kHigherOrder;
+    }
+  };
+  auto any_node = [&]() {
+    auto ids = mirror.NodeIds();
+    return ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+  };
+
+  const int kSteps = 2000;
+  for (int step = 0; step < kSteps; ++step) {
+    switch (rng.Uniform(8)) {
+      case 0: {  // delete node
+        NodeId victim = any_node();
+        ASSERT_TRUE(am.DeleteNode(victim, policy()).ok()) << step;
+        ASSERT_TRUE(mirror.RemoveNode(victim).ok());
+        break;
+      }
+      case 1: {  // insert fresh node wired to up to 3 anchors
+        NodeRecord rec;
+        rec.id = next_new_id++;
+        rec.x = rng.NextDouble() * 3300;
+        rec.y = rng.NextDouble() * 3300;
+        int wires = 1 + rng.Uniform(3);
+        std::vector<NodeId> anchors;
+        for (int w = 0; w < wires; ++w) {
+          NodeId a = any_node();
+          if (std::find(anchors.begin(), anchors.end(), a) !=
+              anchors.end()) {
+            continue;
+          }
+          anchors.push_back(a);
+          rec.succ.push_back({a, 1.0f});
+        }
+        ASSERT_TRUE(am.InsertNode(rec, policy()).ok()) << step;
+        ASSERT_TRUE(mirror.AddNode(rec.id, rec.x, rec.y).ok());
+        for (NodeId a : anchors) {
+          ASSERT_TRUE(mirror.AddEdge(rec.id, a, 1.0f).ok());
+        }
+        break;
+      }
+      case 2: {  // insert edge
+        NodeId u = any_node(), v = any_node();
+        if (u == v || mirror.HasEdge(u, v)) break;
+        ASSERT_TRUE(am.InsertEdge(u, v, 3.0f, policy()).ok()) << step;
+        ASSERT_TRUE(mirror.AddEdge(u, v, 3.0f).ok());
+        break;
+      }
+      case 3: {  // delete edge
+        auto edges = mirror.Edges();
+        if (edges.empty()) break;
+        const auto& e =
+            edges[rng.Uniform(static_cast<uint32_t>(edges.size()))];
+        ASSERT_TRUE(am.DeleteEdge(e.from, e.to, policy()).ok()) << step;
+        ASSERT_TRUE(mirror.RemoveEdge(e.from, e.to).ok());
+        break;
+      }
+      default: {  // reads dominate, as in real workloads
+        NodeId probe = any_node();
+        auto rec = am.Find(probe);
+        ASSERT_TRUE(rec.ok()) << step;
+        ASSERT_EQ(rec->succ.size(), mirror.node(probe).succ.size())
+            << "step " << step << " node " << probe;
+        if (!rec->succ.empty()) {
+          auto hop = am.GetASuccessor(probe, rec->succ[0].node);
+          ASSERT_TRUE(hop.ok());
+        }
+        break;
+      }
+    }
+    if (step % 500 == 499) {
+      ASSERT_TRUE(am.CheckFileInvariants().ok()) << "step " << step;
+      ASSERT_EQ(am.PageMap().size(), mirror.NumNodes());
+    }
+  }
+
+  // Full final diff.
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  for (NodeId id : mirror.NodeIds()) {
+    auto rec = am.Find(id);
+    ASSERT_TRUE(rec.ok()) << id;
+    ASSERT_EQ(rec->succ.size(), mirror.node(id).succ.size()) << id;
+    ASSERT_EQ(rec->pred.size(), mirror.node(id).pred.size()) << id;
+  }
+  double crr = ComputeCrr(mirror, am.PageMap());
+  EXPECT_GT(crr, 0.3);  // lazy + policy reclustering keeps quality alive
+}
+
+}  // namespace
+}  // namespace ccam

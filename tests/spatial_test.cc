@@ -1,0 +1,175 @@
+#include "src/query/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/random.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+class SpatialTest : public ::testing::Test {
+ protected:
+  SpatialTest() : net_(GenerateMinneapolisLikeMap(1995)) {
+    AccessMethodOptions options;
+    options.page_size = 1024;
+    options.buffer_pool_pages = 8;
+    am_ = std::make_unique<Ccam>(options, CcamCreateMode::kStatic);
+    EXPECT_TRUE(am_->Create(net_).ok());
+    auto engine = SpatialQueryEngine::Build(am_.get());
+    EXPECT_TRUE(engine.ok());
+    engine_ = std::move(*engine);
+  }
+
+  std::set<NodeId> BruteForceWindow(double xmin, double ymin, double xmax,
+                                    double ymax) const {
+    std::set<NodeId> out;
+    for (NodeId id : net_.NodeIds()) {
+      const NetworkNode& n = net_.node(id);
+      if (n.x >= xmin && n.x <= xmax && n.y >= ymin && n.y <= ymax) {
+        out.insert(id);
+      }
+    }
+    return out;
+  }
+
+  Network net_;
+  std::unique_ptr<Ccam> am_;
+  std::unique_ptr<SpatialQueryEngine> engine_;
+};
+
+TEST_F(SpatialTest, BuildIndexesEveryNode) {
+  EXPECT_EQ(engine_->NumIndexedNodes(), net_.NumNodes());
+}
+
+TEST_F(SpatialTest, WindowQueryMatchesBruteForceZOrder) {
+  Random rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    double xmin = rng.NextDouble() * 2500;
+    double ymin = rng.NextDouble() * 2500;
+    double xmax = xmin + rng.NextDouble() * 800;
+    double ymax = ymin + rng.NextDouble() * 800;
+    auto res = engine_->WindowQuery(xmin, ymin, xmax, ymax,
+                                    SpatialQueryEngine::IndexKind::kZOrderBTree);
+    ASSERT_TRUE(res.ok());
+    std::set<NodeId> got;
+    for (const NodeRecord& rec : res->records) got.insert(rec.id);
+    EXPECT_EQ(got, BruteForceWindow(xmin, ymin, xmax, ymax))
+        << "trial " << trial;
+  }
+}
+
+TEST_F(SpatialTest, WindowQueryMatchesBruteForceRTree) {
+  Random rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    double xmin = rng.NextDouble() * 2500;
+    double ymin = rng.NextDouble() * 2500;
+    double xmax = xmin + rng.NextDouble() * 800;
+    double ymax = ymin + rng.NextDouble() * 800;
+    auto res = engine_->WindowQuery(xmin, ymin, xmax, ymax,
+                                    SpatialQueryEngine::IndexKind::kRTree);
+    ASSERT_TRUE(res.ok());
+    std::set<NodeId> got;
+    for (const NodeRecord& rec : res->records) got.insert(rec.id);
+    EXPECT_EQ(got, BruteForceWindow(xmin, ymin, xmax, ymax))
+        << "trial " << trial;
+  }
+}
+
+TEST_F(SpatialTest, BothIndexesAgree) {
+  auto a = engine_->WindowQuery(500, 500, 1500, 1500,
+                                SpatialQueryEngine::IndexKind::kZOrderBTree);
+  auto b = engine_->WindowQuery(500, 500, 1500, 1500,
+                                SpatialQueryEngine::IndexKind::kRTree);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->records.size(), b->records.size());
+}
+
+TEST_F(SpatialTest, BigMinSkippingActuallySkips) {
+  // A small window far from the curve start must trigger BIGMIN jumps and
+  // scan far fewer entries than the whole file.
+  auto res = engine_->WindowQuery(2000, 2000, 2300, 2300,
+                                  SpatialQueryEngine::IndexKind::kZOrderBTree);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->bigmin_jumps, 0u);
+  EXPECT_LT(res->entries_scanned, net_.NumNodes() / 2);
+}
+
+TEST_F(SpatialTest, EmptyWindow) {
+  auto res = engine_->WindowQuery(-500, -500, -100, -100);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->records.empty());
+}
+
+TEST_F(SpatialTest, InvertedWindowRejected) {
+  EXPECT_TRUE(engine_->WindowQuery(10, 10, 0, 0).status().IsInvalidArgument());
+}
+
+TEST_F(SpatialTest, WholeMapWindow) {
+  auto res = engine_->WindowQuery(-1e6, -1e6, 1e6, 1e6);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->records.size(), net_.NumNodes());
+}
+
+TEST_F(SpatialTest, NearestNeighborsMatchBruteForce) {
+  Random rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    double qx = rng.NextDouble() * 3200;
+    double qy = rng.NextDouble() * 3200;
+    auto res = engine_->NearestNeighbors(qx, qy, 5);
+    ASSERT_TRUE(res.ok());
+    ASSERT_EQ(res->records.size(), 5u);
+    // Brute-force 5 nearest.
+    std::vector<std::pair<double, NodeId>> by_dist;
+    for (NodeId id : net_.NodeIds()) {
+      const NetworkNode& n = net_.node(id);
+      by_dist.emplace_back(std::hypot(n.x - qx, n.y - qy), id);
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(res->records[i].id, by_dist[i].second)
+          << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST_F(SpatialTest, InsertAndRemoveKeepIndexesInSync) {
+  // Add a node to the file + engine, find it spatially, then remove it.
+  NodeRecord rec;
+  rec.id = 70000;
+  rec.x = 1234.5;
+  rec.y = 2345.6;
+  ASSERT_TRUE(am_->InsertNode(rec, ReorgPolicy::kFirstOrder).ok());
+  ASSERT_TRUE(engine_->InsertNode(rec.id, rec.x, rec.y).ok());
+  auto res = engine_->WindowQuery(1230, 2340, 1240, 2350);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->records.size(), 1u);
+  EXPECT_EQ(res->records[0].id, 70000u);
+
+  ASSERT_TRUE(engine_->RemoveNode(rec.id, rec.x, rec.y).ok());
+  ASSERT_TRUE(am_->DeleteNode(rec.id, ReorgPolicy::kFirstOrder).ok());
+  res = engine_->WindowQuery(1230, 2340, 1240, 2350);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->records.empty());
+  EXPECT_TRUE(
+      engine_->RemoveNode(rec.id, rec.x, rec.y).IsNotFound());
+}
+
+TEST_F(SpatialTest, DataIoCountedPerQuery) {
+  (void)am_->buffer_pool()->Reset();
+  auto res = engine_->WindowQuery(0, 0, 600, 600);
+  ASSERT_TRUE(res.ok());
+  ASSERT_GT(res->records.size(), 5u);
+  EXPECT_GT(res->data_page_accesses, 0u);
+  // Fetching clustered records costs far fewer pages than records.
+  EXPECT_LT(res->data_page_accesses, res->records.size());
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,103 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+
+namespace ccam {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NoSpace("x").IsNoSpace());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::NotFound("node 42");
+  EXPECT_EQ(s.ToString(), "NotFound: node 42");
+  EXPECT_EQ(s.message(), "node 42");
+}
+
+TEST(StatusTest, NonOkStatusesAreDistinct) {
+  EXPECT_FALSE(Status::NotFound("").IsCorruption());
+  EXPECT_FALSE(Status::IOError("").IsNotFound());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::Corruption("bad page");
+  Status b = a;
+  EXPECT_TRUE(b.IsCorruption());
+  EXPECT_EQ(b.message(), "bad page");
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.IsCorruption());
+}
+
+Status Helper(bool fail) {
+  CCAM_RETURN_NOT_OK(fail ? Status::IOError("disk gone") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(Helper(false).ok());
+  EXPECT_TRUE(Helper(true).IsIOError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  CCAM_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(3, &out).ok());
+  EXPECT_EQ(out, 3);
+  EXPECT_TRUE(UseAssignOrReturn(-1, &out).IsInvalidArgument());
+  EXPECT_EQ(out, 3);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace ccam

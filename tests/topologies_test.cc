@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/baseline/order_am.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+#include "src/partition/recursive_bisection.h"
+#include "src/storage/record.h"
+
+namespace ccam {
+namespace {
+
+TEST(RingRadialTest, NodeAndEdgeCounts) {
+  const int rings = 5, radials = 12;
+  Network net = GenerateRingRadialCity(rings, radials);
+  EXPECT_EQ(net.NumNodes(), static_cast<size_t>(1 + rings * radials));
+  // Streets: rings*radials ring arcs + (rings-1)*radials radial segments
+  // + radials spokes, each a bidirectional pair.
+  size_t streets = rings * radials + (rings - 1) * radials + radials;
+  EXPECT_EQ(net.NumEdges(), 2 * streets);
+  EXPECT_TRUE(net.IsWeaklyConnected());
+}
+
+TEST(RingRadialTest, GeometryIsConcentric) {
+  Network net = GenerateRingRadialCity(3, 8, 50.0);
+  // Every node's distance from the origin is a multiple of the spacing.
+  for (NodeId id : net.NodeIds()) {
+    const NetworkNode& n = net.node(id);
+    double r = std::hypot(n.x, n.y);
+    double nearest = std::round(r / 50.0) * 50.0;
+    EXPECT_NEAR(r, nearest, 1e-6);
+  }
+}
+
+TEST(RingRadialTest, CcamClustersWell) {
+  Network net = GenerateRingRadialCity(8, 24);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  Ccam am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  ASSERT_TRUE(am.CheckFileInvariants().ok());
+  EXPECT_GT(ComputeCrr(net, am.PageMap()), 0.5);
+}
+
+TEST(ScaleFreeTest, BasicShape) {
+  Network net = GenerateScaleFreeNetwork(500, 2);
+  EXPECT_EQ(net.NumNodes(), 500u);
+  EXPECT_TRUE(net.IsWeaklyConnected());
+  // Preferential attachment: expect a hub much above the mean degree.
+  size_t max_deg = 0;
+  for (NodeId id : net.NodeIds()) {
+    max_deg = std::max(max_deg, net.node(id).succ.size());
+  }
+  double mean_deg = net.AvgOutDegree();
+  EXPECT_GT(static_cast<double>(max_deg), mean_deg * 5);
+}
+
+TEST(ScaleFreeTest, DeterministicPerSeed) {
+  Network a = GenerateScaleFreeNetwork(200, 2, 1000.0, 5);
+  Network b = GenerateScaleFreeNetwork(200, 2, 1000.0, 5);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+}
+
+TEST(ScaleFreeTest, CcamStillOrdersAboveBfs) {
+  // Hubs cap everyone's CRR, but connectivity clustering must still beat
+  // BFS ordering — "general networks", not just road maps.
+  Network net = GenerateScaleFreeNetwork(800, 2);
+  AccessMethodOptions options;
+  // Hub records exceed 1 KiB (a record must fit one page), so scale-free
+  // networks need larger blocks.
+  options.page_size = 4096;
+  Ccam ccam_am(options, CcamCreateMode::kStatic);
+  OrderAm bfs_am(options, NodeOrderKind::kBfs);
+  ASSERT_TRUE(ccam_am.Create(net).ok());
+  ASSERT_TRUE(bfs_am.Create(net).ok());
+  double crr_ccam = ComputeCrr(net, ccam_am.PageMap());
+  double crr_bfs = ComputeCrr(net, bfs_am.PageMap());
+  EXPECT_GT(crr_ccam, crr_bfs);
+}
+
+TEST(MinFillTest, LowerMinFillTradesPagesForCrr) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  std::map<double, std::pair<double, size_t>> results;  // fill -> (crr, pages)
+  for (double fill : {0.25, 0.5}) {
+    ClusterOptions options;
+    options.page_capacity = 1020;
+    options.per_record_overhead = 4;
+    options.min_fill_fraction = fill;
+    auto pages = ClusterNodesIntoPages(net, net.NodeIds(), options);
+    ASSERT_TRUE(pages.ok());
+    NodePageMap map;
+    for (size_t p = 0; p < pages->size(); ++p) {
+      for (NodeId id : (*pages)[p]) map[id] = static_cast<PageId>(p);
+    }
+    results[fill] = {ComputeCrr(net, map), pages->size()};
+  }
+  // Relaxing the fill bound can only help (or tie) the cut...
+  EXPECT_GE(results[0.25].first, results[0.5].first - 0.02);
+  // ...at the cost of at least as many pages.
+  EXPECT_GE(results[0.25].second, results[0.5].second);
+}
+
+TEST(MinFillTest, RespectedByBisection) {
+  Network net = GenerateMinneapolisLikeMap(3);
+  ClusterOptions options;
+  options.page_capacity = 2040;
+  options.per_record_overhead = 4;
+  options.min_fill_fraction = 0.4;
+  auto pages = ClusterNodesIntoPages(net, net.NodeIds(), options);
+  ASSERT_TRUE(pages.ok());
+  // All pages fit; totals preserved.
+  size_t total = 0;
+  for (const auto& page : pages.value()) {
+    size_t bytes = 0;
+    for (NodeId id : page) bytes += RecordSizeOf(id, net.node(id)) + 4;
+    EXPECT_LE(bytes, options.page_capacity);
+    total += page.size();
+  }
+  EXPECT_EQ(total, net.NumNodes());
+}
+
+TEST(GeneratorCoverageTest, AllTopologiesFeedAllAms) {
+  std::vector<Network> topologies;
+  topologies.push_back(GenerateRingRadialCity(6, 16));
+  topologies.push_back(GenerateScaleFreeNetwork(300, 2));
+  topologies.push_back(GenerateRandomGeometricNetwork(300, 120.0));
+  for (Network& net : topologies) {
+    AccessMethodOptions options;
+    options.page_size = 4096;  // scale-free hubs need large blocks
+    Ccam am(options, CcamCreateMode::kIncremental);
+    ASSERT_TRUE(am.Create(net).ok());
+    ASSERT_TRUE(am.CheckFileInvariants().ok());
+    EXPECT_EQ(am.PageMap().size(), net.NumNodes());
+  }
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,126 @@
+#include "src/query/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+TEST(TraceParseTest, ParsesEveryVerb) {
+  auto ops = ParseTrace(
+      "# a comment\n"
+      "find 7\n"
+      "get-successors 8\n"
+      "get-a-successor 1 2\n"
+      "insert-node 99 10.5 20.5\n"
+      "insert-edge 1 99 3.25\n"
+      "delete-edge 1 99\n"
+      "delete-node 99\n"
+      "route 1 2 3 4\n"
+      "\n");
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 8u);
+  EXPECT_EQ((*ops)[0].kind, TraceOp::Kind::kFind);
+  EXPECT_EQ((*ops)[0].nodes, std::vector<NodeId>{7});
+  EXPECT_EQ((*ops)[3].kind, TraceOp::Kind::kInsertNode);
+  EXPECT_EQ((*ops)[3].x, 10.5);
+  EXPECT_EQ((*ops)[4].cost, 3.25f);
+  EXPECT_EQ((*ops)[7].nodes.size(), 4u);
+}
+
+TEST(TraceParseTest, InlineCommentsAndBlanksIgnored) {
+  auto ops = ParseTrace("find 1 # trailing comment\n\n   \n");
+  ASSERT_TRUE(ops.ok());
+  EXPECT_EQ(ops->size(), 1u);
+}
+
+TEST(TraceParseTest, RejectsBadLines) {
+  EXPECT_FALSE(ParseTrace("explode 1\n").ok());
+  EXPECT_FALSE(ParseTrace("find\n").ok());
+  EXPECT_FALSE(ParseTrace("get-a-successor 1\n").ok());
+  EXPECT_FALSE(ParseTrace("insert-node 1 2\n").ok());
+  EXPECT_FALSE(ParseTrace("route 1\n").ok());
+  EXPECT_FALSE(ParseTrace("find 1 2\n").ok());  // trailing operand
+  // Error mentions the line number.
+  auto res = ParseTrace("find 1\nbogus\n");
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceParseTest, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadTrace("/no/such/trace").status().IsIOError());
+}
+
+class TraceReplayTest : public ::testing::Test {
+ protected:
+  TraceReplayTest() : net_(GenerateMinneapolisLikeMap(3)) {
+    AccessMethodOptions options;
+    options.page_size = 1024;
+    am_ = std::make_unique<Ccam>(options, CcamCreateMode::kStatic);
+    EXPECT_TRUE(am_->Create(net_).ok());
+  }
+  Network net_;
+  std::unique_ptr<Ccam> am_;
+};
+
+TEST_F(TraceReplayTest, ReplayTalliesPerKind) {
+  auto ops = ParseTrace(
+      "find 1\n"
+      "find 2\n"
+      "get-successors 3\n"
+      "find 424242\n");  // fails (no such node)
+  ASSERT_TRUE(ops.ok());
+  auto report = ReplayTrace(am_.get(), *ops, ReorgPolicy::kFirstOrder);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_ops, 4u);
+  ASSERT_EQ(report->per_kind.size(), 2u);
+  // std::map order: kFind < kGetSuccessors.
+  EXPECT_EQ(report->per_kind[0].first, TraceOp::Kind::kFind);
+  EXPECT_EQ(report->per_kind[0].second.count, 3u);
+  EXPECT_EQ(report->per_kind[0].second.failed, 1u);
+  EXPECT_EQ(report->per_kind[1].second.count, 1u);
+}
+
+TEST_F(TraceReplayTest, UpdateOpsMutateTheFile) {
+  auto ops = ParseTrace(
+      "insert-node 50000 1.0 2.0\n"
+      "insert-edge 50000 3 7.5\n"
+      "get-a-successor 50000 3\n"
+      "delete-edge 50000 3\n"
+      "delete-node 50000\n");
+  ASSERT_TRUE(ops.ok());
+  auto report = ReplayTrace(am_.get(), *ops, ReorgPolicy::kSecondOrder);
+  ASSERT_TRUE(report.ok());
+  for (const auto& [kind, stats] : report->per_kind) {
+    EXPECT_EQ(stats.failed, 0u) << TraceOpKindName(kind);
+  }
+  EXPECT_TRUE(am_->Find(50000).status().IsNotFound());
+  ASSERT_TRUE(am_->CheckFileInvariants().ok());
+}
+
+TEST_F(TraceReplayTest, RouteOpsEvaluate) {
+  // Build a trace route from an actual pair of adjacent nodes.
+  auto edges = net_.Edges();
+  std::string text = "route " + std::to_string(edges[0].from) + " " +
+                     std::to_string(edges[0].to) + "\n";
+  auto ops = ParseTrace(text);
+  ASSERT_TRUE(ops.ok());
+  auto report = ReplayTrace(am_.get(), *ops, ReorgPolicy::kFirstOrder);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->per_kind[0].second.failed, 0u);
+}
+
+TEST_F(TraceReplayTest, ReportToStringReadable) {
+  auto ops = ParseTrace("find 1\nfind 2\n");
+  ASSERT_TRUE(ops.ok());
+  auto report = ReplayTrace(am_.get(), *ops, ReorgPolicy::kFirstOrder);
+  ASSERT_TRUE(report.ok());
+  std::string text = report->ToString();
+  EXPECT_NE(text.find("find: 2 ops"), std::string::npos);
+  EXPECT_NE(text.find("2 operations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccam

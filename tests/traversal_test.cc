@@ -1,0 +1,130 @@
+#include "src/query/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/baseline/order_am.h"
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+AccessMethodOptions Opts() {
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  options.buffer_pool_pages = 8;
+  return options;
+}
+
+/// Directed chain 0 -> 1 -> 2 -> 3, plus an island {10, 11}.
+Network ChainWithIsland() {
+  Network net;
+  for (NodeId id : {0u, 1u, 2u, 3u, 10u, 11u}) {
+    EXPECT_TRUE(net.AddNode(id, id, 0).ok());
+  }
+  EXPECT_TRUE(net.AddEdge(0, 1, 1.0f).ok());
+  EXPECT_TRUE(net.AddEdge(1, 2, 1.0f).ok());
+  EXPECT_TRUE(net.AddEdge(2, 3, 1.0f).ok());
+  EXPECT_TRUE(net.AddBidirectionalEdge(10, 11, 1.0f).ok());
+  return net;
+}
+
+TEST(TraversalTest, ReachabilityFollowsDirectedEdges) {
+  Network net = ChainWithIsland();
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+
+  auto from0 = ReachableFrom(&am, 0);
+  ASSERT_TRUE(from0.ok());
+  EXPECT_EQ(std::set<NodeId>(from0->nodes.begin(), from0->nodes.end()),
+            (std::set<NodeId>{0, 1, 2, 3}));
+  // From node 2 only {2, 3} are reachable (directed).
+  auto from2 = ReachableFrom(&am, 2);
+  ASSERT_TRUE(from2.ok());
+  EXPECT_EQ(std::set<NodeId>(from2->nodes.begin(), from2->nodes.end()),
+            (std::set<NodeId>{2, 3}));
+  // The island is invisible from the chain.
+  for (NodeId id : from0->nodes) EXPECT_LT(id, 10u);
+}
+
+TEST(TraversalTest, DepthBoundRespected) {
+  Network net = ChainWithIsland();
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  auto res = ReachableFrom(&am, 0, /*max_depth=*/1);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(std::set<NodeId>(res->nodes.begin(), res->nodes.end()),
+            (std::set<NodeId>{0, 1}));
+}
+
+TEST(TraversalTest, MissingSourceFails) {
+  Network net = ChainWithIsland();
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  EXPECT_TRUE(ReachableFrom(&am, 999).status().IsNotFound());
+}
+
+TEST(TraversalTest, FullMapReachability) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  auto res = ReachableFrom(&am, 0);
+  ASSERT_TRUE(res.ok());
+  // The generator patches weak connectivity; one-way streets may make a
+  // few nodes unreachable in the directed sense, but the bulk must be.
+  EXPECT_GT(res->nodes.size(), net.NumNodes() * 9 / 10);
+}
+
+TEST(TraversalTest, ClosureSampleAveragesCorrectly) {
+  Network net = ChainWithIsland();
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  auto sample = SampleTransitiveClosure(&am, {0, 2, 10});
+  ASSERT_TRUE(sample.ok());
+  // |reach(0)| = 4, |reach(2)| = 2, |reach(10)| = 2 -> mean 8/3.
+  EXPECT_NEAR(sample->mean_reachable, 8.0 / 3.0, 1e-12);
+}
+
+TEST(TraversalTest, ComponentsFindChainAndIsland) {
+  Network net = ChainWithIsland();
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  auto res = WeaklyConnectedComponents(&am);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->components.size(), 2u);
+  std::vector<size_t> sizes;
+  for (const auto& [repr, size] : res->components) sizes.push_back(size);
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 4}));
+}
+
+TEST(TraversalTest, WholeMapIsOneWeakComponent) {
+  Network net = GenerateMinneapolisLikeMap(7);
+  Ccam am(Opts(), CcamCreateMode::kStatic);
+  ASSERT_TRUE(am.Create(net).ok());
+  auto res = WeaklyConnectedComponents(&am);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->components.size(), 1u);
+  EXPECT_EQ(res->components[0].second, net.NumNodes());
+}
+
+TEST(TraversalTest, CcamNeedsFewerPagesThanBfsAm) {
+  // The related-work claim: traversal recursion I/O tracks clustering.
+  Network net = GenerateMinneapolisLikeMap(1995);
+  Ccam ccam_am(Opts(), CcamCreateMode::kStatic);
+  OrderAm bfs_am(Opts(), NodeOrderKind::kBfs);
+  ASSERT_TRUE(ccam_am.Create(net).ok());
+  ASSERT_TRUE(bfs_am.Create(net).ok());
+  std::vector<NodeId> sources{0, 250, 500, 750, 1000};
+  auto a = SampleTransitiveClosure(&ccam_am, sources, 12);
+  auto b = SampleTransitiveClosure(&bfs_am, sources, 12);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->page_accesses, b->page_accesses);
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/core/ccam.h"
+#include "src/graph/generator.h"
+#include "src/graph/route.h"
+#include "src/query/route_eval.h"
+
+namespace ccam {
+namespace {
+
+class ShortestPathRoutesTest : public ::testing::Test {
+ protected:
+  ShortestPathRoutesTest() : net_(GenerateMinneapolisLikeMap(1995)) {}
+  Network net_;
+};
+
+TEST_F(ShortestPathRoutesTest, RoutesAreValidAndLongEnough) {
+  auto routes = GenerateShortestPathRoutes(net_, 30, 8, 3);
+  EXPECT_EQ(routes.size(), 30u);
+  for (const Route& r : routes) {
+    EXPECT_GE(r.Length(), 8u);
+    EXPECT_TRUE(IsValidRoute(net_, r));
+  }
+}
+
+TEST_F(ShortestPathRoutesTest, RoutesAreActuallyShortest) {
+  // A shortest path never revisits a node.
+  auto routes = GenerateShortestPathRoutes(net_, 20, 5, 7);
+  for (const Route& r : routes) {
+    std::set<NodeId> uniq(r.nodes.begin(), r.nodes.end());
+    EXPECT_EQ(uniq.size(), r.nodes.size());
+  }
+}
+
+TEST_F(ShortestPathRoutesTest, DeterministicPerSeed) {
+  auto a = GenerateShortestPathRoutes(net_, 10, 5, 11);
+  auto b = GenerateShortestPathRoutes(net_, 10, 5, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].nodes, b[i].nodes);
+}
+
+TEST_F(ShortestPathRoutesTest, TinyNetworkDegradesGracefully) {
+  Network tiny;
+  ASSERT_TRUE(tiny.AddNode(0, 0, 0).ok());
+  auto routes = GenerateShortestPathRoutes(tiny, 5, 2, 1);
+  EXPECT_TRUE(routes.empty());
+}
+
+TEST_F(ShortestPathRoutesTest, CommuterWorkloadStillFavorsCcam) {
+  // Figure 6's conclusion holds under the more realistic workload too.
+  auto routes = GenerateShortestPathRoutes(net_, 50, 15, 21);
+  ASSERT_EQ(routes.size(), 50u);
+  Network weighted = net_;
+  DeriveEdgeWeightsFromRoutes(&weighted, routes);
+
+  auto mean_io = [&](AccessMethod* am) {
+    uint64_t total = 0;
+    for (const Route& r : routes) {
+      EXPECT_TRUE(am->buffer_pool()->Reset().ok());
+      auto res = EvaluateRoute(am, r);
+      EXPECT_TRUE(res.ok());
+      total += res->page_accesses;
+    }
+    return static_cast<double>(total) / routes.size();
+  };
+  AccessMethodOptions options;
+  options.page_size = 2048;
+  options.buffer_pool_pages = 1;
+  options.use_access_weights = true;
+  Ccam ccam_am(options, CcamCreateMode::kStatic);
+  ASSERT_TRUE(ccam_am.Create(weighted).ok());
+  AccessMethodOptions plain = options;
+  plain.use_access_weights = false;
+  plain.partitioner = PartitionAlgorithm::kRandom;
+  Ccam random_am(plain, CcamCreateMode::kStatic);
+  ASSERT_TRUE(random_am.Create(weighted).ok());
+  EXPECT_LT(mean_io(&ccam_am), mean_io(&random_am) * 0.5);
+}
+
+TEST(InsertOrderTest, NamesAndDefault) {
+  EXPECT_STREQ(CcamInsertOrderName(CcamInsertOrder::kNodeId), "z-order");
+  EXPECT_STREQ(CcamInsertOrderName(CcamInsertOrder::kBfs), "bfs");
+  EXPECT_STREQ(CcamInsertOrderName(CcamInsertOrder::kRandom), "random");
+}
+
+TEST(InsertOrderTest, AllOrdersBuildValidFiles) {
+  Network net = GenerateMinneapolisLikeMap(55);
+  for (CcamInsertOrder order :
+       {CcamInsertOrder::kNodeId, CcamInsertOrder::kBfs,
+        CcamInsertOrder::kRandom}) {
+    AccessMethodOptions options;
+    options.page_size = 1024;
+    Ccam am(options, CcamCreateMode::kIncremental);
+    am.SetIncrementalOrder(order);
+    ASSERT_TRUE(am.Create(net).ok()) << CcamInsertOrderName(order);
+    ASSERT_TRUE(am.CheckFileInvariants().ok());
+    EXPECT_EQ(am.PageMap().size(), net.NumNodes());
+  }
+}
+
+TEST(InsertOrderTest, CoherentOrdersBeatRandomUnderFirstOrder) {
+  Network net = GenerateMinneapolisLikeMap(55);
+  auto crr_for = [&](CcamInsertOrder order) {
+    AccessMethodOptions options;
+    options.page_size = 1024;
+    Ccam am(options, CcamCreateMode::kIncremental,
+            ReorgPolicy::kFirstOrder);
+    am.SetIncrementalOrder(order);
+    EXPECT_TRUE(am.Create(net).ok());
+    return ComputeCrr(net, am.PageMap());
+  };
+  double z = crr_for(CcamInsertOrder::kNodeId);
+  double bfs = crr_for(CcamInsertOrder::kBfs);
+  double random = crr_for(CcamInsertOrder::kRandom);
+  EXPECT_GT(z, random);
+  EXPECT_GT(bfs, random);
+}
+
+}  // namespace
+}  // namespace ccam

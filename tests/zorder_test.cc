@@ -1,0 +1,121 @@
+#include "src/index/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace ccam {
+namespace {
+
+TEST(ZOrderTest, EncodeDecodeRoundTrip) {
+  Random rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t x = rng.Next();
+    uint32_t y = rng.Next();
+    uint32_t dx, dy;
+    ZOrderDecode(ZOrderEncode(x, y), &dx, &dy);
+    ASSERT_EQ(dx, x);
+    ASSERT_EQ(dy, y);
+  }
+}
+
+TEST(ZOrderTest, KnownInterleavings) {
+  EXPECT_EQ(ZOrderEncode(0, 0), 0u);
+  EXPECT_EQ(ZOrderEncode(1, 0), 1u);
+  EXPECT_EQ(ZOrderEncode(0, 1), 2u);
+  EXPECT_EQ(ZOrderEncode(1, 1), 3u);
+  EXPECT_EQ(ZOrderEncode(2, 0), 4u);
+  EXPECT_EQ(ZOrderEncode(0, 2), 8u);
+  EXPECT_EQ(ZOrderEncode(3, 3), 15u);
+}
+
+TEST(ZOrderTest, MonotonicPerDimension) {
+  // Increasing one coordinate with the other fixed increases the code.
+  for (uint32_t y : {0u, 5u, 100u}) {
+    uint64_t prev = ZOrderEncode(0, y);
+    for (uint32_t x = 1; x < 64; ++x) {
+      uint64_t code = ZOrderEncode(x, y);
+      EXPECT_GT(code, prev);
+      prev = code;
+    }
+  }
+}
+
+TEST(ZOrderTest, PointQuantizationClampsOutOfRange) {
+  uint64_t lo = ZOrderFromPoint(-100.0, -100.0, 0.0, 10.0);
+  uint64_t hi = ZOrderFromPoint(100.0, 100.0, 0.0, 10.0);
+  EXPECT_EQ(lo, ZOrderEncode(0, 0));
+  EXPECT_EQ(hi, ZOrderEncode(65535, 65535));
+  EXPECT_EQ(ZOrderFromPoint(3.0, 3.0, 5.0, 5.0), 0u);  // degenerate range
+}
+
+TEST(ZOrderTest, InRectMatchesComponentCheck) {
+  Random rng(33);
+  for (int i = 0; i < 500; ++i) {
+    uint32_t xmin = rng.Uniform(100), ymin = rng.Uniform(100);
+    uint32_t xmax = xmin + rng.Uniform(100);
+    uint32_t ymax = ymin + rng.Uniform(100);
+    uint32_t px = rng.Uniform(250), py = rng.Uniform(250);
+    bool expected = px >= xmin && px <= xmax && py >= ymin && py <= ymax;
+    EXPECT_EQ(ZOrderInRect(ZOrderEncode(px, py), ZOrderEncode(xmin, ymin),
+                           ZOrderEncode(xmax, ymax)),
+              expected);
+  }
+}
+
+/// BIGMIN correctness against brute force on a small grid: for any query
+/// rectangle and any current code outside the rectangle, BIGMIN must be the
+/// smallest in-rectangle code greater than the current one.
+TEST(ZOrderTest, BigMinMatchesBruteForce) {
+  Random rng(35);
+  const uint32_t kGrid = 32;
+  for (int trial = 0; trial < 400; ++trial) {
+    uint32_t xmin = rng.Uniform(kGrid), ymin = rng.Uniform(kGrid);
+    uint32_t xmax = xmin + rng.Uniform(kGrid - xmin);
+    uint32_t ymax = ymin + rng.Uniform(kGrid - ymin);
+    uint64_t min_code = ZOrderEncode(xmin, ymin);
+    uint64_t max_code = ZOrderEncode(xmax, ymax);
+
+    // Collect all in-rectangle codes.
+    std::vector<uint64_t> codes;
+    for (uint32_t x = xmin; x <= xmax; ++x) {
+      for (uint32_t y = ymin; y <= ymax; ++y) {
+        codes.push_back(ZOrderEncode(x, y));
+      }
+    }
+    std::sort(codes.begin(), codes.end());
+
+    // Pick a current code inside [min_code, max_code] but outside the rect.
+    for (int pick = 0; pick < 8; ++pick) {
+      uint64_t current =
+          min_code + rng.Uniform(static_cast<uint32_t>(
+                         std::min<uint64_t>(max_code - min_code + 1, 1u << 30)));
+      if (ZOrderInRect(current, min_code, max_code)) continue;
+      auto it = std::upper_bound(codes.begin(), codes.end(), current);
+      if (it == codes.end()) continue;  // nothing above: BIGMIN unspecified
+      uint64_t expected = *it;
+      EXPECT_EQ(ZOrderBigMin(current, min_code, max_code), expected)
+          << "rect=(" << xmin << "," << ymin << ")-(" << xmax << "," << ymax
+          << ") current=" << current;
+    }
+  }
+}
+
+TEST(ZOrderTest, BigMinSkipsDeadCurveSegments) {
+  // Classic example: rectangle x in [1,2], y in [2,3] on a 4x4 grid. The
+  // Z-curve leaves the rectangle between codes; BIGMIN from code 7 (the
+  // corner (1,1)... outside) must land on the next in-rect code.
+  uint64_t min_code = ZOrderEncode(1, 2);
+  uint64_t max_code = ZOrderEncode(2, 3);
+  uint64_t current = ZOrderEncode(3, 1);  // inside code interval, off-rect
+  ASSERT_FALSE(ZOrderInRect(current, min_code, max_code));
+  uint64_t bigmin = ZOrderBigMin(current, min_code, max_code);
+  EXPECT_TRUE(ZOrderInRect(bigmin, min_code, max_code));
+  EXPECT_GT(bigmin, current);
+}
+
+}  // namespace
+}  // namespace ccam
