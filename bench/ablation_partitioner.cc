@@ -6,6 +6,8 @@
 // be used to further improve the result". This ablation quantifies those
 // choices: CRR, page count and clustering wall-clock for ratio-cut / FM /
 // KL / random, each with and without a pairwise M-way refinement pass.
+// A second table sweeps the clustering thread count per partitioner
+// (assignments are bit-identical at every count, so only time varies).
 
 #include <chrono>
 #include <cstdio>
@@ -70,6 +72,59 @@ int Run() {
       "\nExpected shape: ratio-cut and FM well above random; pairwise "
       "refinement never hurts and mostly helps; random clustering is the "
       "floor.\n");
+
+  // Thread sweep: cluster + refine wall-clock per partitioner. The pages
+  // are identical at every thread count by construction; the "same" column
+  // verifies that rather than assuming it.
+  const std::vector<int> thread_counts = BenchThreadCounts();
+  TablePrinter threads_table([&] {
+    std::vector<std::string> headers = {"Partitioner"};
+    for (int t : thread_counts) {
+      headers.push_back("t=" + std::to_string(t) + " ms");
+    }
+    headers.push_back("same pages");
+    return headers;
+  }());
+  for (PartitionAlgorithm algo :
+       {PartitionAlgorithm::kRatioCut, PartitionAlgorithm::kFm,
+        PartitionAlgorithm::kKl, PartitionAlgorithm::kRandom}) {
+    ClusterOptions options;
+    options.page_capacity = 1024 - SlottedPage::kHeaderSize;
+    options.per_record_overhead = SlottedPage::kSlotOverhead;
+    options.algorithm = algo;
+    options.seed = 42;
+
+    std::vector<std::string> row = {PartitionAlgorithmName(algo)};
+    std::vector<std::vector<NodeId>> reference;
+    bool identical = true;
+    for (int threads : thread_counts) {
+      options.num_threads = threads;
+      auto t0 = std::chrono::steady_clock::now();
+      auto pages = ClusterNodesIntoPages(net, net.NodeIds(), options);
+      if (!pages.ok()) {
+        row.push_back("fail");
+        identical = false;
+        continue;
+      }
+      RefinePagesPairwise(net, &*pages, options, 2);
+      auto t1 = std::chrono::steady_clock::now();
+      row.push_back(
+          Fmt(std::chrono::duration<double, std::milli>(t1 - t0).count(), 1));
+      if (reference.empty()) {
+        reference = std::move(*pages);
+      } else if (*pages != reference) {
+        identical = false;
+      }
+    }
+    row.push_back(identical ? "yes" : "NO");
+    threads_table.AddRow(std::move(row));
+  }
+  std::printf("\nCluster + refine wall-clock vs thread count "
+              "(CCAM_BENCH_THREADS to override)\n\n");
+  threads_table.Print();
+  std::printf(
+      "\nSpeedup requires real cores; on a single-CPU host the sweep "
+      "demonstrates the determinism contract only.\n");
   return 0;
 }
 

@@ -2,6 +2,7 @@
 #define CCAM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,6 +107,26 @@ class TablePrinter {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Thread counts for clustering sweeps. Defaults to {1, 2, 4, 8};
+/// override with a comma-separated CCAM_BENCH_THREADS (e.g. "1,16").
+/// Page assignments are bit-identical at every count, so the sweep only
+/// varies wall-clock, never CRR.
+inline std::vector<int> BenchThreadCounts() {
+  std::vector<int> counts;
+  if (const char* env = std::getenv("CCAM_BENCH_THREADS")) {
+    const char* p = env;
+    while (*p != '\0') {
+      char* end = nullptr;
+      long v = std::strtol(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) counts.push_back(static_cast<int>(v));
+      p = (*end == ',') ? end + 1 : end;
+    }
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  return counts;
+}
 
 inline std::string Fmt(double v, int decimals = 3) {
   char buf[64];

@@ -1,15 +1,35 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper plus the ablations.
-# Usage: scripts/run_experiments.sh [build-dir]
+# Usage: scripts/run_experiments.sh [--threads N[,M,...]] [build-dir]
+#   --threads  thread counts swept by the clustering benches (exported as
+#              CCAM_BENCH_THREADS; default 1,2,4,8).
 set -euo pipefail
-BUILD="${1:-build}"
+
+BUILD=build
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threads)
+      [ $# -ge 2 ] || { echo "--threads needs a value" >&2; exit 2; }
+      export CCAM_BENCH_THREADS="$2"
+      shift 2
+      ;;
+    --threads=*)
+      export CCAM_BENCH_THREADS="${1#--threads=}"
+      shift
+      ;;
+    *)
+      BUILD="$1"
+      shift
+      ;;
+  esac
+done
 
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" --output-on-failure
 
 for bench in "$BUILD"/bench/*; do
-  [ -x "$bench" ] || continue
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
   echo
   echo "===== $(basename "$bench") ====="
   "$bench"

@@ -1,0 +1,68 @@
+#ifndef CCAM_COMMON_THREAD_POOL_H_
+#define CCAM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccam {
+
+/// A small fixed-size thread pool draining one shared FIFO queue — no
+/// work stealing, no exceptions. Tasks are plain `std::function<void()>`
+/// thunks; error propagation is the submitter's job (tasks write their
+/// Status / results into slots the submitter owns). Tasks may Submit()
+/// further tasks, which is what tree-shaped workloads such as the
+/// recursive-bisection clustering need. The destructor drains the queue
+/// and joins every worker.
+///
+/// Determinism contract: the pool makes no ordering guarantees. Callers
+/// that need run-to-run (and 1-vs-N-thread) reproducibility must make
+/// every task's output depend only on the task's own input — see
+/// ClusterNodesIntoPages, which derives per-subproblem seeds from the
+/// subproblem's node content instead of from shared counters.
+class ThreadPool {
+ public:
+  /// Starts the workers. `num_threads` <= 0 selects HardwareThreads().
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue (all submitted tasks run) and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe to call from worker threads. Tasks must not
+  /// block waiting on other tasks (the pool has no dependency tracking).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until no task is queued or running. With tasks that spawn
+  /// subtasks this is a fixpoint wait: it returns only once the whole
+  /// task tree has drained.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static int HardwareThreads();
+
+  /// Resolves a `num_threads`-style option: <= 0 -> HardwareThreads().
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for tasks or stop
+  std::condition_variable idle_cv_;  // WaitIdle waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_COMMON_THREAD_POOL_H_

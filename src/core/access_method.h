@@ -54,6 +54,10 @@ struct AccessMethodOptions {
   /// Buffer pool capacity for the index pages (the paper assumes index
   /// pages are buffered; shrink this to study index access cost).
   size_t index_pool_pages = 128;
+  /// Worker threads for CCAM's clustering pipeline (static create and
+  /// reorganization). 0 = hardware concurrency, 1 = sequential; the page
+  /// assignment is bit-identical for every value.
+  int num_threads = 0;
   uint64_t seed = 42;
 };
 

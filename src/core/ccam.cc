@@ -37,6 +37,7 @@ Status Ccam::Create(const Network& network) {
     copts.use_access_weights = options_.use_access_weights;
     copts.min_fill_fraction = options_.cluster_min_fill;
     copts.seed = options_.seed;
+    copts.num_threads = options_.num_threads;
     std::vector<std::vector<NodeId>> pages;
     CCAM_ASSIGN_OR_RETURN(
         pages, ClusterNodesIntoPages(network, network.NodeIds(), copts));

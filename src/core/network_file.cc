@@ -329,6 +329,7 @@ Status NetworkFile::SplitPage(PageId page, std::vector<NodeRecord> pending) {
   copts.use_access_weights = false;
   copts.min_fill_fraction = options_.cluster_min_fill;
   copts.seed = reorg_seed_++;
+  copts.num_threads = options_.num_threads;
   std::vector<std::vector<NodeId>> subsets;
   CCAM_ASSIGN_OR_RETURN(subsets,
                         ClusterNodesIntoPages(net, net.NodeIds(), copts));
@@ -379,6 +380,7 @@ Status NetworkFile::Reorganize(std::vector<PageId> pages) {
   copts.use_access_weights = false;
   copts.min_fill_fraction = options_.cluster_min_fill;
   copts.seed = reorg_seed_++;
+  copts.num_threads = options_.num_threads;
   std::vector<std::vector<NodeId>> subsets;
   CCAM_ASSIGN_OR_RETURN(subsets,
                         ClusterNodesIntoPages(net, net.NodeIds(), copts));

@@ -70,7 +70,7 @@ bool FmPass(const PartitionGraph& graph, std::vector<bool>* side,
       best_len = moves.size();
     }
     // Update the gains of unlocked neighbors.
-    for (const PartitionGraph::Adj& e : graph.adj[chosen]) {
+    for (const PartitionGraph::Adj& e : graph.Neighbors(chosen)) {
       if (locked[e.to]) continue;
       pq.erase({gain[e.to], e.to});
       gain[e.to] = MoveGain(graph, *side, e.to);

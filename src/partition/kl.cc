@@ -37,7 +37,7 @@ Bisection KlBisect(const PartitionGraph& graph, size_t min_side_size,
 
   std::unordered_map<uint64_t, double> pair_weights;
   for (size_t i = 0; i < n; ++i) {
-    for (const PartitionGraph::Adj& e : graph.adj[i]) {
+    for (const PartitionGraph::Adj& e : graph.Neighbors(static_cast<int>(i))) {
       if (static_cast<size_t>(e.to) > i) {
         pair_weights[(static_cast<uint64_t>(i) << 32) |
                      static_cast<uint32_t>(e.to)] = e.weight;
@@ -124,7 +124,7 @@ Bisection KlBisect(const PartitionGraph& graph, size_t min_side_size,
       // Refresh D values of the swapped pair's unlocked neighbors (only
       // their gains changed).
       auto refresh_neighbors = [&](int center) {
-        for (const PartitionGraph::Adj& e : graph.adj[center]) {
+        for (const PartitionGraph::Adj& e : graph.Neighbors(center)) {
           if (!locked[e.to]) {
             d[e.to] = partition_internal::MoveGain(graph, side, e.to);
           }

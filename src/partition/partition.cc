@@ -21,39 +21,75 @@ PartitionGraph PartitionGraph::FromNetwork(const Network& network,
                                            size_t extra_node_bytes) {
   PartitionGraph g;
   std::unordered_map<NodeId, int> index;
+  index.reserve(subset.size() * 2);
   g.ids.reserve(subset.size());
   for (NodeId id : subset) {
     if (!network.HasNode(id) || index.count(id)) continue;
     index[id] = static_cast<int>(g.ids.size());
     g.ids.push_back(id);
   }
-  g.node_sizes.resize(g.ids.size());
-  g.adj.resize(g.ids.size());
-  for (size_t i = 0; i < g.ids.size(); ++i) {
+  const size_t n = g.ids.size();
+  g.node_sizes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
     g.node_sizes[i] =
         RecordSizeOf(g.ids[i], network.node(g.ids[i])) + extra_node_bytes;
   }
-  // Collapse directed pairs into undirected edges, accumulating weights.
-  std::unordered_map<uint64_t, double> undirected;
-  for (size_t i = 0; i < g.ids.size(); ++i) {
+
+  // Collapse directed pairs into undirected edges. Tuples are sorted and
+  // merged (instead of accumulated in a hash map) so both the edge set and
+  // the adjacency layout are identical across standard libraries and runs —
+  // the seed-BFS of the partitioners walks adjacency in storage order.
+  struct Tuple {
+    int a;
+    int b;
+    double w;
+  };
+  std::vector<Tuple> tuples;
+  for (size_t i = 0; i < n; ++i) {
     NodeId u = g.ids[i];
     for (const AdjEntry& e : network.node(u).succ) {
       auto it = index.find(e.node);
       if (it == index.end()) continue;
-      int j = it->second;
-      int a = static_cast<int>(i), b = j;
+      int a = static_cast<int>(i), b = it->second;
       if (a > b) std::swap(a, b);
       double w = use_access_weights ? network.EdgeWeight(u, e.node) : 1.0;
-      undirected[(static_cast<uint64_t>(a) << 32) | static_cast<uint32_t>(b)] +=
-          w;
+      tuples.push_back({a, b, w});
     }
   }
-  for (const auto& [key, weight] : undirected) {
-    int a = static_cast<int>(key >> 32);
-    int b = static_cast<int>(key & 0xffffffffu);
-    if (weight <= 0.0) continue;  // zero-weight edges do not affect WCRR
-    g.adj[a].push_back({b, weight});
-    g.adj[b].push_back({a, weight});
+  std::sort(tuples.begin(), tuples.end(), [](const Tuple& x, const Tuple& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  size_t merged = 0;
+  for (size_t k = 0; k < tuples.size();) {
+    size_t j = k;
+    double w = 0.0;
+    while (j < tuples.size() && tuples[j].a == tuples[k].a &&
+           tuples[j].b == tuples[k].b) {
+      w += tuples[j].w;
+      ++j;
+    }
+    // Zero-weight edges do not affect WCRR.
+    if (w > 0.0) tuples[merged++] = {tuples[k].a, tuples[k].b, w};
+    k = j;
+  }
+  tuples.resize(merged);
+
+  // Build the CSR layout in one pass: count degrees, prefix-sum, fill.
+  g.adj_start.assign(n + 1, 0);
+  for (const Tuple& t : tuples) {
+    ++g.adj_start[t.a + 1];
+    ++g.adj_start[t.b + 1];
+  }
+  for (size_t i = 0; i < n; ++i) g.adj_start[i + 1] += g.adj_start[i];
+  g.adj.resize(2 * tuples.size());
+  std::vector<int> cursor(g.adj_start.begin(), g.adj_start.end() - 1);
+  for (const Tuple& t : tuples) {
+    g.adj[cursor[t.a]++] = {t.b, t.w};
+    g.adj[cursor[t.b]++] = {t.a, t.w};
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::sort(g.adj.begin() + g.adj_start[i], g.adj.begin() + g.adj_start[i + 1],
+              [](const Adj& x, const Adj& y) { return x.to < y.to; });
   }
   return g;
 }
@@ -74,8 +110,8 @@ const char* PartitionAlgorithmName(PartitionAlgorithm algo) {
 
 double CutWeight(const PartitionGraph& graph, const std::vector<bool>& side) {
   double cut = 0.0;
-  for (size_t i = 0; i < graph.adj.size(); ++i) {
-    for (const PartitionGraph::Adj& e : graph.adj[i]) {
+  for (size_t i = 0; i < graph.NumNodes(); ++i) {
+    for (const PartitionGraph::Adj& e : graph.Neighbors(static_cast<int>(i))) {
       if (static_cast<size_t>(e.to) > i && side[i] != side[e.to]) {
         cut += e.weight;
       }
@@ -125,7 +161,7 @@ std::vector<bool> BfsSeed(const PartitionGraph& graph, size_t target_a,
     side[cur] = false;
     acc += graph.node_sizes[cur];
     ++taken;
-    for (const PartitionGraph::Adj& e : graph.adj[cur]) {
+    for (const PartitionGraph::Adj& e : graph.Neighbors(cur)) {
       if (!visited[e.to]) frontier.push_back(e.to);
     }
   }
@@ -135,7 +171,7 @@ std::vector<bool> BfsSeed(const PartitionGraph& graph, size_t target_a,
 double MoveGain(const PartitionGraph& graph, const std::vector<bool>& side,
                 int i) {
   double to_other = 0.0, to_own = 0.0;
-  for (const PartitionGraph::Adj& e : graph.adj[i]) {
+  for (const PartitionGraph::Adj& e : graph.Neighbors(i)) {
     if (side[e.to] == side[i]) {
       to_own += e.weight;
     } else {

@@ -22,7 +22,24 @@ struct PartitionGraph {
 
   std::vector<NodeId> ids;          // index -> node id
   std::vector<size_t> node_sizes;   // index -> size in bytes
-  std::vector<std::vector<Adj>> adj;
+  /// CSR adjacency in a single allocation: the neighbors of node i occupy
+  /// `adj[adj_start[i] .. adj_start[i+1])`, each per-node range sorted by
+  /// `to`. Deterministic layout (no hash-order dependence), cache-friendly
+  /// scans, and no per-node vector headers.
+  std::vector<int> adj_start;  // size NumNodes() + 1
+  std::vector<Adj> adj;
+
+  /// Iterable neighbor range of node i.
+  struct AdjSpan {
+    const Adj* first;
+    const Adj* last;
+    const Adj* begin() const { return first; }
+    const Adj* end() const { return last; }
+    size_t size() const { return static_cast<size_t>(last - first); }
+  };
+  AdjSpan Neighbors(int i) const {
+    return {adj.data() + adj_start[i], adj.data() + adj_start[i + 1]};
+  }
 
   size_t NumNodes() const { return ids.size(); }
   size_t TotalSize() const;

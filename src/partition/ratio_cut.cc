@@ -1,4 +1,6 @@
 #include <cmath>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "src/partition/bisect_internal.h"
@@ -20,16 +22,27 @@ double Ratio(double cut, size_t size_a, size_t size_b) {
 }
 
 /// One improvement pass in the style of Cheng & Wei's iterative shifting:
-/// tentatively move the node that minimizes the resulting ratio (each node
-/// at most once per pass), remember the best prefix, and roll back the
-/// rest. Returns true if the ratio improved.
+/// tentatively move the highest-gain feasible node (each node at most once
+/// per pass, both sides kept at or above min_side_size), score every
+/// applied prefix by the resulting ratio, keep the best prefix and roll
+/// back the rest. Returns true if the ratio improved.
+///
+/// Selection is by cut gain from an ordered set rather than by evaluating
+/// the resulting ratio of every candidate at every step: the exhaustive
+/// rule costs O(n) per step — O(n^2) per pass — which made the *root*
+/// bisection dominate cluster-nodes-into-pages on large networks and put a
+/// hard Amdahl ceiling on the task-parallel clustering pipeline. The ratio
+/// objective still decides which prefix survives, so balanced natural cuts
+/// win as before, at O((n + m) log n) per pass.
 bool RatioCutPass(const PartitionGraph& graph, std::vector<bool>* side,
                   size_t* size_a, size_t* size_b, size_t min_side_size) {
   const size_t n = graph.NumNodes();
   std::vector<double> gain(n);
   std::vector<bool> locked(n, false);
+  std::set<std::pair<double, int>> pq;  // ascending; best gain = rbegin
   for (size_t i = 0; i < n; ++i) {
     gain[i] = MoveGain(graph, *side, static_cast<int>(i));
+    pq.insert({gain[i], static_cast<int>(i)});
   }
   double cut = CutWeight(graph, *side);
   size_t a = *size_a, b = *size_b;
@@ -37,35 +50,23 @@ bool RatioCutPass(const PartitionGraph& graph, std::vector<bool>* side,
   double best_ratio = initial_ratio;
   size_t best_len = 0;
 
-  struct Move {
-    int node;
-  };
-  std::vector<Move> moves;
+  std::vector<int> moves;
   moves.reserve(n);
 
-  for (size_t step = 0; step < n; ++step) {
+  while (!pq.empty()) {
+    // Highest-gain move whose source side keeps min_side_size bytes.
     int chosen = -1;
-    double chosen_ratio = 1e300;
-    for (size_t i = 0; i < n; ++i) {
-      if (locked[i]) continue;
+    for (auto it = pq.rbegin(); it != pq.rend(); ++it) {
+      int i = it->second;
       size_t sz = graph.node_sizes[i];
-      size_t na, nb;
-      if ((*side)[i]) {  // B -> A
-        if (b < sz || b - sz < min_side_size) continue;
-        na = a + sz;
-        nb = b - sz;
-      } else {  // A -> B
-        if (a < sz || a - sz < min_side_size) continue;
-        na = a - sz;
-        nb = b + sz;
-      }
-      double r = Ratio(cut - gain[i], na, nb);
-      if (r < chosen_ratio) {
-        chosen_ratio = r;
-        chosen = static_cast<int>(i);
+      size_t source = (*side)[i] ? b : a;
+      if (source >= sz && source - sz >= min_side_size) {
+        chosen = i;
+        break;
       }
     }
     if (chosen < 0) break;
+    pq.erase({gain[chosen], chosen});
 
     // Apply tentatively.
     locked[chosen] = true;
@@ -79,23 +80,25 @@ bool RatioCutPass(const PartitionGraph& graph, std::vector<bool>* side,
     }
     (*side)[chosen] = !(*side)[chosen];
     cut -= gain[chosen];
-    moves.push_back({chosen});
-    if (chosen_ratio < best_ratio - 1e-18) {
-      best_ratio = chosen_ratio;
+    moves.push_back(chosen);
+    double r = Ratio(cut, a, b);
+    if (r < best_ratio - 1e-18) {
+      best_ratio = r;
       best_len = moves.size();
     }
     // Moving `chosen` flips the sign of its contribution to each neighbor's
     // gain: a same-side edge became cross-side or vice versa.
-    for (const PartitionGraph::Adj& e : graph.adj[chosen]) {
+    for (const PartitionGraph::Adj& e : graph.Neighbors(chosen)) {
       if (locked[e.to]) continue;
+      pq.erase({gain[e.to], e.to});
       gain[e.to] = MoveGain(graph, *side, e.to);
+      pq.insert({gain[e.to], e.to});
     }
-    gain[chosen] = -gain[chosen];
   }
 
   // Roll back past the best prefix.
   for (size_t k = moves.size(); k > best_len; --k) {
-    int i = moves[k - 1].node;
+    int i = moves[k - 1];
     size_t sz = graph.node_sizes[i];
     if ((*side)[i]) {
       b -= sz;

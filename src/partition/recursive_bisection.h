@@ -25,6 +25,12 @@ struct ClusterOptions {
   /// Partition by access weights (WCRR) instead of uniform edge weights.
   bool use_access_weights = false;
   uint64_t seed = 42;
+  /// Worker threads used by ClusterNodesIntoPages and RefinePagesPairwise.
+  /// 0 selects std::thread::hardware_concurrency(); 1 runs the sequential
+  /// legacy path (no pool). The node -> page result is bit-identical for
+  /// every value: bisection seeds derive from each subproblem's node
+  /// content, never from shared counters or scheduling order.
+  int num_threads = 0;
 };
 
 /// The paper's connectivity-clustering algorithm: repeatedly applies
@@ -32,6 +38,12 @@ struct ClusterOptions {
 /// the page capacity, with MinPgSize = ceil(page_capacity / 2), until every
 /// subset fits on a page. Returns the resulting page sets (each a list of
 /// node-ids whose records total at most page_capacity bytes).
+///
+/// Every worklist subproblem after a bisection is independent, so large
+/// inputs run as a deterministic task-parallel recursion over
+/// `options.num_threads` workers; pages are emitted in left-to-right leaf
+/// order of the recursion tree, making the result a pure function of the
+/// input regardless of thread count or scheduling.
 Result<std::vector<std::vector<NodeId>>> ClusterNodesIntoPages(
     const Network& network, const std::vector<NodeId>& subset,
     const ClusterOptions& options);
@@ -41,6 +53,12 @@ Result<std::vector<std::vector<NodeId>>> ClusterNodesIntoPages(
 /// one edge, re-runs the two-way partitioner on their union and keeps the
 /// result if it reduces the number of split edges. `rounds` bounds the
 /// number of sweeps. Returns the number of improved pairs.
+///
+/// Within a round the connected pairs are peeled into maximal
+/// pair-disjoint matchings (sorted order, so results do not depend on hash
+/// iteration); pairs of one batch share no page and are refined
+/// concurrently on `options.num_threads` workers with content-derived
+/// seeds — identical output for any thread count.
 int RefinePagesPairwise(const Network& network,
                         std::vector<std::vector<NodeId>>* pages,
                         const ClusterOptions& options, int rounds = 1);

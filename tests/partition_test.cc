@@ -36,13 +36,20 @@ TEST(PartitionGraphTest, FromNetworkCollapsesDirectedPairs) {
   PartitionGraph g =
       PartitionGraph::FromNetwork(net, net.NodeIds(), false);
   EXPECT_EQ(g.NumNodes(), 8u);
-  // 13 undirected edges (6 + 6 + bridge), each a bidirectional pair.
-  size_t adj_entries = 0;
-  for (const auto& a : g.adj) adj_entries += a.size();
-  EXPECT_EQ(adj_entries, 2u * 13u);
-  // Each undirected edge weight = 2 (two directed edges of weight 1).
-  for (const auto& a : g.adj) {
-    for (const auto& e : a) EXPECT_DOUBLE_EQ(e.weight, 2.0);
+  // 13 undirected edges (6 + 6 + bridge), each a bidirectional pair, in a
+  // single CSR allocation of symmetric entries.
+  EXPECT_EQ(g.adj.size(), 2u * 13u);
+  EXPECT_EQ(g.adj_start.size(), g.NumNodes() + 1);
+  EXPECT_EQ(static_cast<size_t>(g.adj_start.back()), g.adj.size());
+  // Each undirected edge weight = 2 (two directed edges of weight 1), and
+  // each per-node neighbor range is sorted by target index.
+  for (size_t i = 0; i < g.NumNodes(); ++i) {
+    int prev = -1;
+    for (const auto& e : g.Neighbors(static_cast<int>(i))) {
+      EXPECT_DOUBLE_EQ(e.weight, 2.0);
+      EXPECT_GT(e.to, prev);
+      prev = e.to;
+    }
   }
 }
 
@@ -64,7 +71,7 @@ TEST(PartitionGraphTest, AccessWeightsUsedWhenRequested) {
   double bridge_weight = 0.0;
   for (size_t i = 0; i < g.NumNodes(); ++i) {
     if (g.ids[i] != 3) continue;
-    for (const auto& e : g.adj[i]) {
+    for (const auto& e : g.Neighbors(static_cast<int>(i))) {
       if (g.ids[e.to] == 4) bridge_weight = e.weight;
     }
   }

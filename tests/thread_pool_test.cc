@@ -1,0 +1,95 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace ccam {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillRunsTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
+  // A binary recursion submitted from inside worker tasks, mirroring how
+  // the clusterer spawns right-children of each bisection. WaitIdle() must
+  // observe the fixpoint (queue empty AND no task running), not just an
+  // empty queue, or it would return while leaves are still being spawned.
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    pool.Submit([&recurse, depth] { recurse(depth - 1); });
+    recurse(depth - 1);
+  };
+  pool.Submit([&recurse] { recurse(10); });
+  pool.WaitIdle();
+  EXPECT_EQ(leaves.load(), 1 << 10);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(count.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No WaitIdle: destruction must run everything already queued.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.WaitIdle();  // nothing submitted; must not hang
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0), ThreadPool::HardwareThreads());
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(-3), ThreadPool::HardwareThreads());
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, NonPositiveConstructorDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareThreads());
+}
+
+}  // namespace
+}  // namespace ccam
