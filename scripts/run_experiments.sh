@@ -34,3 +34,7 @@ for bench in "$BUILD"/bench/*; do
   echo "===== $(basename "$bench") ====="
   "$bench"
 done
+
+echo
+echo "===== machine-readable artifacts ====="
+ls -l BENCH_*.json 2>/dev/null || echo "(none emitted)"

@@ -58,6 +58,10 @@ struct AccessMethodOptions {
   /// reorganization). 0 = hardware concurrency, 1 = sequential; the page
   /// assignment is bit-identical for every value.
   int num_threads = 0;
+  /// Latch shards of the data buffer pool. 0 = automatic (small pools —
+  /// including every paper experiment — collapse to a single shard, which
+  /// reproduces the classic replacement behavior exactly).
+  size_t buffer_pool_shards = 0;
   uint64_t seed = 42;
 };
 
@@ -98,7 +102,8 @@ class AccessMethod {
   virtual Status DeleteEdge(NodeId u, NodeId v, ReorgPolicy policy) = 0;
 
   /// Data-page I/O counters (the paper's metric). Index I/O is separate.
-  virtual const IoStats& DataIoStats() const = 0;
+  /// Returned by value: the counters are atomics, snapshotted on read.
+  virtual IoStats DataIoStats() const = 0;
   virtual void ResetIoStats() = 0;
 
   /// Current node -> data page assignment (the CRR is computed on this).

@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "src/core/query_session.h"
 #include "src/partition/recursive_bisection.h"
 
 namespace ccam {
@@ -24,7 +25,8 @@ const char* ReorgPolicyName(ReorgPolicy policy) {
 NetworkFile::NetworkFile(const AccessMethodOptions& options)
     : options_(options),
       disk_(options.page_size),
-      pool_(&disk_, options.buffer_pool_pages, options.replacement),
+      pool_(&disk_, options.buffer_pool_pages, options.replacement,
+            options.buffer_pool_shards),
       reorg_seed_(options.seed ^ 0x5bf03635ULL) {
   if (options_.maintain_bptree_index) {
     index_disk_ = std::make_unique<DiskManager>(options_.page_size);
@@ -34,8 +36,9 @@ NetworkFile::NetworkFile(const AccessMethodOptions& options)
   }
 }
 
-const IoStats* NetworkFile::IndexIoStats() const {
-  return index_disk_ ? &index_disk_->stats() : nullptr;
+std::optional<IoStats> NetworkFile::IndexIoStats() const {
+  if (!index_disk_) return std::nullopt;
+  return index_disk_->stats();
 }
 
 double NetworkFile::AvgBlockingFactor() const {
@@ -116,12 +119,12 @@ Status NetworkFile::BuildFromAssignment(
   return Status::OK();
 }
 
-Result<NodeRecord> NetworkFile::ReadRecord(NodeId id) {
+Result<NodeRecord> NetworkFile::ReadRecord(NodeId id, IoStats* io) {
   auto it = page_of_.find(id);
   if (it == page_of_.end()) {
     return Status::NotFound("node " + std::to_string(id));
   }
-  PageGuard guard(&pool_, it->second);
+  PageGuard guard(&pool_, it->second, io);
   if (!guard.ok()) return guard.status();
   SlottedPage view(guard.data(), options_.page_size);
   for (int slot : view.LiveSlots()) {
@@ -607,8 +610,13 @@ Result<NodeRecord> NetworkFile::GetASuccessor(NodeId from, NodeId to) {
 }
 
 Result<std::vector<NodeRecord>> NetworkFile::GetSuccessors(NodeId id) {
+  return GetSuccessorsTracked(id, nullptr);
+}
+
+Result<std::vector<NodeRecord>> NetworkFile::GetSuccessorsTracked(
+    NodeId id, IoStats* io) {
   NodeRecord rec;
-  CCAM_ASSIGN_OR_RETURN(rec, ReadRecord(id));
+  CCAM_ASSIGN_OR_RETURN(rec, ReadRecord(id, io));
   std::vector<NodeRecord> out(rec.succ.size());
   // Successors co-paged with `id` — or on any page brought into the
   // buffers by earlier fetches — are extracted without further I/O
@@ -626,10 +634,31 @@ Result<std::vector<NodeRecord>> NetworkFile::GetSuccessors(NodeId id) {
   });
   for (size_t i : order) {
     NodeRecord succ;
-    CCAM_ASSIGN_OR_RETURN(succ, ReadRecord(rec.succ[i].node));
+    CCAM_ASSIGN_OR_RETURN(succ, ReadRecord(rec.succ[i].node, io));
     out[i] = std::move(succ);
   }
   return out;
+}
+
+Result<NodeRecord> NetworkFile::SharedFind(NodeId id, IoStats* io) {
+  return ReadRecord(id, io);
+}
+
+Result<NodeRecord> NetworkFile::SharedGetASuccessor(NodeId from, NodeId to,
+                                                    IoStats* io) {
+  // Same degenerate form as GetASuccessor(): the buffered page holding
+  // `from` is searched for free by construction.
+  (void)from;
+  return ReadRecord(to, io);
+}
+
+Result<std::vector<NodeRecord>> NetworkFile::SharedGetSuccessors(NodeId id,
+                                                                 IoStats* io) {
+  return GetSuccessorsTracked(id, io);
+}
+
+std::unique_ptr<QuerySession> NetworkFile::OpenSession() {
+  return std::make_unique<QuerySession>(this);
 }
 
 Status NetworkFile::InsertNode(const NodeRecord& record, ReorgPolicy policy) {

@@ -2,6 +2,7 @@
 #define CCAM_CORE_NETWORK_FILE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +14,8 @@
 #include "src/storage/page.h"
 
 namespace ccam {
+
+class QuerySession;
 
 /// Shared mechanics of all paged network access methods: a data file of
 /// slotted pages holding variable-length node records, a data buffer pool,
@@ -52,7 +55,7 @@ class NetworkFile : public AccessMethod {
                     ReorgPolicy policy) override;
   Status DeleteEdge(NodeId u, NodeId v, ReorgPolicy policy) override;
 
-  const IoStats& DataIoStats() const override { return disk_.stats(); }
+  IoStats DataIoStats() const override { return disk_.stats(); }
   void ResetIoStats() override { disk_.ResetStats(); }
   const NodePageMap& PageMap() const override { return page_of_; }
   BufferPool* buffer_pool() override { return &pool_; }
@@ -70,7 +73,7 @@ class NetworkFile : public AccessMethod {
   }
 
   /// I/O counters of the secondary index (B+ tree), when maintained.
-  const IoStats* IndexIoStats() const;
+  std::optional<IoStats> IndexIoStats() const;
 
   /// The B+ tree index, when maintained (for tests / inspection).
   const BPlusTree* bptree_index() const { return index_.get(); }
@@ -122,14 +125,41 @@ class NetworkFile : public AccessMethod {
   /// see GridAm.
   virtual Status OpenImage(const std::string& path);
 
+  /// --- Concurrent read path ----------------------------------------------
+  /// Thread-safe read operations against the shared pool. Many threads may
+  /// call these concurrently with each other (but not with any mutation:
+  /// the file keeps its single-writer discipline). When `io` is given, it
+  /// receives the calling stream's data-page reads — a fetch is charged iff
+  /// it missed the shared pool, so the per-stream counters sum exactly to
+  /// the global disk counters.
+  Result<NodeRecord> SharedFind(NodeId id, IoStats* io);
+  Result<NodeRecord> SharedGetASuccessor(NodeId from, NodeId to, IoStats* io);
+  Result<std::vector<NodeRecord>> SharedGetSuccessors(NodeId id, IoStats* io);
+
+  /// Opens a read-only query session: an AccessMethod view over this file
+  /// with its own per-session IoStats. One session per thread; sessions
+  /// share this file's buffer pool.
+  std::unique_ptr<QuerySession> OpenSession();
+
+  /// The simulated data disk (throughput experiments configure its
+  /// simulated read latency).
+  DiskManager* disk() { return &disk_; }
+
  protected:
   /// Materializes `pages` (node sets) into data pages and builds the
   /// indexes. Used by subclasses' Create().
   Status BuildFromAssignment(const Network& network,
                              const std::vector<std::vector<NodeId>>& pages);
 
-  /// Reads and decodes the record of `id` through the buffer pool.
-  Result<NodeRecord> ReadRecord(NodeId id);
+  /// Reads and decodes the record of `id` through the buffer pool. When
+  /// `io` is given, a pool miss charges one read to it (per-session
+  /// accounting).
+  Result<NodeRecord> ReadRecord(NodeId id, IoStats* io = nullptr);
+
+  /// GetSuccessors with per-stream accounting; the public override
+  /// delegates here with `io` = nullptr.
+  Result<std::vector<NodeRecord>> GetSuccessorsTracked(NodeId id,
+                                                       IoStats* io);
 
   /// Rewrites `record` in place on its page. If it no longer fits, splits
   /// the page (sets the structural-change flag).

@@ -1,0 +1,76 @@
+#ifndef CCAM_CORE_QUERY_SESSION_H_
+#define CCAM_CORE_QUERY_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/network_file.h"
+
+namespace ccam {
+
+/// A read-only query stream over a shared NetworkFile. Sessions implement
+/// the AccessMethod interface so every query driver (route evaluation, A*,
+/// traversals, aggregation) runs against one unchanged — but reads go
+/// through the file's thread-safe shared path and data-page accesses are
+/// counted per session, preserving the paper's accounting convention for
+/// each concurrent stream.
+///
+/// Concurrency contract: one session per thread (the session's counters
+/// are plain fields); any number of sessions may operate concurrently on
+/// one file, but not concurrently with mutations of the file. A fetch is
+/// charged to the session iff it missed the shared buffer pool, so the
+/// sessions' counters sum exactly to the file's global disk reads.
+///
+/// Mutating operations return NotSupported.
+class QuerySession : public AccessMethod {
+ public:
+  explicit QuerySession(NetworkFile* file) : file_(file) {}
+
+  std::string Name() const override { return file_->Name() + "/session"; }
+
+  Status Create(const Network&) override {
+    return Status::NotSupported("read-only query session");
+  }
+
+  Result<NodeRecord> Find(NodeId id) override {
+    return file_->SharedFind(id, &io_);
+  }
+  Result<NodeRecord> GetASuccessor(NodeId from, NodeId to) override {
+    return file_->SharedGetASuccessor(from, to, &io_);
+  }
+  Result<std::vector<NodeRecord>> GetSuccessors(NodeId id) override {
+    return file_->SharedGetSuccessors(id, &io_);
+  }
+
+  Status InsertNode(const NodeRecord&, ReorgPolicy) override {
+    return Status::NotSupported("read-only query session");
+  }
+  Status DeleteNode(NodeId, ReorgPolicy) override {
+    return Status::NotSupported("read-only query session");
+  }
+  Status InsertEdge(NodeId, NodeId, float, ReorgPolicy) override {
+    return Status::NotSupported("read-only query session");
+  }
+  Status DeleteEdge(NodeId, NodeId, ReorgPolicy) override {
+    return Status::NotSupported("read-only query session");
+  }
+
+  /// This session's data-page accesses (not the file's global counters).
+  IoStats DataIoStats() const override { return io_; }
+  void ResetIoStats() override { io_ = IoStats{}; }
+
+  const NodePageMap& PageMap() const override { return file_->PageMap(); }
+  BufferPool* buffer_pool() override { return file_->buffer_pool(); }
+  bool LastOpChangedStructure() const override { return false; }
+  size_t NumDataPages() const override { return file_->NumDataPages(); }
+
+  NetworkFile* file() const { return file_; }
+
+ private:
+  NetworkFile* file_;
+  IoStats io_;  // per-session: the session is single-threaded by contract
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_CORE_QUERY_SESSION_H_

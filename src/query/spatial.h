@@ -68,7 +68,7 @@ class SpatialQueryEngine {
   Result<NearestResult> NearestNeighbors(double x, double y, size_t k);
 
   size_t NumIndexedNodes() const { return rtree_.NumEntries(); }
-  const IoStats& ZIndexIoStats() const { return zdisk_->stats(); }
+  IoStats ZIndexIoStats() const { return zdisk_->stats(); }
 
  private:
   SpatialQueryEngine();

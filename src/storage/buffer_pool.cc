@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <thread>
 
 namespace ccam {
 
@@ -18,103 +19,172 @@ const char* ReplacementPolicyName(ReplacementPolicy policy) {
   return "unknown";
 }
 
+size_t BufferPool::AutoShardCount(size_t capacity) {
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  size_t by_capacity = std::max<size_t>(1, capacity / kMinFramesPerShard);
+  return std::min({kMaxShards, hw, by_capacity});
+}
+
 BufferPool::BufferPool(DiskManager* disk, size_t capacity,
-                       ReplacementPolicy policy)
+                       ReplacementPolicy policy, size_t num_shards)
     : disk_(disk), capacity_(capacity), policy_(policy) {
   assert(capacity_ >= 1);
-}
-
-void BufferPool::ForgetResident(PageId id) {
-  auto it = std::find(resident_order_.begin(), resident_order_.end(), id);
-  if (it == resident_order_.end()) return;
-  size_t idx = static_cast<size_t>(it - resident_order_.begin());
-  resident_order_.erase(it);
-  if (clock_hand_ > idx) --clock_hand_;
-  if (!resident_order_.empty()) clock_hand_ %= resident_order_.size();
-}
-
-Status BufferPool::EvictPage(PageId victim) {
-  auto it = frames_.find(victim);
-  assert(it != frames_.end() && it->second.pin_count == 0);
-  if (it->second.dirty) {
-    CCAM_RETURN_NOT_OK(disk_->WritePage(victim, it->second.data.get()));
+  size_t n = num_shards == 0 ? AutoShardCount(capacity_) : num_shards;
+  n = std::clamp<size_t>(n, 1, capacity_);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Distribute the capacity as evenly as possible; the first
+    // capacity % n shards take the remainder.
+    shards_.back()->capacity = capacity_ / n + (i < capacity_ % n ? 1 : 0);
   }
-  frames_.erase(it);
-  ForgetResident(victim);
+}
+
+void BufferPool::ListPushBack(Shard* shard, Frame* frame) {
+  frame->prev = shard->tail;
+  frame->next = nullptr;
+  if (shard->tail != nullptr) {
+    shard->tail->next = frame;
+  } else {
+    shard->head = frame;
+  }
+  shard->tail = frame;
+}
+
+void BufferPool::ListRemove(Shard* shard, Frame* frame) {
+  if (shard->hand == frame) {
+    // The CLOCK hand moves to the next frame in ring order, exactly as the
+    // index adjustment of the former vector implementation did.
+    shard->hand = frame->next != nullptr ? frame->next : shard->head;
+    if (shard->hand == frame) shard->hand = nullptr;  // last frame removed
+  }
+  if (frame->prev != nullptr) {
+    frame->prev->next = frame->next;
+  } else {
+    shard->head = frame->next;
+  }
+  if (frame->next != nullptr) {
+    frame->next->prev = frame->prev;
+  } else {
+    shard->tail = frame->prev;
+  }
+  frame->prev = frame->next = nullptr;
+}
+
+void BufferPool::ListMoveToBack(Shard* shard, Frame* frame) {
+  if (shard->tail == frame) return;
+  ListRemove(shard, frame);
+  ListPushBack(shard, frame);
+}
+
+Status BufferPool::EvictFrameLocked(Shard* shard, Frame* frame) {
+  assert(frame->pin_count == 0);
+  if (frame->dirty) {
+    CCAM_RETURN_NOT_OK(disk_->WritePage(frame->id, frame->data.get()));
+  }
+  PageId id = frame->id;
+  ListRemove(shard, frame);
+  shard->frames.erase(id);
   return Status::OK();
 }
 
-Status BufferPool::EvictOne() {
-  // Any unpinned frame at all?
-  PageId victim = kInvalidPageId;
+Status BufferPool::EvictOneLocked(Shard* shard) {
+  Frame* victim = nullptr;
   if (policy_ == ReplacementPolicy::kClock) {
-    // Sweep the residency ring, clearing reference bits; evict the first
-    // unpinned unreferenced frame. Two full sweeps guarantee progress.
-    size_t n = resident_order_.size();
-    for (size_t step = 0; step < 2 * n; ++step) {
-      PageId candidate = resident_order_[clock_hand_];
-      Frame& frame = frames_.at(candidate);
-      if (frame.pin_count == 0) {
-        if (frame.ref_bit) {
-          frame.ref_bit = false;
+    // Sweep the ring (list in load order), clearing reference bits; evict
+    // the first unpinned unreferenced frame. Two full sweeps guarantee
+    // progress when any frame is evictable.
+    size_t n = shard->frames.size();
+    Frame* cursor = shard->hand != nullptr ? shard->hand : shard->head;
+    for (size_t step = 0; step < 2 * n && cursor != nullptr; ++step) {
+      if (cursor->pin_count == 0) {
+        if (cursor->ref_bit) {
+          cursor->ref_bit = false;
         } else {
-          victim = candidate;
+          victim = cursor;
           break;
         }
       }
-      clock_hand_ = (clock_hand_ + 1) % n;
+      cursor = cursor->next != nullptr ? cursor->next : shard->head;
     }
+    // The hand rests on the victim; ListRemove advances it to the next
+    // frame, matching the unsharded implementation.
+    if (victim != nullptr) shard->hand = victim;
   } else {
-    uint64_t best = UINT64_MAX;
-    for (PageId id : resident_order_) {
-      const Frame& frame = frames_.at(id);
-      if (frame.pin_count > 0) continue;
-      uint64_t key = policy_ == ReplacementPolicy::kFifo
-                         ? frame.load_seq
-                         : frame.last_use_seq;
-      if (key < best) {
-        best = key;
-        victim = id;
+    // kLru: the list is in recency order, head coldest. kFifo: the list is
+    // in load order, head oldest. Either way the first unpinned frame from
+    // the head is the victim.
+    for (Frame* f = shard->head; f != nullptr; f = f->next) {
+      if (f->pin_count == 0) {
+        victim = f;
+        break;
       }
     }
   }
-  if (victim == kInvalidPageId) {
-    return Status::NoSpace("all buffer frames are pinned");
+  if (victim == nullptr) {
+    return Status::NoSpace("all buffer frames of the shard are pinned");
   }
-  return EvictPage(victim);
+  return EvictFrameLocked(shard, victim);
 }
 
-Result<char*> BufferPool::FetchPage(PageId id) {
-  ++seq_;
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++hits_;
+Result<char*> BufferPool::FetchPage(PageId id, bool* was_miss) {
+  Shard& shard = ShardFor(id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
     Frame& frame = it->second;
-    frame.last_use_seq = seq_;
-    frame.ref_bit = true;
+    // Pin before any wait so the frame cannot be evicted under us.
     ++frame.pin_count;
+    if (frame.io_pending) {
+      shard.io_cv.wait(lock, [&frame] { return !frame.io_pending; });
+    }
+    if (frame.io_failed) {
+      if (--frame.pin_count == 0) shard.frames.erase(id);
+      return Status::IOError("concurrent read of page " + std::to_string(id) +
+                             " failed");
+    }
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    frame.ref_bit = true;
+    if (policy_ == ReplacementPolicy::kLru) ListMoveToBack(&shard, &frame);
+    if (was_miss != nullptr) *was_miss = false;
     return frame.data.get();
   }
-  ++misses_;
-  if (frames_.size() >= capacity_) {
-    CCAM_RETURN_NOT_OK(EvictOne());
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  if (shard.frames.size() >= shard.capacity) {
+    CCAM_RETURN_NOT_OK(EvictOneLocked(&shard));
   }
-  Frame frame;
+  Frame& frame = shard.frames[id];
+  frame.id = id;
   frame.data = std::make_unique<char[]>(disk_->page_size());
-  CCAM_RETURN_NOT_OK(disk_->ReadPage(id, frame.data.get()));
   frame.pin_count = 1;
-  frame.load_seq = seq_;
-  frame.last_use_seq = seq_;
   frame.ref_bit = true;
-  char* data = frame.data.get();
-  frames_.emplace(id, std::move(frame));
-  resident_order_.push_back(id);
-  return data;
+  frame.io_pending = true;
+  ListPushBack(&shard, &frame);
+  // Read outside the latch: misses in flight overlap (the simulated disk
+  // may model latency), and hits on other pages of the shard proceed.
+  // The pin keeps the frame alive; followers of the same page wait on the
+  // io_pending flag. `frame` stays valid across the unlock because
+  // unordered_map never moves its nodes.
+  lock.unlock();
+  Status read_status = disk_->ReadPage(id, frame.data.get());
+  lock.lock();
+  frame.io_pending = false;
+  shard.io_cv.notify_all();
+  if (!read_status.ok()) {
+    frame.io_failed = true;
+    ListRemove(&shard, &frame);
+    if (--frame.pin_count == 0) shard.frames.erase(id);
+    return read_status;
+  }
+  if (was_miss != nullptr) *was_miss = true;
+  return frame.data.get();
 }
 
 Status BufferPool::UnpinPage(PageId id, bool dirty) {
-  auto it = frames_.find(id);
-  if (it == frames_.end()) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) {
     return Status::InvalidArgument("unpin of unbuffered page " +
                                    std::to_string(id));
   }
@@ -129,70 +199,127 @@ Status BufferPool::UnpinPage(PageId id, bool dirty) {
 }
 
 Status BufferPool::NewPage(PageId* id, char** data) {
-  ++seq_;
-  if (frames_.size() >= capacity_) {
-    CCAM_RETURN_NOT_OK(EvictOne());
+  PageId fresh = disk_->AllocatePage();
+  Shard& shard = ShardFor(fresh);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  if (shard.frames.size() >= shard.capacity) {
+    Status evicted = EvictOneLocked(&shard);
+    if (!evicted.ok()) {
+      // Roll the allocation back so a full pool leaves the disk unchanged
+      // (the id returns to the free list and is reused next time).
+      lock.unlock();
+      (void)disk_->FreePage(fresh);
+      return evicted;
+    }
   }
-  *id = disk_->AllocatePage();
-  Frame frame;
+  Frame& frame = shard.frames[fresh];
+  frame.id = fresh;
   frame.data = std::make_unique<char[]>(disk_->page_size());
   std::memset(frame.data.get(), 0, disk_->page_size());
   frame.pin_count = 1;
   frame.dirty = true;  // never materialized on disk yet
-  frame.load_seq = seq_;
-  frame.last_use_seq = seq_;
   frame.ref_bit = true;
+  ListPushBack(&shard, &frame);
+  *id = fresh;
   *data = frame.data.get();
-  frames_.emplace(*id, std::move(frame));
-  resident_order_.push_back(*id);
   return Status::OK();
 }
 
-bool BufferPool::Contains(PageId id) const { return frames_.count(id) > 0; }
+bool BufferPool::Contains(PageId id) const {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.frames.count(id) > 0;
+}
 
 Status BufferPool::FlushPage(PageId id) {
-  auto it = frames_.find(id);
-  if (it == frames_.end() || !it->second.dirty) return Status::OK();
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end() || !it->second.dirty) return Status::OK();
   CCAM_RETURN_NOT_OK(disk_->WritePage(id, it->second.data.get()));
   it->second.dirty = false;
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [id, frame] : frames_) {
-    if (frame.dirty) {
-      CCAM_RETURN_NOT_OK(disk_->WritePage(id, frame.data.get()));
-      frame.dirty = false;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [id, frame] : shard->frames) {
+      if (frame.dirty) {
+        CCAM_RETURN_NOT_OK(disk_->WritePage(id, frame.data.get()));
+        frame.dirty = false;
+      }
     }
   }
   return Status::OK();
 }
 
 void BufferPool::Discard(PageId id) {
-  auto it = frames_.find(id);
-  if (it == frames_.end()) return;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) return;
   assert(it->second.pin_count == 0);
-  frames_.erase(it);
-  ForgetResident(id);
+  ListRemove(&shard, &it->second);
+  shard.frames.erase(it);
 }
 
 Status BufferPool::Reset() {
   CCAM_RETURN_NOT_OK(FlushAll());
-  frames_.clear();
-  resident_order_.clear();
-  clock_hand_ = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->frames.clear();
+    shard->head = shard->tail = shard->hand = nullptr;
+  }
   return Status::OK();
 }
 
-int BufferPool::PinCount(PageId id) const {
-  auto it = frames_.find(id);
-  return it == frames_.end() ? 0 : it->second.pin_count;
+size_t BufferPool::NumBuffered() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->frames.size();
+  }
+  return total;
 }
 
-PageGuard::PageGuard(BufferPool* pool, PageId id) : pool_(pool), id_(id) {
-  auto res = pool->FetchPage(id);
+uint64_t BufferPool::hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t BufferPool::misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->misses.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void BufferPool::ResetCounters() {
+  for (const auto& shard : shards_) {
+    shard->hits.store(0, std::memory_order_relaxed);
+    shard->misses.store(0, std::memory_order_relaxed);
+  }
+}
+
+int BufferPool::PinCount(PageId id) const {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  return it == shard.frames.end() ? 0 : it->second.pin_count;
+}
+
+PageGuard::PageGuard(BufferPool* pool, PageId id, IoStats* io)
+    : pool_(pool), id_(id) {
+  bool was_miss = false;
+  auto res = pool->FetchPage(id, &was_miss);
   if (res.ok()) {
     data_ = *res;
+    if (io != nullptr && was_miss) ++io->reads;
   } else {
     status_ = res.status();
     pool_ = nullptr;

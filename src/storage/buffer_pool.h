@@ -1,14 +1,18 @@
 #ifndef CCAM_STORAGE_BUFFER_POOL_H_
 #define CCAM_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/storage/disk_manager.h"
+#include "src/storage/io_stats.h"
 
 namespace ccam {
 
@@ -34,20 +38,55 @@ const char* ReplacementPolicyName(ReplacementPolicy policy);
 /// The paper's experiments assume small data buffers (route evaluation uses
 /// a single one-page buffer); the pool capacity is therefore a first-class
 /// experiment parameter.
+///
+/// Thread safety. The frame table is split into shards, each protected by
+/// its own latch; a page's shard is fixed by its id. Fetch / Unpin /
+/// Contains / PinCount and the hit/miss counters are safe to call from any
+/// number of threads concurrently; concurrent fetches of one page resolve
+/// to a single disk read (followers wait and score a hit). Miss I/O runs
+/// *outside* the shard latch, so misses in flight overlap even within one
+/// shard. Structural operations (NewPage, Discard, FlushAll, Reset) keep
+/// the file layer's single-writer discipline: they must not race with
+/// other calls on the same pages.
+///
+/// Replacement state is per shard: each shard keeps its frames on an
+/// intrusive doubly-linked list (LRU order for kLru, load order for
+/// kFifo/kClock, with a per-shard CLOCK hand), making victim selection and
+/// removal O(1) instead of the former O(capacity) scan. A single-shard
+/// pool reproduces the classic unsharded replacement behavior bit for bit;
+/// tiny pools (the paper's experiments) always get one shard.
 class BufferPool {
  public:
+  /// `num_shards` = 0 (the default) selects an automatic count,
+  /// min(kMaxShards, hardware threads), clamped so that every shard keeps
+  /// at least kMinFramesPerShard frames — pools smaller than
+  /// 2 * kMinFramesPerShard pages therefore collapse to a single shard.
+  /// Explicit counts are clamped to [1, capacity].
   BufferPool(DiskManager* disk, size_t capacity,
-             ReplacementPolicy policy = ReplacementPolicy::kLru);
+             ReplacementPolicy policy = ReplacementPolicy::kLru,
+             size_t num_shards = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
+  static constexpr size_t kMaxShards = 16;
+  static constexpr size_t kMinFramesPerShard = 8;
+
+  /// The shard count `num_shards` = 0 resolves to for a pool of
+  /// `capacity` pages.
+  static size_t AutoShardCount(size_t capacity);
+
   size_t capacity() const { return capacity_; }
-  size_t NumBuffered() const { return frames_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+  size_t NumBuffered() const;
 
   /// Returns the frame holding page `id`, reading it from disk on a miss,
-  /// and pins it. Fails when every frame is pinned.
-  Result<char*> FetchPage(PageId id);
+  /// and pins it. Fails when every frame of the page's shard is pinned.
+  Result<char*> FetchPage(PageId id) { return FetchPage(id, nullptr); }
+
+  /// FetchPage that additionally reports whether the fetch missed (i.e.
+  /// charged one disk read). Per-session accounting is built on this.
+  Result<char*> FetchPage(PageId id, bool* was_miss);
 
   /// Releases one pin; `dirty` marks the frame as modified.
   Status UnpinPage(PageId id, bool dirty);
@@ -74,46 +113,70 @@ class BufferPool {
   /// Flushes and empties the pool.
   Status Reset();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  void ResetCounters() { hits_ = misses_ = 0; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  void ResetCounters();
 
   int PinCount(PageId id) const;
 
  private:
+  struct Shard;
+
   struct Frame {
     std::unique_ptr<char[]> data;
+    PageId id = kInvalidPageId;
     int pin_count = 0;
     bool dirty = false;
-    uint64_t load_seq = 0;      // when the page entered the pool (FIFO)
-    uint64_t last_use_seq = 0;  // last fetch (LRU)
-    bool ref_bit = false;       // referenced since the hand passed (CLOCK)
+    bool ref_bit = false;   // referenced since the hand passed (CLOCK)
+    bool io_pending = false;  // the miss read is still in flight
+    bool io_failed = false;   // the miss read failed; frame is unusable
+    Frame* prev = nullptr;
+    Frame* next = nullptr;
   };
 
-  /// Makes room for a new frame by evicting one unpinned page per the
-  /// replacement policy.
-  Status EvictOne();
-  Status EvictPage(PageId victim);
-  /// Removes `id` from the residency order vector.
-  void ForgetResident(PageId id);
+  /// One latch-protected slice of the frame table. The intrusive list
+  /// holds every frame of the shard: in recency order for kLru (head =
+  /// coldest), in load order for kFifo and kClock.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable io_cv;  // wakes waiters when a miss read lands
+    std::unordered_map<PageId, Frame> frames;
+    Frame* head = nullptr;
+    Frame* tail = nullptr;
+    Frame* hand = nullptr;  // CLOCK hand (null = start at head)
+    size_t capacity = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+  };
+
+  Shard& ShardFor(PageId id) const {
+    return *shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+
+  static void ListPushBack(Shard* shard, Frame* frame);
+  static void ListRemove(Shard* shard, Frame* frame);
+  static void ListMoveToBack(Shard* shard, Frame* frame);
+
+  /// Picks a victim per the replacement policy and evicts it (writing it
+  /// back when dirty). Caller holds the shard latch.
+  Status EvictOneLocked(Shard* shard);
+  Status EvictFrameLocked(Shard* shard, Frame* frame);
 
   DiskManager* disk_;
   size_t capacity_;
   ReplacementPolicy policy_;
-  std::unordered_map<PageId, Frame> frames_;
-  /// Pages in load order (CLOCK sweeps this circularly).
-  std::vector<PageId> resident_order_;
-  size_t clock_hand_ = 0;
-  uint64_t seq_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// RAII pin: fetches a page on construction and unpins on destruction.
+/// When `io` is given, a fetch miss charges one read to it — the basis of
+/// the per-session accounting of concurrent query streams. A moved-from
+/// or Release()d guard is inert; destruction after the pool was Reset()
+/// is harmless (the unpin is a no-op error that the guard swallows).
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, PageId id);
+  PageGuard(BufferPool* pool, PageId id, IoStats* io = nullptr);
 
   PageGuard(const PageGuard&) = delete;
   PageGuard& operator=(const PageGuard&) = delete;

@@ -1,7 +1,10 @@
 #include "src/storage/disk_manager.h"
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <mutex>
+#include <thread>
 
 #include "src/common/coding.h"
 
@@ -10,7 +13,8 @@ namespace ccam {
 DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {}
 
 PageId DiskManager::AllocatePage() {
-  ++stats_.allocs;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  allocs_.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
@@ -26,40 +30,70 @@ PageId DiskManager::AllocatePage() {
 }
 
 Status DiskManager::FreePage(PageId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size() || !allocated_[id]) {
     return Status::InvalidArgument("free of unallocated page " +
                                    std::to_string(id));
   }
   allocated_[id] = false;
   free_list_.push_back(id);
-  ++stats_.frees;
+  frees_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status DiskManager::ReadPage(PageId id, char* out) {
-  if (id >= pages_.size() || !allocated_[id]) {
-    return Status::IOError("read of unallocated page " + std::to_string(id));
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (id >= pages_.size() || !allocated_[id]) {
+      return Status::IOError("read of unallocated page " + std::to_string(id));
+    }
+    std::memcpy(out, pages_[id].get(), page_size_);
+    reads_.fetch_add(1, std::memory_order_relaxed);
   }
-  std::memcpy(out, pages_[id].get(), page_size_);
-  ++stats_.reads;
+  // Latency is modeled outside the lock so in-flight reads overlap.
+  uint32_t latency = read_latency_us_.load(std::memory_order_relaxed);
+  if (latency != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency));
+  }
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const char* in) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size() || !allocated_[id]) {
     return Status::IOError("write of unallocated page " + std::to_string(id));
   }
   std::memcpy(pages_[id].get(), in, page_size_);
-  ++stats_.writes;
+  writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 bool DiskManager::IsAllocated(PageId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return id < pages_.size() && allocated_[id];
 }
 
 size_t DiskManager::NumAllocatedPages() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return pages_.size() - free_list_.size();
+}
+
+IoStats DiskManager::stats() const {
+  IoStats s;
+  s.reads = reads_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.allocs = allocs_.load(std::memory_order_relaxed);
+  s.frees = frees_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void DiskManager::ResetStats() { RestoreStats(IoStats{}); }
+
+void DiskManager::RestoreStats(const IoStats& snapshot) {
+  reads_.store(snapshot.reads, std::memory_order_relaxed);
+  writes_.store(snapshot.writes, std::memory_order_relaxed);
+  allocs_.store(snapshot.allocs, std::memory_order_relaxed);
+  frees_.store(snapshot.frees, std::memory_order_relaxed);
 }
 
 namespace {
@@ -67,6 +101,7 @@ constexpr char kDiskMagic[8] = {'C', 'C', 'A', 'M', 'D', 'I', 'S', 'K'};
 }  // namespace
 
 Status DiskManager::SaveToFile(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
   out.write(kDiskMagic, sizeof(kDiskMagic));
@@ -116,14 +151,17 @@ Status DiskManager::LoadFromFile(const std::string& path) {
     allocated.push_back(flag != 0);
     if (flag == 0) free_list.push_back(i);
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   pages_ = std::move(pages);
   allocated_ = std::move(allocated);
   free_list_ = std::move(free_list);
-  stats_ = IoStats{};
+  lock.unlock();
+  ResetStats();
   return Status::OK();
 }
 
 std::vector<PageId> DiskManager::AllocatedPageIds() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<PageId> out;
   for (PageId id = 0; id < pages_.size(); ++id) {
     if (allocated_[id]) out.push_back(id);

@@ -1,7 +1,10 @@
 #ifndef CCAM_STORAGE_DISK_MANAGER_H_
 #define CCAM_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +18,12 @@ namespace ccam {
 /// accounting. The paper evaluates access methods by the *number of data
 /// page accesses*, which this simulation counts deterministically; latency
 /// is irrelevant to the reproduced results (see DESIGN.md, substitutions).
+///
+/// Thread safety. Reads are concurrent: ReadPage takes the structure lock
+/// shared and bumps an atomic counter, so parallel query streams never
+/// serialize on the disk. Structural mutations (Allocate/Free/Write/Load)
+/// take the lock exclusively — the file layer keeps its single-writer
+/// discipline, so this only guards against reads racing a writer.
 class DiskManager {
  public:
   explicit DiskManager(size_t page_size);
@@ -44,11 +53,23 @@ class DiskManager {
   /// Ids of all live pages, ascending.
   std::vector<PageId> AllocatedPageIds() const;
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  /// Snapshot of the I/O counters (by value: the counters are atomics).
+  IoStats stats() const;
+  void ResetStats();
   /// Restores a previously captured snapshot — used by diagnostics scans
   /// that must not perturb experiment counters.
-  void RestoreStats(const IoStats& snapshot) { stats_ = snapshot; }
+  void RestoreStats(const IoStats& snapshot);
+
+  /// Models disk latency for throughput experiments: every ReadPage sleeps
+  /// this long *after* releasing the structure lock, so concurrent misses
+  /// overlap like requests queued at a real device. 0 (the default) keeps
+  /// reads instantaneous; accounting is identical either way.
+  void SetSimulatedReadLatencyMicros(uint32_t micros) {
+    read_latency_us_.store(micros, std::memory_order_relaxed);
+  }
+  uint32_t simulated_read_latency_micros() const {
+    return read_latency_us_.load(std::memory_order_relaxed);
+  }
 
   /// Writes the whole disk image (page size, allocation bitmap, page
   /// contents) to a real file. Counts no simulated I/O.
@@ -60,10 +81,15 @@ class DiskManager {
 
  private:
   size_t page_size_;
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<char[]>> pages_;
   std::vector<bool> allocated_;
   std::vector<PageId> free_list_;
-  IoStats stats_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> allocs_{0};
+  std::atomic<uint64_t> frees_{0};
+  std::atomic<uint32_t> read_latency_us_{0};
 };
 
 }  // namespace ccam

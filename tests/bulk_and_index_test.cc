@@ -116,7 +116,7 @@ TEST(FindViaIndexTest, ChargesIndexIoSeparately) {
   Network net = GenerateMinneapolisLikeMap(1995);
   Ccam am(options, CcamCreateMode::kStatic);
   ASSERT_TRUE(am.Create(net).ok());
-  ASSERT_NE(am.IndexIoStats(), nullptr);
+  ASSERT_TRUE(am.IndexIoStats().has_value());
   uint64_t index_io_before = am.IndexIoStats()->Accesses();
   am.ResetIoStats();
   Random rng(1);

@@ -230,7 +230,7 @@ TEST(CcamIndexTest, BPlusTreeIndexStaysConsistent) {
   ASSERT_TRUE(am.Create(net).ok());
   ASSERT_NE(am.bptree_index(), nullptr);
   EXPECT_EQ(am.bptree_index()->NumEntries(), net.NumNodes());
-  ASSERT_NE(am.IndexIoStats(), nullptr);
+  ASSERT_TRUE(am.IndexIoStats().has_value());
   // Index I/O is tracked separately from data I/O.
   am.ResetIoStats();
   ASSERT_TRUE(am.Find(3).ok());
@@ -244,7 +244,7 @@ TEST(CcamIndexTest, IndexOptional) {
   Ccam am(options, CcamCreateMode::kStatic);
   ASSERT_TRUE(am.Create(net).ok());
   EXPECT_EQ(am.bptree_index(), nullptr);
-  EXPECT_EQ(am.IndexIoStats(), nullptr);
+  EXPECT_FALSE(am.IndexIoStats().has_value());
   ASSERT_TRUE(am.Find(0).ok());
 }
 
