@@ -100,7 +100,7 @@ int Run() {
       DiskManager disk(512);
       std::vector<PageId> ids;
       for (size_t i = 0; i < 2 * capacity; ++i) {
-        ids.push_back(disk.AllocatePage());
+        ids.push_back(*disk.AllocatePage());
       }
       BufferPool pool(&disk, capacity, policy, /*num_shards=*/1);
       uint64_t fetches = 0;

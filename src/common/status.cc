@@ -22,6 +22,10 @@ const char* CodeName(Status::Code code) {
       return "AlreadyExists";
     case Status::Code::kNotSupported:
       return "NotSupported";
+    case Status::Code::kShortRead:
+      return "ShortRead";
+    case Status::Code::kShortWrite:
+      return "ShortWrite";
   }
   return "Unknown";
 }

@@ -20,6 +20,12 @@ class Status {
     kNoSpace = 5,
     kAlreadyExists = 6,
     kNotSupported = 7,
+    /// A read transferred fewer bytes than requested (injected or real
+    /// partial I/O). Distinct from kIOError so callers can tell a torn
+    /// transfer from a failed one.
+    kShortRead = 8,
+    /// A write persisted only a prefix of the data (torn write).
+    kShortWrite = 9,
   };
 
   /// Constructs an OK status.
@@ -52,6 +58,17 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(Code::kNotSupported, std::move(msg));
   }
+  static Status ShortRead(std::string msg) {
+    return Status(Code::kShortRead, std::move(msg));
+  }
+  static Status ShortWrite(std::string msg) {
+    return Status(Code::kShortWrite, std::move(msg));
+  }
+  /// Builds a status with an arbitrary code (fault injection returns the
+  /// configured code of the armed failpoint). `code` must not be kOk.
+  static Status FromCode(Code code, std::string msg) {
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -61,6 +78,8 @@ class Status {
   bool IsNoSpace() const { return code_ == Code::kNoSpace; }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsShortRead() const { return code_ == Code::kShortRead; }
+  bool IsShortWrite() const { return code_ == Code::kShortWrite; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

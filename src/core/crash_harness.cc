@@ -1,0 +1,194 @@
+#include "src/core/crash_harness.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/common/random.h"
+#include "src/graph/generator.h"
+
+namespace ccam {
+namespace {
+
+AccessMethodOptions MakeOptions(const CrashSimOptions& opt) {
+  AccessMethodOptions o;
+  o.page_size = opt.page_size;
+  o.buffer_pool_pages = opt.buffer_pool_pages;
+  o.seed = opt.seed;
+  // Single-threaded clustering: the page *assignment* is bit-identical for
+  // every thread count, but the crash model indexes into the page *write
+  // sequence*, which must not depend on scheduling either.
+  o.num_threads = 1;
+  return o;
+}
+
+bool IsLogicalFailure(const Status& st) {
+  return st.IsNotFound() || st.IsAlreadyExists() || st.IsNoSpace() ||
+         st.IsInvalidArgument();
+}
+
+/// Applies the seeded workload to `file`: static create from a geometric
+/// network, then `opt.ops` mixed maintenance operations. `net` mirrors the
+/// successful operations so later picks stay (mostly) valid; the op stream
+/// is a pure function of `opt.seed`. Returns OK when the workload either
+/// ran to completion or stopped at a simulated device halt; anything else
+/// is a harness-level error.
+Status RunWorkload(Ccam* file, const CrashSimOptions& opt) {
+  Network net = GenerateRandomGeometricNetwork(opt.initial_nodes,
+                                               /*radius=*/220.0,
+                                               /*extent=*/1000.0, opt.seed);
+  Status st = file->Create(net);
+  if (!st.ok()) {
+    return file->disk()->halted() ? Status::OK() : st;
+  }
+  Random rng(opt.seed ^ 0x9e3779b97f4a7c15ULL);
+  NodeId next_id = 0;
+  for (NodeId id : net.NodeIds()) next_id = std::max(next_id, id + 1);
+  for (int i = 0; i < opt.ops; ++i) {
+    std::vector<NodeId> live = net.NodeIds();
+    if (live.empty()) break;
+    auto pick = [&] { return live[rng.Uniform(static_cast<uint32_t>(live.size()))]; };
+    uint32_t kind = rng.Uniform(100);
+    Status op;
+    if (kind < 25) {
+      // Insert a fresh node wired to up to two existing ones.
+      NodeRecord rec;
+      rec.id = next_id++;
+      rec.x = rng.NextDouble() * 1000.0;
+      rec.y = rng.NextDouble() * 1000.0;
+      rec.payload = "n" + std::to_string(rec.id);
+      NodeId a = pick();
+      NodeId b = pick();
+      float ca = 1.0f + static_cast<float>(rng.Uniform(9));
+      float cb = 1.0f + static_cast<float>(rng.Uniform(9));
+      rec.succ.push_back({a, ca});
+      rec.pred.push_back({a, ca});
+      if (b != a) {
+        rec.succ.push_back({b, cb});
+        rec.pred.push_back({b, cb});
+      }
+      op = file->InsertNode(rec, opt.policy);
+      if (op.ok()) {
+        CCAM_RETURN_NOT_OK(net.AddNode(rec.id, rec.x, rec.y, rec.payload));
+        for (const AdjEntry& e : rec.succ) {
+          CCAM_RETURN_NOT_OK(net.AddBidirectionalEdge(rec.id, e.node, e.cost));
+        }
+      }
+    } else if (kind < 40) {
+      NodeId victim = pick();
+      op = file->DeleteNode(victim, opt.policy);
+      if (op.ok()) CCAM_RETURN_NOT_OK(net.RemoveNode(victim));
+    } else if (kind < 75) {
+      NodeId u = pick();
+      NodeId v = pick();
+      if (u == v || net.HasEdge(u, v)) continue;
+      float cost = 1.0f + static_cast<float>(rng.Uniform(9));
+      op = file->InsertEdge(u, v, cost, opt.policy);
+      if (op.ok()) CCAM_RETURN_NOT_OK(net.AddEdge(u, v, cost));
+    } else {
+      NodeId u = pick();
+      const auto& succ = net.node(u).succ;
+      if (succ.empty()) continue;
+      NodeId v = succ[rng.Uniform(static_cast<uint32_t>(succ.size()))].node;
+      op = file->DeleteEdge(u, v, opt.policy);
+      if (op.ok()) CCAM_RETURN_NOT_OK(net.RemoveEdge(u, v));
+    }
+    if (!op.ok()) {
+      if (file->disk()->halted()) return Status::OK();
+      if (!IsLogicalFailure(op)) return op;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* CrashOutcomeName(CrashOutcome outcome) {
+  switch (outcome) {
+    case CrashOutcome::kNoCrash:
+      return "no-crash";
+    case CrashOutcome::kRecovered:
+      return "recovered";
+    case CrashOutcome::kCorruptionDetected:
+      return "corruption-detected";
+  }
+  return "unknown";
+}
+
+Result<uint64_t> CountWorkloadWrites(const CrashSimOptions& options) {
+  Ccam file(MakeOptions(options));
+  CCAM_RETURN_NOT_OK(RunWorkload(&file, options));
+  return file.disk()->stats().writes;
+}
+
+Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
+                                    uint64_t crash_point) {
+  if (options.image_path.empty()) {
+    return Status::InvalidArgument("CrashSimOptions::image_path is required");
+  }
+  FaultInjector faults(options.seed);
+  CCAM_RETURN_NOT_OK(faults.Configure(
+      "disk.write=crash:" + std::to_string(options.torn_bytes) + "@" +
+      std::to_string(crash_point)));
+  Ccam file(MakeOptions(options));
+  file.SetFaultInjector(&faults);
+  CCAM_RETURN_NOT_OK(RunWorkload(&file, options));
+
+  CrashRunResult out;
+  out.writes_before_crash = file.disk()->stats().writes;
+  if (!file.disk()->halted()) {
+    out.outcome = CrashOutcome::kNoCrash;
+    return out;
+  }
+  {
+    // Capture the platter exactly as the crash left it. Dirty buffer-pool
+    // frames are deliberately NOT flushed — they never reached disk.
+    FaultInjector::SuppressScope suppress(&faults);
+    CCAM_RETURN_NOT_OK(file.disk()->SaveToFile(options.image_path));
+  }
+  Ccam reopened(MakeOptions(options));
+  Status st = reopened.OpenImage(options.image_path);
+  if (st.ok()) st = reopened.CheckFileInvariants();
+  if (st.ok()) st = reopened.CheckGraphInvariants();
+  if (st.ok()) {
+    out.outcome = CrashOutcome::kRecovered;
+    out.recovered_nodes = reopened.PageMap().size();
+  } else {
+    out.outcome = CrashOutcome::kCorruptionDetected;
+    out.detail = st.ToString();
+  }
+  return out;
+}
+
+Result<CrashSimReport> RunCrashSim(const CrashSimOptions& options,
+                                   uint64_t num_points) {
+  CrashSimReport report;
+  CCAM_ASSIGN_OR_RETURN(report.total_writes, CountWorkloadWrites(options));
+  if (report.total_writes == 0 || num_points == 0) return report;
+  uint64_t n = std::min(num_points, report.total_writes);
+  for (uint64_t i = 0; i < n; ++i) {
+    // Spread the points evenly over the write sequence, first and last
+    // writes included.
+    uint64_t point =
+        1 + (i * (report.total_writes - 1)) / (n > 1 ? n - 1 : 1);
+    CrashPointReport entry;
+    entry.crash_point = point;
+    CCAM_ASSIGN_OR_RETURN(entry.result, RunCrashOnce(options, point));
+    switch (entry.result.outcome) {
+      case CrashOutcome::kNoCrash:
+        ++report.no_crash;
+        break;
+      case CrashOutcome::kRecovered:
+        ++report.recovered;
+        break;
+      case CrashOutcome::kCorruptionDetected:
+        ++report.corruption_detected;
+        break;
+    }
+    report.points.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace ccam

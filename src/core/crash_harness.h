@@ -1,0 +1,96 @@
+#ifndef CCAM_CORE_CRASH_HARNESS_H_
+#define CCAM_CORE_CRASH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/ccam.h"
+
+namespace ccam {
+
+/// Deterministic crash-consistency driver shared by
+/// tests/crash_consistency_test and tools/crashsim.
+///
+/// A run builds a CCAM file from a seeded geometric network, then applies a
+/// seeded stream of mixed Insert-node / Delete-node / Insert-edge /
+/// Delete-edge operations. With a `disk.write=crash:<bytes>@<k>` fault
+/// armed, the k-th page write tears after <bytes> bytes and halts the
+/// simulated device — modelling a power cut mid-write. The harness then
+/// captures the platter state (dirty buffer-pool frames are deliberately
+/// lost: they never reached disk), reopens the image with a fresh instance
+/// and classifies the result. The workload is a pure function of the seed,
+/// so the same (seed, crash point) always produces the same crash and the
+/// same recovered image, byte for byte.
+struct CrashSimOptions {
+  uint64_t seed = 1995;
+  size_t page_size = 1024;
+  size_t buffer_pool_pages = 8;
+  ReorgPolicy policy = ReorgPolicy::kSecondOrder;
+  /// Nodes of the initial network the static create builds.
+  int initial_nodes = 48;
+  /// Mixed maintenance operations applied after create.
+  int ops = 120;
+  /// Bytes of the crashing write that reach the platter (the torn prefix).
+  int torn_bytes = 96;
+  /// Where the crash capture image is written. Required.
+  std::string image_path;
+};
+
+enum class CrashOutcome {
+  /// The workload completed before the scheduled write boundary.
+  kNoCrash,
+  /// Reopen succeeded and file + graph invariants all hold.
+  kRecovered,
+  /// Reopen (or an invariant check) failed with a clean typed Status —
+  /// the torn state was *detected*, never silently accepted.
+  kCorruptionDetected,
+};
+
+const char* CrashOutcomeName(CrashOutcome outcome);
+
+struct CrashRunResult {
+  CrashOutcome outcome = CrashOutcome::kNoCrash;
+  /// Status message of the detection, empty when recovered.
+  std::string detail;
+  /// Page writes that fully completed before the device halted.
+  uint64_t writes_before_crash = 0;
+  /// Nodes visible after a successful reopen.
+  size_t recovered_nodes = 0;
+};
+
+struct CrashPointReport {
+  uint64_t crash_point = 0;  // 1-based index into the write sequence
+  CrashRunResult result;
+};
+
+struct CrashSimReport {
+  /// Page writes the fault-free workload performs (the crash-point space).
+  uint64_t total_writes = 0;
+  std::vector<CrashPointReport> points;
+  size_t recovered = 0;
+  size_t corruption_detected = 0;
+  size_t no_crash = 0;
+};
+
+/// Runs the seeded workload fault-free and returns the number of page
+/// writes it performs — the size of the crash-point space.
+Result<uint64_t> CountWorkloadWrites(const CrashSimOptions& options);
+
+/// Runs the workload with a crash scheduled at the `crash_point`-th page
+/// write (1-based), captures the platter, reopens and verifies. Returns an
+/// error only on harness-level failures (e.g. the capture file cannot be
+/// written); torn data is reported via the outcome, not as an error.
+Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
+                                    uint64_t crash_point);
+
+/// Sweeps `num_points` crash points spread evenly over the write sequence
+/// (all of them when `num_points` >= total writes).
+Result<CrashSimReport> RunCrashSim(const CrashSimOptions& options,
+                                   uint64_t num_points);
+
+}  // namespace ccam
+
+#endif  // CCAM_CORE_CRASH_HARNESS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string_view>
 #include <unordered_set>
 
 #include "src/core/query_session.h"
@@ -470,18 +471,38 @@ Status NetworkFile::OpenImage(const std::string& path) {
   }
   CCAM_RETURN_NOT_OK(disk_.LoadFromFile(path));
   CCAM_RETURN_NOT_OK(pool_.Reset());
-  // Rebuild the node -> page map and the free-space map by scanning.
+  // Rebuild the node -> page map and the free-space map by scanning. The
+  // image is untrusted (it may be a crash capture): every page is
+  // bounds-validated and every record fully decoded before anything is
+  // believed, so a torn page surfaces as a typed Corruption, never as an
+  // out-of-bounds access.
   std::vector<std::pair<uint64_t, uint64_t>> index_entries;
   for (PageId page : disk_.AllocatedPageIds()) {
     PageGuard guard(&pool_, page);
     if (!guard.ok()) return guard.status();
+    // A page allocated by a crashed run but never written back is still
+    // all zeroes (no slotted-page header). It holds no records; format it
+    // so the free-space map and later writes see a valid empty page.
+    std::string_view raw(guard.data(), options_.page_size);
+    if (raw.find_first_not_of('\0') == std::string_view::npos) {
+      SlottedPage::Initialize(guard.data(), options_.page_size);
+      guard.MarkDirty();
+      NoteFreeSpace(page, SlottedPage(guard.data(), options_.page_size));
+      continue;
+    }
     SlottedPage view(guard.data(), options_.page_size);
+    Status valid = view.Validate();
+    if (!valid.ok()) {
+      return Status::Corruption("page " + std::to_string(page) + ": " +
+                                valid.message());
+    }
     for (int slot : view.LiveSlots()) {
-      NodeId id = NodeRecord::PeekId(view.GetRecord(slot));
-      if (id == kInvalidNodeId) {
+      auto rec = NodeRecord::Decode(view.GetRecord(slot));
+      if (!rec.ok() || rec->id == kInvalidNodeId) {
         return Status::Corruption("undecodable record on page " +
                                   std::to_string(page));
       }
+      NodeId id = rec->id;
       if (!page_of_.emplace(id, page).second) {
         return Status::Corruption("duplicate node " + std::to_string(id) +
                                   " in image");
@@ -921,6 +942,57 @@ Status NetworkFile::CheckFileInvariants() {
       if (*res != page) {
         return Status::Corruption("index disagrees for node " +
                                   std::to_string(id));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status NetworkFile::CheckGraphInvariants() {
+  // Load every stored record, then check that adjacency forms a closed,
+  // symmetric graph: no edge endpoint may dangle, and each directed edge
+  // (u, v, cost) must appear both in u's successor-list and in v's
+  // predecessor-list with the same cost.
+  std::unordered_map<NodeId, NodeRecord> nodes;
+  for (PageId page : disk_.AllocatedPageIds()) {
+    std::vector<NodeRecord> records;
+    CCAM_ASSIGN_OR_RETURN(records, RecordsOnPage(page));
+    for (NodeRecord& rec : records) {
+      NodeId id = rec.id;
+      if (!nodes.emplace(id, std::move(rec)).second) {
+        return Status::Corruption("duplicate node " + std::to_string(id));
+      }
+    }
+  }
+  for (const auto& [id, rec] : nodes) {
+    for (const AdjEntry& e : rec.succ) {
+      auto it = nodes.find(e.node);
+      if (it == nodes.end()) {
+        return Status::Corruption("successor edge " + std::to_string(id) +
+                                  " -> " + std::to_string(e.node) +
+                                  " dangles");
+      }
+      if (!it->second.HasPredecessor(id)) {
+        return Status::Corruption("edge " + std::to_string(id) + " -> " +
+                                  std::to_string(e.node) +
+                                  " missing from predecessor-list");
+      }
+    }
+    for (const AdjEntry& e : rec.pred) {
+      auto it = nodes.find(e.node);
+      if (it == nodes.end()) {
+        return Status::Corruption("predecessor edge " + std::to_string(e.node) +
+                                  " -> " + std::to_string(id) + " dangles");
+      }
+      auto cost = it->second.SuccessorCost(id);
+      if (!cost.ok()) {
+        return Status::Corruption("edge " + std::to_string(e.node) + " -> " +
+                                  std::to_string(id) +
+                                  " missing from successor-list");
+      }
+      if (*cost != e.cost) {
+        return Status::Corruption("edge " + std::to_string(e.node) + " -> " +
+                                  std::to_string(id) + " cost mismatch");
       }
     }
   }

@@ -96,6 +96,22 @@ class NetworkFile : public AccessMethod {
   /// once on its page, records decode, index agrees). For tests.
   Status CheckFileInvariants();
 
+  /// Verifies graph-level invariants over the stored records: every
+  /// successor/predecessor endpoint is a present node, and adjacency is
+  /// symmetric (u lists v as successor with cost c iff v lists u as
+  /// predecessor with cost c). The crash-recovery harness runs this after
+  /// OpenImage: a crash mid-maintenance leaves either a consistent file or
+  /// a typed Corruption here — never a silently half-patched graph.
+  Status CheckGraphInvariants();
+
+  /// Attaches a fault injector to the simulated data disk (nullptr
+  /// detaches). Index-disk I/O is not fault-injected: the paper's cost
+  /// model treats index pages as buffered, so the adversarial surface is
+  /// the data file.
+  void SetFaultInjector(FaultInjector* faults) {
+    disk_.SetFaultInjector(faults);
+  }
+
   /// Complete reorganization: reclusters the entire data file (Table 1's
   /// "all pages in data file" option — the expensive global pass the
   /// incremental policies exist to avoid). Restores near-create CRR after

@@ -123,45 +123,53 @@ Result<TraceReport> ReplayTrace(AccessMethod* am,
   std::map<TraceOp::Kind, TraceReport::PerKind> tally;
   for (const TraceOp& op : ops) {
     IoStats before = am->DataIoStats();
-    bool ok = true;
+    Status st = Status::OK();
     switch (op.kind) {
       case TraceOp::Kind::kFind:
-        ok = am->Find(op.nodes[0]).ok();
+        st = am->Find(op.nodes[0]).status();
         break;
       case TraceOp::Kind::kGetSuccessors:
-        ok = am->GetSuccessors(op.nodes[0]).ok();
+        st = am->GetSuccessors(op.nodes[0]).status();
         break;
       case TraceOp::Kind::kGetASuccessor:
-        ok = am->GetASuccessor(op.nodes[0], op.nodes[1]).ok();
+        st = am->GetASuccessor(op.nodes[0], op.nodes[1]).status();
         break;
       case TraceOp::Kind::kInsertNode: {
         NodeRecord rec;
         rec.id = op.nodes[0];
         rec.x = op.x;
         rec.y = op.y;
-        ok = am->InsertNode(rec, policy).ok();
+        st = am->InsertNode(rec, policy);
         break;
       }
       case TraceOp::Kind::kInsertEdge:
-        ok = am->InsertEdge(op.nodes[0], op.nodes[1], op.cost, policy).ok();
+        st = am->InsertEdge(op.nodes[0], op.nodes[1], op.cost, policy);
         break;
       case TraceOp::Kind::kDeleteEdge:
-        ok = am->DeleteEdge(op.nodes[0], op.nodes[1], policy).ok();
+        st = am->DeleteEdge(op.nodes[0], op.nodes[1], policy);
         break;
       case TraceOp::Kind::kDeleteNode:
-        ok = am->DeleteNode(op.nodes[0], policy).ok();
+        st = am->DeleteNode(op.nodes[0], policy);
         break;
       case TraceOp::Kind::kRoute: {
         Route route;
         route.nodes = op.nodes;
-        ok = EvaluateRoute(am, route).ok();
+        st = EvaluateRoute(am, route).status();
         break;
       }
+    }
+    // Storage faults abort the replay: the access method's file may be in
+    // an undefined logical state, so tallying on as if the op had merely
+    // missed a node would misreport. Logical failures (NotFound etc.) stay
+    // non-fatal — traces routinely probe absent nodes.
+    if (st.IsIOError() || st.IsCorruption() || st.IsShortRead() ||
+        st.IsShortWrite()) {
+      return st;
     }
     IoStats after = am->DataIoStats();
     TraceReport::PerKind& slot = tally[op.kind];
     ++slot.count;
-    if (!ok) ++slot.failed;
+    if (!st.ok()) ++slot.failed;
     slot.page_accesses += (after - before).Accesses();
     report.total_accesses += (after - before).Accesses();
     ++report.total_ops;

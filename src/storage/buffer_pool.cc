@@ -199,7 +199,8 @@ Status BufferPool::UnpinPage(PageId id, bool dirty) {
 }
 
 Status BufferPool::NewPage(PageId* id, char** data) {
-  PageId fresh = disk_->AllocatePage();
+  PageId fresh;
+  CCAM_ASSIGN_OR_RETURN(fresh, disk_->AllocatePage());
   Shard& shard = ShardFor(fresh);
   std::unique_lock<std::mutex> lock(shard.mu);
   if (shard.frames.size() >= shard.capacity) {

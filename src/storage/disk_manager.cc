@@ -12,8 +12,37 @@ namespace ccam {
 
 DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {}
 
-PageId DiskManager::AllocatePage() {
+namespace {
+
+/// Status for an injected kError / kNoSpace action with page-id context.
+Status InjectedStatus(const FaultAction& fault, const std::string& op,
+                      PageId id) {
+  std::string where = op + " of page " + std::to_string(id);
+  if (fault.kind == FaultAction::Kind::kNoSpace) {
+    return Status::NoSpace("simulated device full: " + where);
+  }
+  return Status::FromCode(fault.code, "injected " + op + " error: " + where);
+}
+
+Status HaltedStatus(const std::string& op) {
+  return Status::IOError("device halted by simulated crash: " + op);
+}
+
+}  // namespace
+
+Result<PageId> DiskManager::AllocatePage() {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (halted()) return HaltedStatus("alloc");
+  if (faults_ != nullptr) {
+    if (auto fault = faults_->Hit("disk.alloc")) {
+      if (fault->kind == FaultAction::Kind::kCrash) {
+        halted_.store(true, std::memory_order_release);
+        return Status::IOError("simulated crash during alloc");
+      }
+      return InjectedStatus(*fault, "alloc",
+                            static_cast<PageId>(pages_.size()));
+    }
+  }
   allocs_.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
@@ -31,6 +60,17 @@ PageId DiskManager::AllocatePage() {
 
 Status DiskManager::FreePage(PageId id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (halted()) return HaltedStatus("free of page " + std::to_string(id));
+  if (faults_ != nullptr) {
+    if (auto fault = faults_->Hit("disk.free")) {
+      if (fault->kind == FaultAction::Kind::kCrash) {
+        halted_.store(true, std::memory_order_release);
+        return Status::IOError("simulated crash during free of page " +
+                               std::to_string(id));
+      }
+      return InjectedStatus(*fault, "free", id);
+    }
+  }
   if (id >= pages_.size() || !allocated_[id]) {
     return Status::InvalidArgument("free of unallocated page " +
                                    std::to_string(id));
@@ -44,8 +84,33 @@ Status DiskManager::FreePage(PageId id) {
 Status DiskManager::ReadPage(PageId id, char* out) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
+    if (halted()) return HaltedStatus("read of page " + std::to_string(id));
     if (id >= pages_.size() || !allocated_[id]) {
       return Status::IOError("read of unallocated page " + std::to_string(id));
+    }
+    if (faults_ != nullptr) {
+      if (auto fault = faults_->Hit("disk.read")) {
+        switch (fault->kind) {
+          case FaultAction::Kind::kShort: {
+            // A prefix transfers; the rest of the caller's buffer is
+            // deterministic garbage (never the real page tail).
+            size_t n = std::min(fault->bytes, page_size_);
+            std::memcpy(out, pages_[id].get(), n);
+            std::memset(out + n, 0xCD, page_size_ - n);
+            return Status::ShortRead(
+                "short read of page " + std::to_string(id) + ": " +
+                std::to_string(n) + "/" + std::to_string(page_size_) +
+                " bytes");
+          }
+          case FaultAction::Kind::kCrash:
+            halted_.store(true, std::memory_order_release);
+            return Status::IOError("simulated crash during read of page " +
+                                   std::to_string(id));
+          case FaultAction::Kind::kNoSpace:
+          case FaultAction::Kind::kError:
+            return InjectedStatus(*fault, "read", id);
+        }
+      }
     }
     std::memcpy(out, pages_[id].get(), page_size_);
     reads_.fetch_add(1, std::memory_order_relaxed);
@@ -60,8 +125,34 @@ Status DiskManager::ReadPage(PageId id, char* out) {
 
 Status DiskManager::WritePage(PageId id, const char* in) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (halted()) return HaltedStatus("write of page " + std::to_string(id));
   if (id >= pages_.size() || !allocated_[id]) {
     return Status::IOError("write of unallocated page " + std::to_string(id));
+  }
+  if (faults_ != nullptr) {
+    if (auto fault = faults_->Hit("disk.write")) {
+      switch (fault->kind) {
+        case FaultAction::Kind::kShort:
+        case FaultAction::Kind::kCrash: {
+          // Torn write: a prefix lands, the page keeps its old tail.
+          size_t n = std::min(fault->bytes, page_size_);
+          std::memcpy(pages_[id].get(), in, n);
+          if (fault->kind == FaultAction::Kind::kCrash) {
+            halted_.store(true, std::memory_order_release);
+            return Status::IOError(
+                "simulated crash during write of page " + std::to_string(id) +
+                " (torn after " + std::to_string(n) + " bytes)");
+          }
+          return Status::ShortWrite(
+              "torn write of page " + std::to_string(id) + ": " +
+              std::to_string(n) + "/" + std::to_string(page_size_) +
+              " bytes");
+        }
+        case FaultAction::Kind::kNoSpace:
+        case FaultAction::Kind::kError:
+          return InjectedStatus(*fault, "write", id);
+      }
+    }
   }
   std::memcpy(pages_[id].get(), in, page_size_);
   writes_.fetch_add(1, std::memory_order_relaxed);
@@ -115,7 +206,7 @@ Status DiskManager::SaveToFile(const std::string& path) const {
     out.write(pages_[i].get(), static_cast<std::streamsize>(page_size_));
   }
   out.flush();
-  if (!out) return Status::IOError("short write to " + path);
+  if (!out) return Status::ShortWrite("short write to " + path);
   return Status::OK();
 }
 
@@ -156,6 +247,8 @@ Status DiskManager::LoadFromFile(const std::string& path) {
   allocated_ = std::move(allocated);
   free_list_ = std::move(free_list);
   lock.unlock();
+  // A restored image is a fresh device: any simulated crash-halt is over.
+  halted_.store(false, std::memory_order_release);
   ResetStats();
   return Status::OK();
 }

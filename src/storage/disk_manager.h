@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/fault_injector.h"
+#include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/storage/io_stats.h"
 #include "src/storage/page.h"
@@ -24,6 +26,16 @@ namespace ccam {
 /// serialize on the disk. Structural mutations (Allocate/Free/Write/Load)
 /// take the lock exclusively — the file layer keeps its single-writer
 /// discipline, so this only guards against reads racing a writer.
+///
+/// Fault injection. When a FaultInjector is attached, every simulated I/O
+/// evaluates a named failpoint first: "disk.read", "disk.write",
+/// "disk.alloc", "disk.free". Injected faults surface as typed statuses —
+/// kShortRead / kShortWrite for partial transfers (with page-id context),
+/// kNoSpace for a full device, the armed code for plain errors — and a
+/// kCrash action tears the in-flight write and halts the device (every
+/// later I/O fails until ClearHalt()). With no injector attached the hot
+/// paths are branch-for-branch identical to the fault-free build: one null
+/// pointer test, no counters, no locks beyond the existing ones.
 class DiskManager {
  public:
   explicit DiskManager(size_t page_size);
@@ -34,15 +46,20 @@ class DiskManager {
   size_t page_size() const { return page_size_; }
 
   /// Allocates a zeroed page and returns its id. Freed pages are reused.
-  PageId AllocatePage();
+  /// Fails only under injected faults (device full / halted).
+  Result<PageId> AllocatePage();
 
   /// Returns a page to the free list. Double-free is an error.
   Status FreePage(PageId id);
 
   /// Copies the page contents into `out` (page_size bytes). Counts a read.
+  /// An injected short read copies only a prefix and fills the tail of
+  /// `out` with 0xCD; only complete transfers count toward the I/O stats.
   Status ReadPage(PageId id, char* out);
 
   /// Overwrites the page from `in` (page_size bytes). Counts a write.
+  /// An injected torn write persists only a prefix (the page keeps its old
+  /// tail); only complete transfers count toward the I/O stats.
   Status WritePage(PageId id, const char* in);
 
   bool IsAllocated(PageId id) const;
@@ -71,6 +88,18 @@ class DiskManager {
     return read_latency_us_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches (or detaches, with nullptr) the fault injector. The injector
+  /// is not owned and must outlive the manager or be detached first.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* fault_injector() const { return faults_; }
+
+  /// True once an injected kCrash fault fired: the simulated device halted
+  /// mid-write and every subsequent I/O fails with kIOError. Snapshot
+  /// (SaveToFile) and restore still work: they model reading the platter
+  /// after the machine died, and count no simulated I/O.
+  bool halted() const { return halted_.load(std::memory_order_acquire); }
+  void ClearHalt() { halted_.store(false, std::memory_order_release); }
+
   /// Writes the whole disk image (page size, allocation bitmap, page
   /// contents) to a real file. Counts no simulated I/O.
   Status SaveToFile(const std::string& path) const;
@@ -90,6 +119,8 @@ class DiskManager {
   std::atomic<uint64_t> allocs_{0};
   std::atomic<uint64_t> frees_{0};
   std::atomic<uint32_t> read_latency_us_{0};
+  std::atomic<bool> halted_{false};
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace ccam

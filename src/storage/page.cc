@@ -183,6 +183,35 @@ std::string_view SlottedPage::GetRecord(int slot) const {
   return {data_ + offset, size};
 }
 
+Status SlottedPage::Validate() const {
+  auto bad = [](const std::string& why) {
+    return Status::Corruption("invalid slotted page: " + why);
+  };
+  size_t num_slots = DecodeFixed16(data_);
+  size_t heap = DecodeFixed16(data_ + 2);
+  size_t slots_end = kHeaderSize + kSlotOverhead * num_slots;
+  if (heap > page_size_) return bad("heap start beyond page end");
+  if (slots_end > heap) return bad("slot array overlaps heap");
+  std::vector<std::pair<uint16_t, uint16_t>> live;  // (offset, size)
+  for (size_t i = 0; i < num_slots; ++i) {
+    uint16_t offset, size;
+    GetSlot(static_cast<int>(i), &offset, &size);
+    if (offset == 0) continue;
+    if (offset < heap || offset + static_cast<size_t>(size) > page_size_) {
+      return bad("slot " + std::to_string(i) + " out of bounds");
+    }
+    live.emplace_back(offset, size);
+  }
+  std::sort(live.begin(), live.end());
+  for (size_t i = 1; i < live.size(); ++i) {
+    if (static_cast<size_t>(live[i - 1].first) + live[i - 1].second >
+        live[i].first) {
+      return bad("overlapping records");
+    }
+  }
+  return Status::OK();
+}
+
 void SlottedPage::Compact() {
   struct Entry {
     int slot;

@@ -74,6 +74,14 @@ class SlottedPage {
   /// Slides live records together to squeeze out holes.
   void Compact();
 
+  /// Structural sanity check of the header and slot table against the page
+  /// bounds: slot array below the heap, every live record inside
+  /// [heap_start, page_size), no two records overlapping. Every offset the
+  /// other accessors compute afterwards is then in bounds. Run on
+  /// untrusted pages (crash recovery): a torn page fails with Corruption
+  /// instead of provoking out-of-bounds reads.
+  Status Validate() const;
+
  private:
   uint16_t heap_start() const;
   void set_heap_start(uint16_t v);

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/fault_injector.h"
 #include "src/common/random.h"
 #include "src/core/ccam.h"
 #include "src/core/query_session.h"
@@ -27,7 +28,7 @@ constexpr int kThreads = 8;
 TEST(BufferPoolConcurrencyTest, MixedFetchHammer) {
   DiskManager disk(128);
   std::vector<PageId> ids;
-  for (int i = 0; i < 96; ++i) ids.push_back(disk.AllocatePage());
+  for (int i = 0; i < 96; ++i) ids.push_back(*disk.AllocatePage());
   BufferPool pool(&disk, 32, ReplacementPolicy::kLru, /*num_shards=*/4);
 
   std::atomic<uint64_t> fetches{0};
@@ -79,7 +80,7 @@ TEST(BufferPoolConcurrencyTest, SamePageStorm) {
   // concurrent first fetches must resolve to a single disk read per
   // residency, with followers waiting and scoring hits.
   DiskManager disk(128);
-  PageId hot = disk.AllocatePage();
+  PageId hot = *disk.AllocatePage();
   BufferPool pool(&disk, 4, ReplacementPolicy::kClock, /*num_shards=*/2);
 
   std::atomic<uint64_t> fetches{0};
@@ -107,6 +108,69 @@ TEST(BufferPoolConcurrencyTest, SamePageStorm) {
   EXPECT_EQ(pool.misses(), 1u);
   EXPECT_EQ(disk.stats().reads, 1u);
   EXPECT_EQ(pool.PinCount(hot), 0);
+}
+
+TEST(BufferPoolConcurrencyTest, FaultActiveHammerConservesState) {
+  // The MixedFetchHammer workload with a ~3% transient read-error fault
+  // armed: fetches now fail nondeterministically across threads. The pool
+  // must stay conservative — no leaked frames, no stuck pins, no deadlock
+  // on the single-flight I/O path — and fully recover once the fault is
+  // disarmed. Run under TSan via scripts/check_tsan.sh like the rest of
+  // this binary.
+  FaultInjector faults(1995);
+  ASSERT_TRUE(faults.Configure("disk.read=error@p0.03").ok());
+  DiskManager disk(128);
+  disk.SetFaultInjector(&faults);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 96; ++i) ids.push_back(*disk.AllocatePage());
+  BufferPool pool(&disk, 32, ReplacementPolicy::kLru, /*num_shards=*/4);
+
+  std::atomic<uint64_t> successes{0};
+  std::atomic<uint64_t> io_failures{0};
+  std::atomic<bool> broken{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(2000 + t);
+      for (int i = 0; i < 4000; ++i) {
+        PageId id = (rng.Uniform(2) == 0)
+                        ? ids[rng.Uniform(4)]
+                        : ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+        auto res = pool.FetchPage(id);
+        if (!res.ok()) {
+          // Injected faults surface as IOError; anything else is a bug.
+          if (!res.status().IsIOError()) broken.store(true);
+          io_failures.fetch_add(1);
+          continue;
+        }
+        successes.fetch_add(1);
+        if (!pool.UnpinPage(id, false).ok()) broken.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(broken.load());
+  EXPECT_GT(io_failures.load(), 0u) << "fault never fired";
+  // Conservation under faults: every *successful* fetch is exactly one
+  // pool hit or one completed disk read. A failed fetch is neither (the
+  // frame is recycled, the read never completed), and followers that
+  // joined a failed single-flight I/O propagate the error without
+  // touching either counter.
+  EXPECT_EQ(successes.load(), pool.hits() + disk.stats().reads);
+  // No leaked pins or frames.
+  for (PageId id : ids) EXPECT_EQ(pool.PinCount(id), 0) << id;
+  EXPECT_LE(pool.NumBuffered(), 32u);
+
+  // Disarmed, the pool serves every page again: transient faults must not
+  // leave poisoned frames behind.
+  faults.Reset();
+  for (PageId id : ids) {
+    auto res = pool.FetchPage(id);
+    ASSERT_TRUE(res.ok()) << "page " << id << " still failing: "
+                          << res.status().ToString();
+    EXPECT_TRUE(pool.UnpinPage(id, false).ok());
+  }
 }
 
 class QuerySessionTest : public ::testing::Test {

@@ -317,7 +317,7 @@ TEST(ShardedBufferPoolTest, ExplicitShardsSplitCapacity) {
   EXPECT_EQ(pool.capacity(), 32u);
   // All pages fetchable; counters aggregate across shards.
   std::vector<PageId> ids;
-  for (int i = 0; i < 32; ++i) ids.push_back(disk.AllocatePage());
+  for (int i = 0; i < 32; ++i) ids.push_back(*disk.AllocatePage());
   for (PageId id : ids) {
     auto res = pool.FetchPage(id);
     ASSERT_TRUE(res.ok());
@@ -343,7 +343,7 @@ TEST(ShardedBufferPoolTest, ShardCountClampedToCapacity) {
 TEST(ShardedBufferPoolTest, TrackedFetchReportsMiss) {
   DiskManager disk(64);
   BufferPool pool(&disk, 4);
-  PageId p = disk.AllocatePage();
+  PageId p = *disk.AllocatePage();
   bool was_miss = false;
   auto res = pool.FetchPage(p, &was_miss);
   ASSERT_TRUE(res.ok());

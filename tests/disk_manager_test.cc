@@ -2,16 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
+
+#include "src/common/fault_injector.h"
 
 namespace ccam {
 namespace {
 
 TEST(DiskManagerTest, AllocateReturnsZeroedDistinctPages) {
   DiskManager disk(256);
-  PageId a = disk.AllocatePage();
-  PageId b = disk.AllocatePage();
+  PageId a = *disk.AllocatePage();
+  PageId b = *disk.AllocatePage();
   EXPECT_NE(a, b);
   char buf[256];
   ASSERT_TRUE(disk.ReadPage(a, buf).ok());
@@ -20,7 +24,7 @@ TEST(DiskManagerTest, AllocateReturnsZeroedDistinctPages) {
 
 TEST(DiskManagerTest, WriteThenReadRoundTrip) {
   DiskManager disk(128);
-  PageId p = disk.AllocatePage();
+  PageId p = *disk.AllocatePage();
   char in[128], out[128];
   for (int i = 0; i < 128; ++i) in[i] = static_cast<char>(i);
   ASSERT_TRUE(disk.WritePage(p, in).ok());
@@ -30,7 +34,7 @@ TEST(DiskManagerTest, WriteThenReadRoundTrip) {
 
 TEST(DiskManagerTest, StatsCountEveryAccess) {
   DiskManager disk(64);
-  PageId p = disk.AllocatePage();
+  PageId p = *disk.AllocatePage();
   char buf[64] = {};
   (void)disk.WritePage(p, buf);
   (void)disk.WritePage(p, buf);
@@ -45,8 +49,8 @@ TEST(DiskManagerTest, StatsCountEveryAccess) {
 
 TEST(DiskManagerTest, FreeAndReuse) {
   DiskManager disk(64);
-  PageId a = disk.AllocatePage();
-  PageId b = disk.AllocatePage();
+  PageId a = *disk.AllocatePage();
+  PageId b = *disk.AllocatePage();
   EXPECT_EQ(disk.NumAllocatedPages(), 2u);
   ASSERT_TRUE(disk.FreePage(a).ok());
   EXPECT_EQ(disk.NumAllocatedPages(), 1u);
@@ -55,7 +59,7 @@ TEST(DiskManagerTest, FreeAndReuse) {
   // Freed page is recycled and comes back zeroed.
   char buf[64];
   std::memset(buf, 0xab, sizeof(buf));
-  PageId c = disk.AllocatePage();
+  PageId c = *disk.AllocatePage();
   EXPECT_EQ(c, a);
   ASSERT_TRUE(disk.ReadPage(c, buf).ok());
   for (char ch : buf) EXPECT_EQ(ch, 0);
@@ -63,7 +67,7 @@ TEST(DiskManagerTest, FreeAndReuse) {
 
 TEST(DiskManagerTest, AccessAfterFreeFails) {
   DiskManager disk(64);
-  PageId p = disk.AllocatePage();
+  PageId p = *disk.AllocatePage();
   ASSERT_TRUE(disk.FreePage(p).ok());
   char buf[64] = {};
   EXPECT_TRUE(disk.ReadPage(p, buf).IsIOError());
@@ -80,11 +84,138 @@ TEST(DiskManagerTest, AccessUnallocatedFails) {
 
 TEST(DiskManagerTest, AllocatedPageIdsSortedAndLive) {
   DiskManager disk(64);
-  PageId a = disk.AllocatePage();
-  PageId b = disk.AllocatePage();
-  PageId c = disk.AllocatePage();
+  PageId a = *disk.AllocatePage();
+  PageId b = *disk.AllocatePage();
+  PageId c = *disk.AllocatePage();
   ASSERT_TRUE(disk.FreePage(b).ok());
   EXPECT_EQ(disk.AllocatedPageIds(), (std::vector<PageId>{a, c}));
+}
+
+TEST(DiskManagerFaultTest, ShortReadFillsTailAndReportsTypedStatus) {
+  FaultInjector faults(1);
+  faults.Arm("disk.read",
+             {FaultAction::Kind::kShort, Status::Code::kIOError, 40},
+             FaultTrigger::Once(1));
+  DiskManager disk(128);
+  disk.SetFaultInjector(&faults);
+  PageId p = *disk.AllocatePage();
+  std::string data(128, 'z');
+  ASSERT_TRUE(disk.WritePage(p, data.data()).ok());
+
+  char buf[128];
+  Status st = disk.ReadPage(p, buf);
+  EXPECT_TRUE(st.IsShortRead()) << st.ToString();
+  // Page-id context in the message.
+  EXPECT_NE(st.message().find("page " + std::to_string(p)),
+            std::string::npos)
+      << st.ToString();
+  // The transferred prefix is real data; the tail is the 0xCD garbage
+  // pattern, so a caller that ignores the status reads obvious junk, not
+  // stale plausible bytes.
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(buf[i], 'z') << i;
+  for (int i = 40; i < 128; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(buf[i]), 0xCD) << i;
+  }
+  // A short read is not a completed read: it must not count.
+  EXPECT_EQ(disk.stats().reads, 0u);
+  // The next read succeeds (transient fault).
+  EXPECT_TRUE(disk.ReadPage(p, buf).ok());
+  EXPECT_EQ(disk.stats().reads, 1u);
+}
+
+TEST(DiskManagerFaultTest, TornWriteKeepsOldTailAndReportsTypedStatus) {
+  FaultInjector faults(1);
+  ASSERT_TRUE(faults.Configure("disk.write=torn:16@2").ok());
+  DiskManager disk(64);
+  disk.SetFaultInjector(&faults);
+  PageId p = *disk.AllocatePage();
+  std::string old_data(64, 'a');
+  ASSERT_TRUE(disk.WritePage(p, old_data.data()).ok());  // hit 1: clean
+  std::string new_data(64, 'b');
+  Status st = disk.WritePage(p, new_data.data());        // hit 2: torn
+  EXPECT_TRUE(st.IsShortWrite()) << st.ToString();
+  EXPECT_NE(st.message().find("page " + std::to_string(p)),
+            std::string::npos);
+
+  char buf[64];
+  ASSERT_TRUE(disk.ReadPage(p, buf).ok());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(buf[i], 'b') << i;
+  for (int i = 16; i < 64; ++i) EXPECT_EQ(buf[i], 'a') << i;
+  EXPECT_EQ(disk.stats().writes, 1u);  // only the complete write counted
+}
+
+TEST(DiskManagerFaultTest, AllocationNoSpace) {
+  FaultInjector faults(1);
+  ASSERT_TRUE(faults.Configure("disk.alloc=nospace@2").ok());
+  DiskManager disk(64);
+  disk.SetFaultInjector(&faults);
+  ASSERT_TRUE(disk.AllocatePage().ok());
+  auto res = disk.AllocatePage();
+  EXPECT_TRUE(res.status().IsNoSpace()) << res.status().ToString();
+  // Transient: the device recovers on the next attempt.
+  EXPECT_TRUE(disk.AllocatePage().ok());
+}
+
+TEST(DiskManagerFaultTest, CrashHaltsDeviceUntilCleared) {
+  FaultInjector faults(1);
+  ASSERT_TRUE(faults.Configure("disk.write=crash:8@1").ok());
+  DiskManager disk(64);
+  disk.SetFaultInjector(&faults);
+  PageId p = *disk.AllocatePage();
+  std::string data(64, 'x');
+  EXPECT_TRUE(disk.WritePage(p, data.data()).IsIOError());
+  EXPECT_TRUE(disk.halted());
+  // Every simulated I/O fails while halted.
+  char buf[64];
+  EXPECT_TRUE(disk.ReadPage(p, buf).IsIOError());
+  EXPECT_TRUE(disk.WritePage(p, data.data()).IsIOError());
+  EXPECT_TRUE(disk.AllocatePage().status().IsIOError());
+  EXPECT_TRUE(disk.FreePage(p).IsIOError());
+  // The torn 8-byte prefix landed before the halt.
+  disk.ClearHalt();
+  ASSERT_TRUE(disk.ReadPage(p, buf).ok());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(buf[i], 'x') << i;
+  for (int i = 8; i < 64; ++i) EXPECT_EQ(buf[i], 0) << i;
+}
+
+TEST(DiskManagerFaultTest, LoadFromFileResetsHalt) {
+  FaultInjector faults(1);
+  ASSERT_TRUE(faults.Configure("disk.write=crash:0@1").ok());
+  DiskManager disk(64);
+  disk.SetFaultInjector(&faults);
+  PageId p = *disk.AllocatePage();
+  std::string data(64, 'x');
+  ASSERT_TRUE(disk.WritePage(p, data.data()).IsIOError());
+  ASSERT_TRUE(disk.halted());
+  // Host-level snapshot works on a halted device (the platter survives).
+  std::string path = ::testing::TempDir() + "ccam_halted.img";
+  ASSERT_TRUE(disk.SaveToFile(path).ok());
+  // A restored image is a fresh device: the halt clears.
+  {
+    FaultInjector::SuppressScope suppress(&faults);
+    ASSERT_TRUE(disk.LoadFromFile(path).ok());
+  }
+  EXPECT_FALSE(disk.halted());
+  char buf[64];
+  FaultInjector::SuppressScope suppress(&faults);
+  EXPECT_TRUE(disk.ReadPage(p, buf).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DiskManagerFaultTest, DetachedInjectorCostsNothing) {
+  // With no injector attached the fault paths are skipped entirely; with
+  // one attached but unarmed, behavior is identical too.
+  FaultInjector faults(1);
+  DiskManager disk(64);
+  disk.SetFaultInjector(&faults);
+  PageId p = *disk.AllocatePage();
+  std::string data(64, 'q');
+  EXPECT_TRUE(disk.WritePage(p, data.data()).ok());
+  char buf[64];
+  EXPECT_TRUE(disk.ReadPage(p, buf).ok());
+  disk.SetFaultInjector(nullptr);
+  EXPECT_TRUE(disk.ReadPage(p, buf).ok());
+  EXPECT_EQ(disk.fault_injector(), nullptr);
 }
 
 }  // namespace

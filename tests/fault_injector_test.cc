@@ -1,0 +1,236 @@
+#include "src/common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/storage/disk_manager.h"
+
+namespace ccam {
+namespace {
+
+FaultAction IoError() {
+  FaultAction a;
+  a.kind = FaultAction::Kind::kError;
+  a.code = Status::Code::kIOError;
+  return a;
+}
+
+TEST(FaultInjectorTest, UnarmedPointNeverFires) {
+  FaultInjector faults(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(faults.Hit("disk.read").has_value());
+  }
+  EXPECT_EQ(faults.HitCount("disk.read"), 0u);
+  EXPECT_TRUE(faults.FiringLog().empty());
+}
+
+TEST(FaultInjectorTest, OnceFiresExactlyOnNthHit) {
+  FaultInjector faults(1);
+  faults.Arm("disk.read", IoError(), FaultTrigger::Once(3));
+  EXPECT_FALSE(faults.Hit("disk.read").has_value());
+  EXPECT_FALSE(faults.Hit("disk.read").has_value());
+  auto fault = faults.Hit("disk.read");
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, FaultAction::Kind::kError);
+  EXPECT_FALSE(faults.Hit("disk.read").has_value());
+  EXPECT_EQ(faults.HitCount("disk.read"), 4u);
+  std::vector<FaultFiring> expected = {{"disk.read", 3}};
+  EXPECT_EQ(faults.FiringLog(), expected);
+}
+
+TEST(FaultInjectorTest, FromFiresOnEveryLaterHit) {
+  FaultInjector faults(1);
+  faults.Arm("disk.write", IoError(), FaultTrigger::From(2));
+  EXPECT_FALSE(faults.Hit("disk.write").has_value());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(faults.Hit("disk.write").has_value());
+  }
+}
+
+TEST(FaultInjectorTest, EveryFiresPeriodically) {
+  FaultInjector faults(1);
+  faults.Arm("disk.read", IoError(), FaultTrigger::Every(3));
+  int fired = 0;
+  for (int i = 1; i <= 9; ++i) {
+    if (faults.Hit("disk.read").has_value()) {
+      ++fired;
+      EXPECT_EQ(i % 3, 0) << "fired on hit " << i;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(FaultInjectorTest, ProbIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    FaultInjector faults(seed);
+    faults.Arm("disk.read", IoError(), FaultTrigger::Prob(0.3));
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(faults.Hit("disk.read").has_value());
+    }
+    return fires;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+  // Roughly the configured rate.
+  auto fires = run(7);
+  int n = 0;
+  for (bool b : fires) n += b;
+  EXPECT_GT(n, 200 * 0.3 / 2);
+  EXPECT_LT(n, 200 * 0.3 * 2);
+}
+
+TEST(FaultInjectorTest, ProbStreamIndependentOfOtherPoints) {
+  // The per-point PCG stream depends only on (seed, point name), so arming
+  // or hitting another failpoint must not shift the sequence.
+  auto run = [](bool with_noise) {
+    FaultInjector faults(42);
+    faults.Arm("disk.read", IoError(), FaultTrigger::Prob(0.25));
+    if (with_noise) {
+      faults.Arm("disk.write", IoError(), FaultTrigger::Prob(0.25));
+    }
+    std::vector<bool> fires;
+    for (int i = 0; i < 100; ++i) {
+      if (with_noise) faults.Hit("disk.write");
+      fires.push_back(faults.Hit("disk.read").has_value());
+    }
+    return fires;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultInjectorTest, RearmResetsHitCount) {
+  FaultInjector faults(1);
+  faults.Arm("p", IoError(), FaultTrigger::Once(2));
+  faults.Hit("p");
+  faults.Arm("p", IoError(), FaultTrigger::Once(2));
+  EXPECT_FALSE(faults.Hit("p").has_value());  // hit 1 again
+  EXPECT_TRUE(faults.Hit("p").has_value());
+}
+
+TEST(FaultInjectorTest, SuppressScopeHidesAndCountsNothing) {
+  FaultInjector faults(1);
+  faults.Arm("p", IoError(), FaultTrigger::From(1));
+  {
+    FaultInjector::SuppressScope suppress(&faults);
+    EXPECT_FALSE(faults.Hit("p").has_value());
+    {
+      FaultInjector::SuppressScope nested(&faults);
+      EXPECT_FALSE(faults.Hit("p").has_value());
+    }
+    EXPECT_FALSE(faults.Hit("p").has_value());
+  }
+  EXPECT_EQ(faults.HitCount("p"), 0u);
+  EXPECT_TRUE(faults.Hit("p").has_value());
+}
+
+TEST(FaultInjectorTest, ConfigureParsesScheduleGrammar) {
+  FaultInjector faults(1);
+  ASSERT_TRUE(
+      faults
+          .Configure("disk.write=crash:96@17,disk.read=error@p0.5,"
+                     "disk.alloc=nospace,disk.free=error:corruption@4+,"
+                     "a=short:10@every3,b=torn:7")
+          .ok());
+  // disk.write: crash with 96 torn bytes on hit 17.
+  for (int i = 1; i <= 16; ++i) EXPECT_FALSE(faults.Hit("disk.write"));
+  auto crash = faults.Hit("disk.write");
+  ASSERT_TRUE(crash.has_value());
+  EXPECT_EQ(crash->kind, FaultAction::Kind::kCrash);
+  EXPECT_EQ(crash->bytes, 96u);
+  // disk.alloc: nospace on the first hit (default trigger @1).
+  auto nospace = faults.Hit("disk.alloc");
+  ASSERT_TRUE(nospace.has_value());
+  EXPECT_EQ(nospace->kind, FaultAction::Kind::kNoSpace);
+  // disk.free: permanent corruption error from hit 4.
+  for (int i = 1; i <= 3; ++i) EXPECT_FALSE(faults.Hit("disk.free"));
+  auto corrupt = faults.Hit("disk.free");
+  ASSERT_TRUE(corrupt.has_value());
+  EXPECT_EQ(corrupt->code, Status::Code::kCorruption);
+  EXPECT_TRUE(faults.Hit("disk.free").has_value());
+  // a: short 10 bytes on hits 3, 6, ...
+  EXPECT_FALSE(faults.Hit("a"));
+  EXPECT_FALSE(faults.Hit("a"));
+  auto short_read = faults.Hit("a");
+  ASSERT_TRUE(short_read.has_value());
+  EXPECT_EQ(short_read->kind, FaultAction::Kind::kShort);
+  EXPECT_EQ(short_read->bytes, 10u);
+  // b: torn is an alias for short.
+  auto torn = faults.Hit("b");
+  ASSERT_TRUE(torn.has_value());
+  EXPECT_EQ(torn->kind, FaultAction::Kind::kShort);
+  EXPECT_EQ(torn->bytes, 7u);
+}
+
+TEST(FaultInjectorTest, ConfigureRejectsMalformedSpecs) {
+  FaultInjector faults(1);
+  EXPECT_TRUE(faults.Configure("noequals").IsInvalidArgument());
+  EXPECT_TRUE(faults.Configure("p=unknownaction").IsInvalidArgument());
+  EXPECT_TRUE(faults.Configure("p=short").IsInvalidArgument());  // no bytes
+  EXPECT_TRUE(faults.Configure("p=error@p1.5").IsInvalidArgument());
+  EXPECT_TRUE(faults.Configure("p=error@xyz").IsInvalidArgument());
+  EXPECT_TRUE(faults.Configure("p=error:badcode").IsInvalidArgument());
+  EXPECT_TRUE(faults.Configure("p=nospace:5").IsInvalidArgument());
+}
+
+TEST(FaultInjectorTest, FiringLogIdenticalAcrossSameSeedRuns) {
+  auto run = [](uint64_t seed) {
+    FaultInjector faults(seed);
+    EXPECT_TRUE(
+        faults.Configure("disk.read=error@p0.1,disk.write=error@every7").ok());
+    for (int i = 0; i < 300; ++i) {
+      faults.Hit("disk.read");
+      if (i % 2 == 0) faults.Hit("disk.write");
+    }
+    return faults.FiringLog();
+  };
+  auto log_a = run(1995);
+  auto log_b = run(1995);
+  EXPECT_EQ(log_a, log_b);
+  EXPECT_FALSE(log_a.empty());
+  EXPECT_NE(run(1996), log_a);
+}
+
+// End-to-end determinism at the DiskManager level: the same seeded fault
+// schedule against the same write workload leaves byte-identical disks.
+TEST(FaultInjectorTest, SameSeedSameScheduleSameDiskBytes) {
+  auto run = [](uint64_t seed, std::vector<std::string>* pages) {
+    FaultInjector faults(seed);
+    ASSERT_TRUE(
+        faults.Configure("disk.write=torn:40@p0.2,disk.read=error@p0.1").ok());
+    DiskManager disk(256);
+    disk.SetFaultInjector(&faults);
+    std::vector<PageId> ids;
+    for (int i = 0; i < 8; ++i) {
+      auto id = disk.AllocatePage();
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    std::string buf(256, 'x');
+    Random rng(seed + 1);
+    for (int i = 0; i < 200; ++i) {
+      PageId id = ids[rng.Uniform(8)];
+      for (size_t j = 0; j < buf.size(); ++j) {
+        buf[j] = static_cast<char>('a' + (i + j) % 26);
+      }
+      (void)disk.WritePage(id, buf.data());  // torn writes expected
+    }
+    FaultInjector::SuppressScope suppress(&faults);
+    for (PageId id : ids) {
+      std::string out(256, 0);
+      ASSERT_TRUE(disk.ReadPage(id, out.data()).ok());
+      pages->push_back(out);
+    }
+  };
+  std::vector<std::string> a, b, c;
+  run(7, &a);
+  run(7, &b);
+  run(8, &c);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace ccam

@@ -25,9 +25,9 @@ std::string TempPath(const std::string& name) {
 
 TEST(DiskImageTest, SaveLoadRoundTrip) {
   DiskManager disk(256);
-  PageId a = disk.AllocatePage();
-  PageId b = disk.AllocatePage();
-  PageId c = disk.AllocatePage();
+  PageId a = *disk.AllocatePage();
+  PageId b = *disk.AllocatePage();
+  PageId c = *disk.AllocatePage();
   ASSERT_TRUE(disk.FreePage(b).ok());
   char buf[256];
   for (int i = 0; i < 256; ++i) buf[i] = static_cast<char>(i);
@@ -45,13 +45,13 @@ TEST(DiskImageTest, SaveLoadRoundTrip) {
   ASSERT_TRUE(loaded.ReadPage(a, out).ok());
   EXPECT_EQ(std::memcmp(buf, out, 256), 0);
   // The freed slot is reused on the next allocation.
-  EXPECT_EQ(loaded.AllocatePage(), b);
+  EXPECT_EQ(*loaded.AllocatePage(), b);
   std::remove(path.c_str());
 }
 
 TEST(DiskImageTest, PageSizeMismatchRejected) {
   DiskManager disk(256);
-  (void)disk.AllocatePage();
+  (void)*disk.AllocatePage();
   std::string path = TempPath("disk_image_mismatch.bin");
   ASSERT_TRUE(disk.SaveToFile(path).ok());
   DiskManager other(512);

@@ -14,7 +14,7 @@ namespace {
 
 std::vector<PageId> MakePages(DiskManager* disk, int n) {
   std::vector<PageId> pages;
-  for (int i = 0; i < n; ++i) pages.push_back(disk->AllocatePage());
+  for (int i = 0; i < n; ++i) pages.push_back(*disk->AllocatePage());
   return pages;
 }
 

@@ -22,6 +22,20 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_TRUE(Status::NoSpace("x").IsNoSpace());
   EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::ShortRead("x").IsShortRead());
+  EXPECT_TRUE(Status::ShortWrite("x").IsShortWrite());
+}
+
+TEST(StatusTest, ShortTransferStatuses) {
+  EXPECT_EQ(Status::ShortRead("7/64 bytes").ToString(),
+            "ShortRead: 7/64 bytes");
+  EXPECT_EQ(Status::ShortWrite("torn").ToString(), "ShortWrite: torn");
+  // Partial transfers are their own codes, not generic I/O errors.
+  EXPECT_FALSE(Status::ShortRead("").IsIOError());
+  EXPECT_FALSE(Status::ShortWrite("").IsShortRead());
+  EXPECT_TRUE(
+      Status::FromCode(Status::Code::kShortRead, "x").IsShortRead());
+  EXPECT_TRUE(Status::FromCode(Status::Code::kIOError, "x").IsIOError());
 }
 
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {

@@ -1,0 +1,113 @@
+// crashsim — crash-consistency sweep driver.
+//
+// Runs the deterministic crash harness (src/core/crash_harness.h): a seeded
+// CCAM maintenance workload is killed at scheduled page-write boundaries,
+// the surviving platter state is reopened and verified. Prints a per-point
+// outcome table and exits nonzero if any crash point neither recovers nor
+// is detected with a clean typed Status.
+//
+// Usage:
+//   crashsim [--seed=N] [--page-size=N] [--ops=N] [--points=N]
+//            [--torn-bytes=N] [--policy=first|second|higher]
+//            [--image=PATH] [--verbose]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/crash_harness.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed=N] [--page-size=N] [--ops=N] [--points=N]\n"
+               "          [--torn-bytes=N] [--policy=first|second|higher]\n"
+               "          [--image=PATH] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccam::CrashSimOptions opt;
+  opt.image_path = "/tmp/ccam_crashsim.img";
+  uint64_t points = 64;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "seed", &v)) {
+      opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "page-size", &v)) {
+      opt.page_size = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "ops", &v)) {
+      opt.ops = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "points", &v)) {
+      points = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "torn-bytes", &v)) {
+      opt.torn_bytes = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "image", &v)) {
+      opt.image_path = v;
+    } else if (ParseFlag(argv[i], "policy", &v)) {
+      if (v == "first") {
+        opt.policy = ccam::ReorgPolicy::kFirstOrder;
+      } else if (v == "second") {
+        opt.policy = ccam::ReorgPolicy::kSecondOrder;
+      } else if (v == "higher") {
+        opt.policy = ccam::ReorgPolicy::kHigherOrder;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto report = ccam::RunCrashSim(opt, points);
+  if (!report.ok()) {
+    std::fprintf(stderr, "crashsim: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "crashsim: seed=%llu page-size=%zu policy=%s torn-bytes=%d — "
+      "%llu write boundaries, %zu crash points\n",
+      static_cast<unsigned long long>(opt.seed), opt.page_size,
+      ccam::ReorgPolicyName(opt.policy), opt.torn_bytes,
+      static_cast<unsigned long long>(report->total_writes),
+      report->points.size());
+  bool bad = false;
+  for (const ccam::CrashPointReport& p : report->points) {
+    bool unexpected = p.result.outcome == ccam::CrashOutcome::kNoCrash;
+    bad = bad || unexpected;
+    if (verbose || unexpected) {
+      std::printf("  point %5llu: %-19s %s\n",
+                  static_cast<unsigned long long>(p.crash_point),
+                  ccam::CrashOutcomeName(p.result.outcome),
+                  p.result.detail.c_str());
+    }
+  }
+  std::printf(
+      "crashsim: %zu recovered, %zu corruption-detected, %zu no-crash\n",
+      report->recovered, report->corruption_detected, report->no_crash);
+  if (bad) {
+    std::fprintf(stderr,
+                 "crashsim: FAIL — scheduled crash point(s) never fired\n");
+    return 1;
+  }
+  std::printf("crashsim: OK — every crash point recovered or was detected "
+              "with a typed status\n");
+  return 0;
+}
