@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Single-entry CI gate: runs the three acceptance stages in sequence and
+# prints a summary table. Any stage failing makes the script exit nonzero,
+# but later stages still run so one CI invocation reports everything.
+#
+#   1. tier-1    — default `ctest` suite (fast correctness tests)
+#   2. faults    — scripts/check_faults.sh: fault-injection + crash
+#                  consistency sweeps, differential oracle, strict durable
+#                  crashsim with JSON gating
+#   3. tsan      — scripts/check_tsan.sh: concurrency suites under
+#                  ThreadSanitizer (separate build directory)
+#
+# Usage: scripts/ci.sh [build-dir] [tsan-build-dir]
+#        (defaults: build, build-tsan)
+set -uo pipefail
+
+BUILD="${1:-build}"
+TSAN_BUILD="${2:-build-tsan}"
+cd "$(dirname "$0")/.."
+
+declare -a STAGE_NAMES=() STAGE_RESULTS=()
+FAILED=0
+
+run_stage() {
+  local name="$1"; shift
+  echo
+  echo "=== ci: $name ==="
+  if "$@"; then
+    STAGE_RESULTS+=("PASS")
+  else
+    STAGE_RESULTS+=("FAIL")
+    FAILED=1
+  fi
+  STAGE_NAMES+=("$name")
+}
+
+tier1() {
+  cmake -B "$BUILD" -S . &&
+  cmake --build "$BUILD" -j "$(nproc)" &&
+  ctest --test-dir "$BUILD" --output-on-failure
+}
+
+run_stage "tier-1 (ctest)" tier1
+run_stage "faults (check_faults.sh)" scripts/check_faults.sh "$BUILD"
+run_stage "tsan (check_tsan.sh)" scripts/check_tsan.sh "$TSAN_BUILD"
+
+echo
+echo "=== ci summary ==="
+printf '%-28s %s\n' "stage" "result"
+printf '%-28s %s\n' "-----" "------"
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '%-28s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+done
+
+exit "$FAILED"

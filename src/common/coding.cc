@@ -1,6 +1,66 @@
 #include "src/common/coding.h"
 
+#include <array>
+
 namespace ccam {
+
+namespace {
+
+/// 8 x 256 lookup tables for slicing-by-8 CRC32C, generated once at
+/// startup from the reflected Castagnoli polynomial.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto& t = Tables().t;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    uint32_t low = crc ^ (static_cast<uint32_t>(p[0]) |
+                          static_cast<uint32_t>(p[1]) << 8 |
+                          static_cast<uint32_t>(p[2]) << 16 |
+                          static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][low & 0xff] ^ t[6][(low >> 8) & 0xff] ^
+          t[5][(low >> 16) & 0xff] ^ t[4][low >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
 
 void PutFixed16(std::string* dst, uint16_t value) {
   char buf[2];

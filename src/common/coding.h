@@ -77,6 +77,15 @@ inline double DecodeDouble(const char* src) {
   return value;
 }
 
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) over
+/// `n` bytes — the checksum of the page seals and the WAL record frames.
+/// Software slicing-by-8; the value matches hardware SSE4.2 CRC32C.
+uint32_t Crc32c(const void* data, size_t n);
+
+/// Incremental form: extends a running CRC32C (`crc` is the value returned
+/// by a previous call, or 0 to start).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
 /// Append-style helpers for building byte strings.
 void PutFixed16(std::string* dst, uint16_t value);
 void PutFixed32(std::string* dst, uint32_t value);

@@ -1,9 +1,14 @@
 #include "src/core/crash_harness.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/common/coding.h"
 #include "src/common/fault_injector.h"
 #include "src/common/random.h"
 #include "src/graph/generator.h"
@@ -16,6 +21,7 @@ AccessMethodOptions MakeOptions(const CrashSimOptions& opt) {
   o.page_size = opt.page_size;
   o.buffer_pool_pages = opt.buffer_pool_pages;
   o.seed = opt.seed;
+  o.durability = opt.durability;
   // Single-threaded clustering: the page *assignment* is bit-identical for
   // every thread count, but the crash model indexes into the page *write
   // sequence*, which must not depend on scheduling either.
@@ -28,19 +34,36 @@ bool IsLogicalFailure(const Status& st) {
          st.IsInvalidArgument();
 }
 
+/// What the strict criterion compares against: the mirror of every
+/// acknowledged operation, and that state plus the single operation that
+/// was in flight when the device halted (a committed-but-unacknowledged
+/// transaction is allowed to survive).
+struct WorkloadTrace {
+  Network acked;
+  Network inflight;
+  bool halted = false;
+};
+
 /// Applies the seeded workload to `file`: static create from a geometric
 /// network, then `opt.ops` mixed maintenance operations. `net` mirrors the
 /// successful operations so later picks stay (mostly) valid; the op stream
 /// is a pure function of `opt.seed`. Returns OK when the workload either
 /// ran to completion or stopped at a simulated device halt; anything else
 /// is a harness-level error.
-Status RunWorkload(Ccam* file, const CrashSimOptions& opt) {
+Status RunWorkload(Ccam* file, const CrashSimOptions& opt,
+                   WorkloadTrace* trace) {
   Network net = GenerateRandomGeometricNetwork(opt.initial_nodes,
                                                /*radius=*/220.0,
                                                /*extent=*/1000.0, opt.seed);
   Status st = file->Create(net);
   if (!st.ok()) {
-    return file->disk()->halted() ? Status::OK() : st;
+    if (!file->disk()->halted()) return st;
+    if (trace != nullptr) {
+      // Nothing was acked; the whole create is the in-flight operation.
+      trace->halted = true;
+      trace->inflight = std::move(net);
+    }
+    return Status::OK();
   }
   Random rng(opt.seed ^ 0x9e3779b97f4a7c15ULL);
   NodeId next_id = 0;
@@ -51,6 +74,9 @@ Status RunWorkload(Ccam* file, const CrashSimOptions& opt) {
     auto pick = [&] { return live[rng.Uniform(static_cast<uint32_t>(live.size()))]; };
     uint32_t kind = rng.Uniform(100);
     Status op;
+    // Mirrors the operation into a Network: applied to `net` when the file
+    // acked it, and to the in-flight copy when the device died during it.
+    std::function<Status(Network*)> mirror;
     if (kind < 25) {
       // Insert a fresh node wired to up to two existing ones.
       NodeRecord rec;
@@ -69,37 +95,103 @@ Status RunWorkload(Ccam* file, const CrashSimOptions& opt) {
         rec.pred.push_back({b, cb});
       }
       op = file->InsertNode(rec, opt.policy);
-      if (op.ok()) {
-        CCAM_RETURN_NOT_OK(net.AddNode(rec.id, rec.x, rec.y, rec.payload));
+      mirror = [rec](Network* n) {
+        CCAM_RETURN_NOT_OK(n->AddNode(rec.id, rec.x, rec.y, rec.payload));
         for (const AdjEntry& e : rec.succ) {
-          CCAM_RETURN_NOT_OK(net.AddBidirectionalEdge(rec.id, e.node, e.cost));
+          CCAM_RETURN_NOT_OK(n->AddBidirectionalEdge(rec.id, e.node, e.cost));
         }
-      }
+        return Status::OK();
+      };
     } else if (kind < 40) {
       NodeId victim = pick();
       op = file->DeleteNode(victim, opt.policy);
-      if (op.ok()) CCAM_RETURN_NOT_OK(net.RemoveNode(victim));
+      mirror = [victim](Network* n) { return n->RemoveNode(victim); };
     } else if (kind < 75) {
       NodeId u = pick();
       NodeId v = pick();
       if (u == v || net.HasEdge(u, v)) continue;
       float cost = 1.0f + static_cast<float>(rng.Uniform(9));
       op = file->InsertEdge(u, v, cost, opt.policy);
-      if (op.ok()) CCAM_RETURN_NOT_OK(net.AddEdge(u, v, cost));
+      mirror = [u, v, cost](Network* n) { return n->AddEdge(u, v, cost); };
     } else {
       NodeId u = pick();
       const auto& succ = net.node(u).succ;
       if (succ.empty()) continue;
       NodeId v = succ[rng.Uniform(static_cast<uint32_t>(succ.size()))].node;
       op = file->DeleteEdge(u, v, opt.policy);
-      if (op.ok()) CCAM_RETURN_NOT_OK(net.RemoveEdge(u, v));
+      mirror = [u, v](Network* n) { return n->RemoveEdge(u, v); };
     }
-    if (!op.ok()) {
-      if (file->disk()->halted()) return Status::OK();
+    if (op.ok()) {
+      CCAM_RETURN_NOT_OK(mirror(&net));
+    } else {
+      if (file->disk()->halted()) {
+        if (trace != nullptr) {
+          trace->halted = true;
+          trace->inflight = net;
+          (void)mirror(&trace->inflight);
+          trace->acked = std::move(net);
+        }
+        return Status::OK();
+      }
       if (!IsLogicalFailure(op)) return op;
     }
   }
+  if (trace != nullptr) {
+    trace->halted = file->disk()->halted();
+    trace->inflight = net;
+    trace->acked = std::move(net);
+  }
   return Status::OK();
+}
+
+std::vector<AdjEntry> SortedAdj(std::vector<AdjEntry> v) {
+  std::sort(v.begin(), v.end(), [](const AdjEntry& a, const AdjEntry& b) {
+    return a.node != b.node ? a.node < b.node : a.cost < b.cost;
+  });
+  return v;
+}
+
+/// Exact-state oracle for the strict criterion: the file must contain
+/// precisely the nodes of `net`, each with matching attributes and
+/// adjacency lists. Returns Corruption naming the first divergence.
+Status CompareFileToNetwork(Ccam* file, const Network& net) {
+  std::vector<NodeId> ids = net.NodeIds();
+  if (file->PageMap().size() != ids.size()) {
+    return Status::Corruption(
+        "file holds " + std::to_string(file->PageMap().size()) +
+        " nodes, expected " + std::to_string(ids.size()));
+  }
+  for (NodeId id : ids) {
+    auto rec = file->Find(id);
+    if (!rec.ok()) {
+      return Status::Corruption("node " + std::to_string(id) + ": " +
+                                rec.status().ToString());
+    }
+    const NetworkNode& node = net.node(id);
+    if (rec->x != node.x || rec->y != node.y ||
+        rec->payload != node.payload) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                ": attribute mismatch");
+    }
+    if (SortedAdj(rec->succ) != SortedAdj(node.succ)) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                ": successor list mismatch");
+    }
+    if (SortedAdj(rec->pred) != SortedAdj(node.pred)) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                ": predecessor list mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> FileCrc(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string bytes = ss.str();
+  return Crc32c(bytes.data(), bytes.size());
 }
 
 }  // namespace
@@ -112,14 +204,26 @@ const char* CrashOutcomeName(CrashOutcome outcome) {
       return "recovered";
     case CrashOutcome::kCorruptionDetected:
       return "corruption-detected";
+    case CrashOutcome::kDurable:
+      return "durable";
+    case CrashOutcome::kLostAck:
+      return "lost-ack";
+    case CrashOutcome::kRecoveryFailed:
+      return "recovery-failed";
   }
   return "unknown";
 }
 
 Result<uint64_t> CountWorkloadWrites(const CrashSimOptions& options) {
+  FaultInjector faults(options.seed);
+  // Armed with a trigger that never fires: Hit() only counts evaluations
+  // of points it knows about, and the count of the kill failpoint in a
+  // fault-free run *is* the kill-point space.
+  faults.Arm(options.crash_failpoint, FaultAction{}, FaultTrigger::Once(0));
   Ccam file(MakeOptions(options));
-  CCAM_RETURN_NOT_OK(RunWorkload(&file, options));
-  return file.disk()->stats().writes;
+  file.SetFaultInjector(&faults);
+  CCAM_RETURN_NOT_OK(RunWorkload(&file, options, nullptr));
+  return faults.HitCount(options.crash_failpoint);
 }
 
 Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
@@ -129,11 +233,13 @@ Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
   }
   FaultInjector faults(options.seed);
   CCAM_RETURN_NOT_OK(faults.Configure(
-      "disk.write=crash:" + std::to_string(options.torn_bytes) + "@" +
+      options.crash_failpoint + "=crash:" +
+      std::to_string(options.torn_bytes) + "@" +
       std::to_string(crash_point)));
   Ccam file(MakeOptions(options));
   file.SetFaultInjector(&faults);
-  CCAM_RETURN_NOT_OK(RunWorkload(&file, options));
+  WorkloadTrace trace;
+  CCAM_RETURN_NOT_OK(RunWorkload(&file, options, &trace));
 
   CrashRunResult out;
   out.writes_before_crash = file.disk()->stats().writes;
@@ -143,7 +249,8 @@ Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
   }
   {
     // Capture the platter exactly as the crash left it. Dirty buffer-pool
-    // frames are deliberately NOT flushed — they never reached disk.
+    // frames are deliberately NOT flushed — they never reached disk. The
+    // capture includes the durable WAL prefix and the page seals.
     FaultInjector::SuppressScope suppress(&faults);
     CCAM_RETURN_NOT_OK(file.disk()->SaveToFile(options.image_path));
   }
@@ -151,13 +258,64 @@ Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
   Status st = reopened.OpenImage(options.image_path);
   if (st.ok()) st = reopened.CheckFileInvariants();
   if (st.ok()) st = reopened.CheckGraphInvariants();
-  if (st.ok()) {
-    out.outcome = CrashOutcome::kRecovered;
-    out.recovered_nodes = reopened.PageMap().size();
-  } else {
-    out.outcome = CrashOutcome::kCorruptionDetected;
-    out.detail = st.ToString();
+
+  if (!options.durability) {
+    if (st.ok()) {
+      out.outcome = CrashOutcome::kRecovered;
+      out.recovered_nodes = reopened.PageMap().size();
+    } else {
+      out.outcome = CrashOutcome::kCorruptionDetected;
+      out.detail = st.ToString();
+    }
+    return out;
   }
+
+  // Strict criterion: recovery must succeed ...
+  if (!st.ok()) {
+    out.outcome = CrashOutcome::kRecoveryFailed;
+    out.detail = st.ToString();
+    return out;
+  }
+  out.recovered_nodes = reopened.PageMap().size();
+  // ... the recovered state must be the acked prefix, or the acked prefix
+  // plus the in-flight operation applied atomically ...
+  Status acked = CompareFileToNetwork(&reopened, trace.acked);
+  if (!acked.ok()) {
+    Status inflight = CompareFileToNetwork(&reopened, trace.inflight);
+    if (!inflight.ok()) {
+      out.outcome = CrashOutcome::kLostAck;
+      out.detail = "vs acked state: " + acked.ToString() +
+                   "; vs acked+in-flight: " + inflight.ToString();
+      return out;
+    }
+  }
+  // ... and replay must be deterministic: recovering the same captured
+  // image twice yields byte-identical results.
+  std::string r1 = options.image_path + ".r1";
+  std::string r2 = options.image_path + ".r2";
+  Status det = reopened.disk()->SaveToFile(r1);
+  if (det.ok()) {
+    Ccam again(MakeOptions(options));
+    det = again.OpenImage(options.image_path);
+    if (det.ok()) det = again.disk()->SaveToFile(r2);
+  }
+  if (!det.ok()) {
+    out.outcome = CrashOutcome::kRecoveryFailed;
+    out.detail = "recovery replay: " + det.ToString();
+    return out;
+  }
+  uint32_t c1, c2;
+  CCAM_ASSIGN_OR_RETURN(c1, FileCrc(r1));
+  CCAM_ASSIGN_OR_RETURN(c2, FileCrc(r2));
+  std::remove(r1.c_str());
+  std::remove(r2.c_str());
+  if (c1 != c2) {
+    out.outcome = CrashOutcome::kRecoveryFailed;
+    out.detail = "non-deterministic recovery replay";
+    return out;
+  }
+  out.recovered_image_crc = c1;
+  out.outcome = CrashOutcome::kDurable;
   return out;
 }
 
@@ -184,6 +342,15 @@ Result<CrashSimReport> RunCrashSim(const CrashSimOptions& options,
         break;
       case CrashOutcome::kCorruptionDetected:
         ++report.corruption_detected;
+        break;
+      case CrashOutcome::kDurable:
+        ++report.durable;
+        break;
+      case CrashOutcome::kLostAck:
+        ++report.lost_ack;
+        break;
+      case CrashOutcome::kRecoveryFailed:
+        ++report.recovery_failed;
         break;
     }
     report.points.push_back(std::move(entry));

@@ -16,14 +16,25 @@ namespace ccam {
 ///
 /// A run builds a CCAM file from a seeded geometric network, then applies a
 /// seeded stream of mixed Insert-node / Delete-node / Insert-edge /
-/// Delete-edge operations. With a `disk.write=crash:<bytes>@<k>` fault
-/// armed, the k-th page write tears after <bytes> bytes and halts the
-/// simulated device — modelling a power cut mid-write. The harness then
-/// captures the platter state (dirty buffer-pool frames are deliberately
-/// lost: they never reached disk), reopens the image with a fresh instance
-/// and classifies the result. The workload is a pure function of the seed,
-/// so the same (seed, crash point) always produces the same crash and the
-/// same recovered image, byte for byte.
+/// Delete-edge operations. With a `<failpoint>=crash:<bytes>@<k>` fault
+/// armed, the k-th evaluation of that failpoint tears after <bytes> bytes
+/// and halts the simulated device — modelling a power cut mid-I/O. The
+/// harness then captures the platter state (dirty buffer-pool frames are
+/// deliberately lost: they never reached disk), reopens the image with a
+/// fresh instance and classifies the result. The workload is a pure
+/// function of the seed, so the same (seed, crash point) always produces
+/// the same crash and the same recovered image, byte for byte.
+///
+/// Two verification criteria:
+///  - detect-only (durability off): reopen either succeeds with all
+///    invariants holding, or fails with a clean typed Status. Matches the
+///    read-only recovery guarantee of the plain file format.
+///  - strict (durability on): recovery MUST succeed, and the recovered
+///    file must contain exactly the operations acknowledged before the
+///    crash — plus, at most, the single operation in flight when the
+///    device died, applied atomically. Recovery replay must also be
+///    deterministic: reopening the same captured image twice yields
+///    byte-identical recovered images.
 struct CrashSimOptions {
   uint64_t seed = 1995;
   size_t page_size = 1024;
@@ -35,59 +46,90 @@ struct CrashSimOptions {
   int ops = 120;
   /// Bytes of the crashing write that reach the platter (the torn prefix).
   int torn_bytes = 96;
+  /// Run with write-ahead logging on and verify the strict criterion.
+  bool durability = false;
+  /// Failpoint the kill is scheduled on. "disk.write" kills inside data
+  /// page writes; with durability on, "wal.append" and "wal.flush" kill
+  /// inside the logging protocol itself.
+  std::string crash_failpoint = "disk.write";
   /// Where the crash capture image is written. Required.
   std::string image_path;
 };
 
 enum class CrashOutcome {
-  /// The workload completed before the scheduled write boundary.
+  /// The workload completed before the scheduled kill point.
   kNoCrash,
-  /// Reopen succeeded and file + graph invariants all hold.
+  /// Detect-only: reopen succeeded and file + graph invariants all hold.
   kRecovered,
-  /// Reopen (or an invariant check) failed with a clean typed Status —
-  /// the torn state was *detected*, never silently accepted.
+  /// Detect-only: reopen (or an invariant check) failed with a clean typed
+  /// Status — the torn state was *detected*, never silently accepted.
   kCorruptionDetected,
+  /// Strict: recovery succeeded, invariants hold, and the recovered state
+  /// is exactly the acked prefix (or acked prefix + in-flight op).
+  kDurable,
+  /// Strict failure: an acknowledged operation is missing from the
+  /// recovered file, or an operation past the in-flight one is present.
+  kLostAck,
+  /// Strict failure: recovery errored, an invariant failed, or replaying
+  /// the same captured image twice produced different bytes.
+  kRecoveryFailed,
 };
 
 const char* CrashOutcomeName(CrashOutcome outcome);
 
 struct CrashRunResult {
   CrashOutcome outcome = CrashOutcome::kNoCrash;
-  /// Status message of the detection, empty when recovered.
+  /// Status message of the detection/failure, empty when recovered.
   std::string detail;
   /// Page writes that fully completed before the device halted.
   uint64_t writes_before_crash = 0;
   /// Nodes visible after a successful reopen.
   size_t recovered_nodes = 0;
+  /// CRC32C of the recovered image bytes (strict mode only). Equal crcs
+  /// across runs of the same (seed, crash point) certify byte-identical
+  /// recovery.
+  uint32_t recovered_image_crc = 0;
 };
 
 struct CrashPointReport {
-  uint64_t crash_point = 0;  // 1-based index into the write sequence
+  uint64_t crash_point = 0;  // 1-based index into the failpoint hits
   CrashRunResult result;
 };
 
 struct CrashSimReport {
-  /// Page writes the fault-free workload performs (the crash-point space).
+  /// Evaluations of `crash_failpoint` in the fault-free workload (the
+  /// kill-point space).
   uint64_t total_writes = 0;
   std::vector<CrashPointReport> points;
   size_t recovered = 0;
   size_t corruption_detected = 0;
   size_t no_crash = 0;
+  size_t durable = 0;
+  size_t lost_ack = 0;
+  size_t recovery_failed = 0;
+
+  /// Kill points whose outcome violates the active criterion. In strict
+  /// mode only kDurable passes; detect-only accepts kRecovered and
+  /// kCorruptionDetected. kNoCrash always fails: the scheduled kill never
+  /// fired, so the point tested nothing.
+  size_t failures() const { return no_crash + lost_ack + recovery_failed; }
 };
 
-/// Runs the seeded workload fault-free and returns the number of page
-/// writes it performs — the size of the crash-point space.
+/// Runs the seeded workload fault-free and returns how many times
+/// `options.crash_failpoint` is evaluated — the size of the kill-point
+/// space for that failpoint.
 Result<uint64_t> CountWorkloadWrites(const CrashSimOptions& options);
 
-/// Runs the workload with a crash scheduled at the `crash_point`-th page
-/// write (1-based), captures the platter, reopens and verifies. Returns an
-/// error only on harness-level failures (e.g. the capture file cannot be
-/// written); torn data is reported via the outcome, not as an error.
+/// Runs the workload with a crash scheduled at the `crash_point`-th
+/// evaluation of the configured failpoint (1-based), captures the platter,
+/// reopens and verifies. Returns an error only on harness-level failures
+/// (e.g. the capture file cannot be written); torn data is reported via
+/// the outcome, not as an error.
 Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
                                     uint64_t crash_point);
 
-/// Sweeps `num_points` crash points spread evenly over the write sequence
-/// (all of them when `num_points` >= total writes).
+/// Sweeps `num_points` crash points spread evenly over the kill-point
+/// space (all of them when `num_points` >= total).
 Result<CrashSimReport> RunCrashSim(const CrashSimOptions& options,
                                    uint64_t num_points);
 

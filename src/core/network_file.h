@@ -12,6 +12,7 @@
 #include "src/storage/buffer_pool.h"
 #include "src/storage/disk_manager.h"
 #include "src/storage/page.h"
+#include "src/storage/wal.h"
 
 namespace ccam {
 
@@ -104,13 +105,19 @@ class NetworkFile : public AccessMethod {
   /// a typed Corruption here — never a silently half-patched graph.
   Status CheckGraphInvariants();
 
-  /// Attaches a fault injector to the simulated data disk (nullptr
-  /// detaches). Index-disk I/O is not fault-injected: the paper's cost
-  /// model treats index pages as buffered, so the adversarial surface is
-  /// the data file.
+  /// Attaches a fault injector to every simulated device of this file
+  /// (nullptr detaches): the data disk ("disk.*" failpoints), the index
+  /// disk when maintained ("index.*"), and the write-ahead log when
+  /// durability is on ("wal.append" / "wal.flush"). The distinct prefixes
+  /// let one fault schedule target any device without touching the others.
   void SetFaultInjector(FaultInjector* faults) {
     disk_.SetFaultInjector(faults);
+    if (index_disk_) index_disk_->SetFaultInjector(faults);
+    if (wal_) wal_->SetFaultInjector(faults);
   }
+
+  /// The write-ahead log, when durability is on (for tests / inspection).
+  Wal* wal() { return wal_.get(); }
 
   /// Complete reorganization: reclusters the entire data file (Table 1's
   /// "all pages in data file" option — the expensive global pass the
@@ -162,6 +169,31 @@ class NetworkFile : public AccessMethod {
   DiskManager* disk() { return &disk_; }
 
  protected:
+  /// Runs one public maintenance operation as a WAL transaction when
+  /// durability is on. The outermost scope of an operation owns the
+  /// transaction; nested scopes (BulkInsert calling InsertNode, create
+  /// loops calling AddNode) are no-ops, so a batch is one group commit.
+  ///
+  ///   MutationScope txn(this);
+  ///   return txn.Finish(DoTheWork());
+  ///
+  /// Finish commits on OK — the operation is acknowledged only after the
+  /// WAL flush barrier — and aborts otherwise, discarding the staged
+  /// overlay and every cached frame it touched, so the platter and the
+  /// pool both keep the pre-operation state. With durability off the scope
+  /// is a no-op and the operation behaves exactly as before.
+  class MutationScope {
+   public:
+    explicit MutationScope(NetworkFile* file);
+    ~MutationScope();
+    Status Finish(Status op_status);
+
+   private:
+    NetworkFile* file_;
+    bool owns_ = false;
+    bool done_ = false;
+  };
+
   /// Materializes `pages` (node sets) into data pages and builds the
   /// indexes. Used by subclasses' Create().
   Status BuildFromAssignment(const Network& network,
@@ -278,6 +310,17 @@ class NetworkFile : public AccessMethod {
   /// placement decisions do not charge data-page I/O).
   void NoteFreeSpace(PageId page, const SlottedPage& view);
 
+  /// Bodies of the public maintenance operations; the public entry points
+  /// wrap them in a MutationScope.
+  Status BuildFromAssignmentBody(
+      const Network& network, const std::vector<std::vector<NodeId>>& pages);
+  Status BulkInsertImpl(const std::vector<NodeRecord>& records,
+                        ReorgPolicy policy);
+  Status InsertNodeImpl(const NodeRecord& record, ReorgPolicy policy);
+  Status DeleteNodeImpl(NodeId id, ReorgPolicy policy);
+  Status InsertEdgeImpl(NodeId u, NodeId v, float cost, ReorgPolicy policy);
+  Status DeleteEdgeImpl(NodeId u, NodeId v, ReorgPolicy policy);
+
   AccessMethodOptions options_;
   DiskManager disk_;
   BufferPool pool_;
@@ -290,6 +333,9 @@ class NetworkFile : public AccessMethod {
   std::unique_ptr<DiskManager> index_disk_;
   std::unique_ptr<BufferPool> index_pool_;
   std::unique_ptr<BPlusTree> index_;
+
+  /// Write-ahead log of the data disk; non-null iff durability is on.
+  std::unique_ptr<Wal> wal_;
 
   bool last_op_structural_ = false;
   uint64_t reorg_seed_ = 0;

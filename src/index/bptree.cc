@@ -127,6 +127,22 @@ size_t BPlusTree::InternalCapacity() const {
   return (disk_->page_size() - kEntriesOffset) / kInternalEntrySize;
 }
 
+Status BPlusTree::ValidateNode(const char* node, PageId page) const {
+  uint8_t type = static_cast<uint8_t>(node[kTypeOffset]);
+  if (type > 1) {
+    return Status::Corruption("b+tree page " + std::to_string(page) +
+                              ": invalid node type " + std::to_string(type));
+  }
+  size_t cap = (type == 0) ? LeafCapacity() : InternalCapacity();
+  size_t count = static_cast<size_t>(Count(node));
+  if (count > cap) {
+    return Status::Corruption("b+tree page " + std::to_string(page) +
+                              ": entry count " + std::to_string(count) +
+                              " exceeds capacity " + std::to_string(cap));
+  }
+  return Status::OK();
+}
+
 BPlusTree::BPlusTree(DiskManager* disk, BufferPool* pool)
     : disk_(disk), pool_(pool) {
   assert(LeafCapacity() >= 4 && InternalCapacity() >= 4);
@@ -142,10 +158,17 @@ BPlusTree::BPlusTree(DiskManager* disk, BufferPool* pool)
 
 Result<PageId> BPlusTree::FindLeaf(uint64_t key) const {
   PageId page = root_;
-  for (;;) {
+  // A well-formed tree reaches a leaf in exactly height_ fetches; the bound
+  // turns a corrupt child-pointer cycle into Corruption, not a hang.
+  for (int depth = 0; depth < height_; ++depth) {
     auto res = pool_->FetchPage(page);
     if (!res.ok()) return res.status();
     char* data = *res;
+    Status valid = ValidateNode(data, page);
+    if (!valid.ok()) {
+      (void)pool_->UnpinPage(page, false);
+      return valid;
+    }
     if (IsLeaf(data)) {
       (void)pool_->UnpinPage(page, false);
       return page;
@@ -154,6 +177,9 @@ Result<PageId> BPlusTree::FindLeaf(uint64_t key) const {
     (void)pool_->UnpinPage(page, false);
     page = next;
   }
+  return Status::Corruption("b+tree descent exceeded height " +
+                            std::to_string(height_) +
+                            " without reaching a leaf");
 }
 
 Result<uint64_t> BPlusTree::Find(uint64_t key) const {
@@ -166,6 +192,11 @@ Result<uint64_t> BPlusTree::Find(uint64_t key) const {
   auto res = pool_->FetchPage(leaf);
   if (!res.ok()) return res.status();
   char* data = *res;
+  Status valid = ValidateNode(data, leaf);
+  if (!valid.ok()) {
+    (void)pool_->UnpinPage(leaf, false);
+    return valid;
+  }
   int pos = LeafLowerBound(data, key);
   bool found = pos < Count(data) && LeafKey(data, pos) == key;
   uint64_t value = found ? LeafValue(data, pos) : 0;
@@ -179,6 +210,11 @@ Status BPlusTree::InsertRecursive(PageId page, uint64_t key, uint64_t value,
   auto res = pool_->FetchPage(page);
   if (!res.ok()) return res.status();
   char* data = *res;
+  Status valid = ValidateNode(data, page);
+  if (!valid.ok()) {
+    (void)pool_->UnpinPage(page, false);
+    return valid;
+  }
 
   if (IsLeaf(data)) {
     int count = Count(data);
@@ -351,6 +387,11 @@ Status BPlusTree::FixChildUnderflow(char* parent, PageId parent_id,
   auto child_res = pool_->FetchPage(child_id);
   if (!child_res.ok()) return child_res.status();
   char* child = *child_res;
+  Status child_valid = ValidateNode(child, child_id);
+  if (!child_valid.ok()) {
+    (void)pool_->UnpinPage(child_id, false);
+    return child_valid;
+  }
   bool child_is_leaf = IsLeaf(child);
   size_t min_count =
       (child_is_leaf ? LeafCapacity() : InternalCapacity()) / 2;
@@ -360,6 +401,11 @@ Status BPlusTree::FixChildUnderflow(char* parent, PageId parent_id,
     auto sib_res = pool_->FetchPage(sib_id);
     if (!sib_res.ok()) return sib_res.status();
     char* sib = *sib_res;
+    Status sib_valid = ValidateNode(sib, sib_id);
+    if (!sib_valid.ok()) {
+      (void)pool_->UnpinPage(sib_id, false);
+      return sib_valid;
+    }
     int sib_count = Count(sib);
     int child_count = Count(child);
     int sep_pos = sib_is_left ? child_pos - 1 : child_pos;
@@ -469,6 +515,11 @@ Status BPlusTree::DeleteRecursive(PageId page, uint64_t key,
   auto res = pool_->FetchPage(page);
   if (!res.ok()) return res.status();
   char* data = *res;
+  Status valid = ValidateNode(data, page);
+  if (!valid.ok()) {
+    (void)pool_->UnpinPage(page, false);
+    return valid;
+  }
 
   if (IsLeaf(data)) {
     int count = Count(data);
@@ -512,6 +563,11 @@ Status BPlusTree::Delete(uint64_t key) {
   auto res = pool_->FetchPage(root_);
   if (!res.ok()) return res.status();
   char* data = *res;
+  Status valid = ValidateNode(data, root_);
+  if (!valid.ok()) {
+    (void)pool_->UnpinPage(root_, false);
+    return valid;
+  }
   if (!IsLeaf(data) && Count(data) == 0) {
     PageId old_root = root_;
     root_ = InternalChild(data, 0);
@@ -537,6 +593,11 @@ Status BPlusTree::BulkLoad(
     auto res = pool_->FetchPage(page);
     if (!res.ok()) return res.status();
     char* data = *res;
+    Status valid = ValidateNode(data, page);
+    if (!valid.ok()) {
+      (void)pool_->UnpinPage(page, false);
+      return valid;
+    }
     if (!IsLeaf(data)) {
       for (int i = 0; i <= Count(data); ++i) {
         stack.push_back(InternalChild(data, i));
@@ -670,23 +731,32 @@ Status BPlusTree::BulkLoad(
 
 void BPlusTree::Iterator::Load() {
   valid_ = false;
-  if (tree_ == nullptr || leaf_ == kInvalidPageId) return;
-  auto res = tree_->pool_->FetchPage(leaf_);
-  if (!res.ok()) return;
-  char* data = *res;
-  if (pos_ >= Count(data)) {
-    PageId next = NextLeaf(data);
+  if (tree_ == nullptr) return;
+  // The hop bound turns a corrupt next_leaf cycle (of exhausted leaves)
+  // into an invalid iterator instead of an infinite walk. A damaged node
+  // likewise ends the iteration; CheckInvariants reports it as Corruption.
+  size_t max_hops = tree_->disk_->NumAllocatedPages() + 1;
+  for (size_t hops = 0; leaf_ != kInvalidPageId && hops < max_hops; ++hops) {
+    auto res = tree_->pool_->FetchPage(leaf_);
+    if (!res.ok()) return;
+    char* data = *res;
+    if (!tree_->ValidateNode(data, leaf_).ok() || !IsLeaf(data)) {
+      (void)tree_->pool_->UnpinPage(leaf_, false);
+      return;
+    }
+    if (pos_ >= Count(data)) {
+      PageId next = NextLeaf(data);
+      (void)tree_->pool_->UnpinPage(leaf_, false);
+      leaf_ = next;
+      pos_ = 0;
+      continue;
+    }
+    key_ = LeafKey(data, pos_);
+    value_ = LeafValue(data, pos_);
+    valid_ = true;
     (void)tree_->pool_->UnpinPage(leaf_, false);
-    leaf_ = next;
-    pos_ = 0;
-    if (leaf_ == kInvalidPageId) return;
-    Load();
     return;
   }
-  key_ = LeafKey(data, pos_);
-  value_ = LeafValue(data, pos_);
-  valid_ = true;
-  (void)tree_->pool_->UnpinPage(leaf_, false);
 }
 
 void BPlusTree::Iterator::Next() {
@@ -731,6 +801,11 @@ Status BPlusTree::CheckSubtree(PageId page, int depth, uint64_t lo,
     (void)pool_->UnpinPage(page, false);
     return Status::Corruption("page " + std::to_string(page) + ": " + why);
   };
+  Status valid = ValidateNode(data, page);
+  if (!valid.ok()) {
+    (void)pool_->UnpinPage(page, false);
+    return valid;
+  }
   int count = Count(data);
   bool is_root = page == root_;
   if (IsLeaf(data)) {

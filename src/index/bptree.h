@@ -96,6 +96,13 @@ class BPlusTree {
   size_t LeafCapacity() const;
   size_t InternalCapacity() const;
 
+  /// Sanity-checks a node fetched from disk before any accessor decodes it:
+  /// the type byte must be 0/1 and the entry count must fit the node
+  /// capacity, else every entry accessor reads past the page. Returns
+  /// Corruption naming the page so a damaged index surfaces as a typed
+  /// error instead of undefined decode behavior.
+  Status ValidateNode(const char* node, PageId page) const;
+
   Status InsertRecursive(PageId page, uint64_t key, uint64_t value,
                          bool upsert, SplitResult* split);
   Status DeleteRecursive(PageId page, uint64_t key, bool* underflow);

@@ -21,13 +21,21 @@ std::string EncodeEntry(double x, double y, uint64_t value) {
   return out;
 }
 
-GridFile::Entry DecodeEntry(std::string_view bytes) {
+/// Grid entries are fixed-width; a record of any other length means the
+/// slot directory or the record bytes are damaged, and decoding it anyway
+/// would yield silent garbage coordinates. Surface that as Corruption.
+Status DecodeEntry(std::string_view bytes, GridFile::Entry* e) {
+  if (bytes.size() != kEntryBytes) {
+    return Status::Corruption("grid entry of " + std::to_string(bytes.size()) +
+                              " bytes (expected " +
+                              std::to_string(kEntryBytes) + ")");
+  }
   Decoder dec(bytes.data(), bytes.size());
-  GridFile::Entry e;
-  e.x = dec.GetDouble();
-  e.y = dec.GetDouble();
-  e.value = dec.GetFixed64();
-  return e;
+  e->x = dec.GetDouble();
+  e->y = dec.GetDouble();
+  e->value = dec.GetFixed64();
+  if (!dec.Ok()) return Status::Corruption("truncated grid entry");
+  return Status::OK();
 }
 
 }  // namespace
@@ -66,7 +74,13 @@ Status GridFile::LoadEntries(PageId bucket, std::vector<Entry>* out) const {
   if (!res.ok()) return res.status();
   SlottedPage page(*res, disk_->page_size());
   for (int slot : page.LiveSlots()) {
-    out->push_back(DecodeEntry(page.GetRecord(slot)));
+    Entry e;
+    Status s = DecodeEntry(page.GetRecord(slot), &e);
+    if (!s.ok()) {
+      (void)pool_->UnpinPage(bucket, false);
+      return s;
+    }
+    out->push_back(e);
   }
   (void)pool_->UnpinPage(bucket, false);
   return Status::OK();
@@ -98,7 +112,12 @@ Status GridFile::Insert(double x, double y, uint64_t value) {
     SlottedPage page(*res, disk_->page_size());
     // Reject exact duplicates.
     for (int slot : page.LiveSlots()) {
-      Entry e = DecodeEntry(page.GetRecord(slot));
+      Entry e;
+      Status ds = DecodeEntry(page.GetRecord(slot), &e);
+      if (!ds.ok()) {
+        (void)pool_->UnpinPage(bucket, false);
+        return ds;
+      }
       if (e.x == x && e.y == y && e.value == value) {
         (void)pool_->UnpinPage(bucket, false);
         return Status::AlreadyExists("duplicate grid entry");
@@ -242,7 +261,12 @@ Status GridFile::Delete(double x, double y, uint64_t value) {
   if (!res.ok()) return res.status();
   SlottedPage page(*res, disk_->page_size());
   for (int slot : page.LiveSlots()) {
-    Entry e = DecodeEntry(page.GetRecord(slot));
+    Entry e;
+    Status ds = DecodeEntry(page.GetRecord(slot), &e);
+    if (!ds.ok()) {
+      (void)pool_->UnpinPage(bucket, false);
+      return ds;
+    }
     if (e.x == x && e.y == y && e.value == value) {
       Status s = page.DeleteRecord(slot);
       (void)pool_->UnpinPage(bucket, true);
@@ -261,7 +285,12 @@ Result<std::vector<uint64_t>> GridFile::Search(double x, double y) const {
   SlottedPage page(*res, disk_->page_size());
   std::vector<uint64_t> out;
   for (int slot : page.LiveSlots()) {
-    Entry e = DecodeEntry(page.GetRecord(slot));
+    Entry e;
+    Status ds = DecodeEntry(page.GetRecord(slot), &e);
+    if (!ds.ok()) {
+      (void)pool_->UnpinPage(bucket, false);
+      return ds;
+    }
     if (e.x == x && e.y == y) out.push_back(e.value);
   }
   (void)pool_->UnpinPage(bucket, false);

@@ -6,6 +6,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/fault_injector.h"
@@ -15,6 +16,8 @@
 #include "src/storage/page.h"
 
 namespace ccam {
+
+class Wal;
 
 /// Simulated disk: a growable array of fixed-size pages with exact I/O
 /// accounting. The paper evaluates access methods by the *number of data
@@ -28,14 +31,38 @@ namespace ccam {
 /// discipline, so this only guards against reads racing a writer.
 ///
 /// Fault injection. When a FaultInjector is attached, every simulated I/O
-/// evaluates a named failpoint first: "disk.read", "disk.write",
-/// "disk.alloc", "disk.free". Injected faults surface as typed statuses —
-/// kShortRead / kShortWrite for partial transfers (with page-id context),
-/// kNoSpace for a full device, the armed code for plain errors — and a
-/// kCrash action tears the in-flight write and halts the device (every
-/// later I/O fails until ClearHalt()). With no injector attached the hot
-/// paths are branch-for-branch identical to the fault-free build: one null
-/// pointer test, no counters, no locks beyond the existing ones.
+/// evaluates a named failpoint first: "<prefix>.read", "<prefix>.write",
+/// "<prefix>.alloc", "<prefix>.free" (prefix defaults to "disk"; index
+/// disks use "index" so one schedule can target either device). Injected
+/// faults surface as typed statuses — kShortRead / kShortWrite for partial
+/// transfers (with page-id context), kNoSpace for a full device, the armed
+/// code for plain errors — and a kCrash action tears the in-flight write
+/// and halts the device (every later I/O fails until ClearHalt()). With no
+/// injector attached the hot paths are branch-for-branch identical to the
+/// fault-free build: one null pointer test, no counters, no locks beyond
+/// the existing ones.
+///
+/// Checksums. Every complete WritePage stamps a sidecar CRC32C seal for
+/// the page (a torn write keeps the page's *old* seal, so the mixed
+/// old/new content no longer matches it). Seals live beside the platter,
+/// not inside the SlottedPage header, so page capacity — and with it every
+/// blocking-factor and I/O count the paper calibrates — is unchanged.
+/// Verification on read is opt-in (SetVerifyChecksums): the durable file
+/// layer turns it on; raw-device tests and paper experiments keep the
+/// seed's exact read semantics. VerifyPage() checks one page on demand for
+/// scrubbing.
+///
+/// Transactions. BeginTxn/CommitTxn/AbortTxn give the mutation path
+/// atomic multi-page updates without touching the buffer pool: while a
+/// transaction is open, WritePage / AllocatePage / FreePage land in a
+/// volatile staged overlay and the platter is untouched (no-steal at the
+/// device layer — an eviction mid-transaction stages, it cannot leak an
+/// uncommitted page to the platter). CommitTxn appends begin + after-image
+/// + free + commit records to the attached WAL, flushes it (the durability
+/// point), applies the staged overlay to the platter through the ordinary
+/// write failpoints, then truncates the log (checkpoint). AbortTxn
+/// discards the overlay. Recover() replays committed transactions from a
+/// loaded image's WAL tail and drops the uncommitted remainder.
 class DiskManager {
  public:
   explicit DiskManager(size_t page_size);
@@ -55,11 +82,14 @@ class DiskManager {
   /// Copies the page contents into `out` (page_size bytes). Counts a read.
   /// An injected short read copies only a prefix and fills the tail of
   /// `out` with 0xCD; only complete transfers count toward the I/O stats.
+  /// With checksum verification enabled, a page whose content does not
+  /// match its seal fails with Corruption naming the page id.
   Status ReadPage(PageId id, char* out);
 
   /// Overwrites the page from `in` (page_size bytes). Counts a write.
   /// An injected torn write persists only a prefix (the page keeps its old
-  /// tail); only complete transfers count toward the I/O stats.
+  /// tail — and its old seal); only complete transfers count toward the
+  /// I/O stats and restamp the seal.
   Status WritePage(PageId id, const char* in);
 
   bool IsAllocated(PageId id) const;
@@ -69,6 +99,16 @@ class DiskManager {
 
   /// Ids of all live pages, ascending.
   std::vector<PageId> AllocatedPageIds() const;
+
+  /// Checks one live page's content against its CRC32C seal without
+  /// counting I/O — the scrub primitive. Corruption names the page id.
+  Status VerifyPage(PageId id) const;
+
+  /// Turns on seal verification inside ReadPage. Off by default: the
+  /// paper experiments and the raw-device tests rely on reads returning
+  /// whatever bytes the platter holds (e.g. after a torn write).
+  void SetVerifyChecksums(bool verify);
+  bool verify_checksums() const;
 
   /// Snapshot of the I/O counters (by value: the counters are atomics).
   IoStats stats() const;
@@ -93,27 +133,96 @@ class DiskManager {
   void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
   FaultInjector* fault_injector() const { return faults_; }
 
+  /// Renames this device's failpoints to "<prefix>.read" etc. (default
+  /// "disk"). Index-file disks use "index" so fault schedules compose.
+  void SetFailpointPrefix(const std::string& prefix);
+
   /// True once an injected kCrash fault fired: the simulated device halted
   /// mid-write and every subsequent I/O fails with kIOError. Snapshot
   /// (SaveToFile) and restore still work: they model reading the platter
   /// after the machine died, and count no simulated I/O.
   bool halted() const { return halted_.load(std::memory_order_acquire); }
+  void Halt() { halted_.store(true, std::memory_order_release); }
   void ClearHalt() { halted_.store(false, std::memory_order_release); }
 
+  /// Attaches (or detaches) the write-ahead log used by CommitTxn and
+  /// included in saved images. Not owned. The WAL's crash halts route back
+  /// here via Wal::SetDevice.
+  void AttachWal(Wal* wal) { wal_ = wal; }
+  Wal* wal() const { return wal_; }
+
+  /// Opens a staged transaction: until CommitTxn/AbortTxn, writes, allocs
+  /// and frees land in a volatile overlay and the platter is untouched.
+  Status BeginTxn();
+  bool InTxn() const;
+
+  /// Pages the open transaction has touched (written, allocated or freed),
+  /// in first-touch order. The caller uses this to invalidate cached
+  /// frames when the transaction aborts.
+  std::vector<PageId> TxnTouchedPages() const;
+
+  /// Logs the staged overlay to the WAL (begin, after-images in
+  /// first-touch order, frees, commit), flushes — the point after which
+  /// the transaction survives any crash — then applies the overlay to the
+  /// platter through the write failpoints and truncates the log. A crash
+  /// injected before the flush aborts the transaction; one injected after
+  /// it leaves a committed log that Recover() replays.
+  Status CommitTxn();
+
+  /// Discards the staged overlay; the platter keeps its pre-transaction
+  /// state.
+  Status AbortTxn();
+
+  /// Replays the WAL tail carried by the most recently loaded image (or
+  /// the attached WAL's durable bytes): committed transactions are applied
+  /// in log order, an uncommitted tail is discarded, a torn final record
+  /// is truncated, and a checksum-failing record fails with Corruption.
+  /// Counts no simulated I/O. Safe to call on an image with no WAL tail.
+  Status Recover();
+
   /// Writes the whole disk image (page size, allocation bitmap, page
-  /// contents) to a real file. Counts no simulated I/O.
+  /// contents, page seals, and the attached WAL's durable bytes) to a real
+  /// file. Counts no simulated I/O.
   Status SaveToFile(const std::string& path) const;
 
   /// Replaces this disk's contents with a previously saved image. The
   /// image's page size must match this manager's. Resets the I/O counters.
+  /// Legacy images without seal/WAL sections load with seals computed from
+  /// page content and an empty WAL tail.
   Status LoadFromFile(const std::string& path);
 
+  /// Reads just the page size from an image header, without loading it —
+  /// lets tools size a manager to fit an arbitrary image.
+  static Result<size_t> PeekPageSize(const std::string& path);
+
  private:
+  Status ApplyPlatterWrite(PageId id, const char* in);
+  void MaterializeAllocation(PageId id);
+  void ClearTxnStateLocked();
+
   size_t page_size_;
+  uint32_t zero_seal_;
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<char[]>> pages_;
   std::vector<bool> allocated_;
   std::vector<PageId> free_list_;
+  /// Sidecar CRC32C of each page's last completely-written content.
+  std::vector<uint32_t> seals_;
+  bool verify_checksums_ = false;
+
+  // Staged-transaction overlay (single-writer; guarded by mu_).
+  bool in_txn_ = false;
+  uint64_t txn_counter_ = 0;
+  std::unordered_map<PageId, std::string> staged_writes_;
+  std::vector<PageId> touch_order_;  // first-touch order, deduplicated
+  std::vector<PageId> txn_freed_;    // net frees of pre-txn pages, in order
+  std::vector<bool> txn_allocated_;  // staged view of the allocation bitmap
+  std::vector<PageId> txn_free_list_;
+  PageId txn_next_page_ = 0;
+
+  /// WAL bytes carried by the most recently loaded image, pending replay.
+  std::string loaded_wal_;
+
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> allocs_{0};
@@ -121,6 +230,11 @@ class DiskManager {
   std::atomic<uint32_t> read_latency_us_{0};
   std::atomic<bool> halted_{false};
   FaultInjector* faults_ = nullptr;
+  Wal* wal_ = nullptr;
+  std::string fp_read_ = "disk.read";
+  std::string fp_write_ = "disk.write";
+  std::string fp_alloc_ = "disk.alloc";
+  std::string fp_free_ = "disk.free";
 };
 
 }  // namespace ccam

@@ -1,0 +1,250 @@
+#include "src/storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injector.h"
+#include "src/storage/disk_manager.h"
+
+namespace ccam {
+namespace {
+
+// Builds a small committed-transaction log and returns its durable bytes.
+std::string SampleLog() {
+  Wal wal;
+  EXPECT_TRUE(wal.Append(Wal::RecordType::kBegin, 7, "").ok());
+  std::string image = "page-image-bytes";
+  EXPECT_TRUE(wal.Append(Wal::RecordType::kPageImage, 7, image).ok());
+  EXPECT_TRUE(wal.Append(Wal::RecordType::kPageFree, 7, "free").ok());
+  EXPECT_TRUE(wal.Append(Wal::RecordType::kCommit, 7, "").ok());
+  EXPECT_TRUE(wal.Flush().ok());
+  return wal.durable();
+}
+
+TEST(WalTest, AppendFlushRoundTripsRecords) {
+  Wal wal;
+  ASSERT_TRUE(wal.Append(Wal::RecordType::kBegin, 42, "").ok());
+  ASSERT_TRUE(wal.Append(Wal::RecordType::kPageImage, 42, "payload").ok());
+  ASSERT_TRUE(wal.Append(Wal::RecordType::kCommit, 42, "").ok());
+
+  // Before the flush barrier nothing is durable: a crash would lose it all.
+  EXPECT_EQ(wal.stats().durable_bytes, 0u);
+  EXPECT_GT(wal.stats().pending_bytes, 0u);
+  auto empty = wal.RecoverScan();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  ASSERT_TRUE(wal.Flush().ok());
+  EXPECT_EQ(wal.stats().pending_bytes, 0u);
+  auto records = wal.RecoverScan();
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].type, Wal::RecordType::kBegin);
+  EXPECT_EQ((*records)[0].txn, 42u);
+  EXPECT_EQ((*records)[1].type, Wal::RecordType::kPageImage);
+  EXPECT_EQ((*records)[1].payload, "payload");
+  EXPECT_EQ((*records)[2].type, Wal::RecordType::kCommit);
+}
+
+TEST(WalTest, TruncateDiscardsEverything) {
+  Wal wal;
+  ASSERT_TRUE(wal.Append(Wal::RecordType::kBegin, 1, "").ok());
+  ASSERT_TRUE(wal.Flush().ok());
+  ASSERT_TRUE(wal.Append(Wal::RecordType::kCommit, 1, "").ok());
+  ASSERT_TRUE(wal.Truncate().ok());
+  EXPECT_EQ(wal.stats().durable_bytes, 0u);
+  EXPECT_EQ(wal.stats().pending_bytes, 0u);
+  auto records = wal.RecoverScan();
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+// The crash contract: a log cut off at ANY byte offset must recover the
+// longest complete-frame prefix — silently truncating the torn tail, never
+// crashing, never returning a wild record.
+TEST(WalTest, TruncationAtEveryByteOffsetRecoversCleanPrefix) {
+  std::string log = SampleLog();
+  ASSERT_GT(log.size(), 0u);
+  // Frame boundaries of the four records, for prefix-count bookkeeping.
+  std::vector<size_t> boundaries;
+  {
+    Wal scan;
+    scan.RestoreDurable(log);
+    auto records = scan.RecoverScan();
+    ASSERT_TRUE(records.ok());
+    ASSERT_EQ(records->size(), 4u);
+    size_t off = 0;
+    for (const Wal::Record& r : *records) {
+      off += Wal::kFrameHeaderSize + r.payload.size() +
+             Wal::kFrameTrailerSize;
+      boundaries.push_back(off);
+    }
+    ASSERT_EQ(boundaries.back(), log.size());
+  }
+  for (size_t cut = 0; cut <= log.size(); ++cut) {
+    Wal wal;
+    wal.RestoreDurable(log.substr(0, cut));
+    auto records = wal.RecoverScan();
+    ASSERT_TRUE(records.ok())
+        << "cut at " << cut << ": " << records.status().ToString();
+    size_t complete = 0;
+    while (complete < boundaries.size() && boundaries[complete] <= cut) {
+      ++complete;
+    }
+    EXPECT_EQ(records->size(), complete) << "cut at " << cut;
+  }
+}
+
+// Damage inside the durable region (not a torn tail) must surface as a
+// typed Corruption or — when the flip lands in a payload byte whose frame
+// CRC no longer matches — as Corruption too. A flip may never be silently
+// accepted as a VALID log of different records, and may never crash.
+TEST(WalTest, BitFlipAtEveryByteOffsetIsDetectedOrTruncates) {
+  std::string log = SampleLog();
+  Wal clean;
+  clean.RestoreDurable(log);
+  auto expected = clean.RecoverScan();
+  ASSERT_TRUE(expected.ok());
+  for (size_t i = 0; i < log.size(); ++i) {
+    for (int bit : {0, 3, 7}) {
+      std::string damaged = log;
+      damaged[i] = static_cast<char>(damaged[i] ^ (1u << bit));
+      Wal wal;
+      wal.RestoreDurable(damaged);
+      auto records = wal.RecoverScan();
+      if (!records.ok()) {
+        EXPECT_TRUE(records.status().IsCorruption())
+            << "offset " << i << " bit " << bit << ": "
+            << records.status().ToString();
+        continue;
+      }
+      // The only acceptable non-error outcome is a shorter log: a flip in
+      // a length field can make the final frame look incomplete (a torn
+      // tail). It must never produce MORE records or different payloads
+      // for the frames it does return... except the flipped byte itself
+      // belongs to exactly one frame, whose CRC guards it — so any frame
+      // that scans out must equal the original.
+      ASSERT_LE(records->size(), expected->size())
+          << "offset " << i << " bit " << bit;
+      for (size_t r = 0; r < records->size(); ++r) {
+        EXPECT_EQ((*records)[r].payload, (*expected)[r].payload)
+            << "offset " << i << " bit " << bit << " record " << r;
+        EXPECT_EQ((*records)[r].txn, (*expected)[r].txn);
+      }
+    }
+  }
+}
+
+TEST(WalTest, CompleteFrameWithBadCrcIsCorruptionNotTruncation) {
+  std::string log = SampleLog();
+  // Flip a byte of the FIRST frame's payload region: the frame is still
+  // complete (length intact), so the scan must fail loudly rather than
+  // truncate three good frames after it.
+  std::string damaged = log;
+  damaged[Wal::kFrameHeaderSize / 2] ^= 0x40;  // inside frame 0's header
+  Wal wal;
+  wal.RestoreDurable(damaged);
+  auto records = wal.RecoverScan();
+  // Either typed Corruption (CRC/type/length check) or a clean truncation
+  // to zero records if the flip made the frame look torn — never OK with
+  // the original four records.
+  if (records.ok()) {
+    EXPECT_LT(records->size(), 4u);
+  } else {
+    EXPECT_TRUE(records.status().IsCorruption());
+  }
+}
+
+TEST(WalTest, GarbageInputNeverCrashesTheScan) {
+  // Adversarial inputs: random-ish bytes, huge claimed lengths, valid type
+  // bytes with nonsense after. All must yield OK-with-prefix or Corruption.
+  const std::string inputs[] = {
+      std::string(1, '\x01'),
+      std::string(12, '\xff'),
+      std::string(13, '\x00'),
+      std::string("\x02") + std::string(12, '\xff') + std::string(64, 'A'),
+      std::string(200, '\x04'),
+  };
+  for (const std::string& in : inputs) {
+    Wal wal;
+    wal.RestoreDurable(in);
+    auto records = wal.RecoverScan();
+    if (!records.ok()) {
+      EXPECT_TRUE(records.status().IsCorruption());
+    }
+  }
+}
+
+TEST(WalTest, AppendCrashFailpointHaltsDeviceAndKeepsTornPrefix) {
+  DiskManager disk(256);
+  FaultInjector faults(7);
+  ASSERT_TRUE(faults.Configure("wal.append=crash:5@2").ok());
+  Wal wal;
+  wal.SetDevice(&disk);
+  wal.SetFaultInjector(&faults);
+  ASSERT_TRUE(wal.Append(Wal::RecordType::kBegin, 1, "").ok());
+  Status st = wal.Append(Wal::RecordType::kPageImage, 1, "payload");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(disk.halted());
+  // 5 torn bytes of the in-flight tail became durable — not a complete
+  // frame, so recovery sees an empty log.
+  EXPECT_EQ(wal.stats().durable_bytes, 5u);
+  auto records = wal.RecoverScan();
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  // The halted device fails every later log operation.
+  EXPECT_FALSE(wal.Append(Wal::RecordType::kCommit, 1, "").ok());
+  EXPECT_FALSE(wal.Flush().ok());
+}
+
+TEST(WalTest, FlushCrashFailpointTearsThePendingTail) {
+  DiskManager disk(256);
+  FaultInjector faults(7);
+  ASSERT_TRUE(faults.Configure("wal.flush=crash:20@1").ok());
+  Wal wal;
+  wal.SetDevice(&disk);
+  wal.SetFaultInjector(&faults);
+  ASSERT_TRUE(wal.Append(Wal::RecordType::kBegin, 1, "").ok());
+  ASSERT_TRUE(wal.Append(Wal::RecordType::kCommit, 1, "").ok());
+  EXPECT_FALSE(wal.Flush().ok());
+  EXPECT_TRUE(disk.halted());
+  EXPECT_EQ(wal.stats().durable_bytes, 20u);
+  // 20 bytes cover frame 0 (17 bytes) and tear frame 1: the scan returns
+  // exactly the Begin record.
+  auto records = wal.RecoverScan();
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].type, Wal::RecordType::kBegin);
+}
+
+TEST(WalTest, ScanIsDeterministic) {
+  // Identical durable bytes scan to identical records every time — the
+  // replay side of the byte-identical recovery guarantee.
+  std::string log = SampleLog();
+  Wal a, b;
+  a.RestoreDurable(log);
+  b.RestoreDurable(log);
+  auto ra = a.RecoverScan();
+  auto rb = b.RecoverScan();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->size(), rb->size());
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ((*ra)[i].type, (*rb)[i].type);
+    EXPECT_EQ((*ra)[i].txn, (*rb)[i].txn);
+    EXPECT_EQ((*ra)[i].payload, (*rb)[i].payload);
+  }
+  EXPECT_EQ(SampleLog(), log) << "log construction must be deterministic";
+}
+
+TEST(WalTest, RecordTypeNamesAreStable) {
+  EXPECT_STREQ(WalRecordTypeName(Wal::RecordType::kBegin), "begin");
+  EXPECT_STREQ(WalRecordTypeName(Wal::RecordType::kPageImage), "page-image");
+  EXPECT_STREQ(WalRecordTypeName(Wal::RecordType::kPageFree), "page-free");
+  EXPECT_STREQ(WalRecordTypeName(Wal::RecordType::kCommit), "commit");
+}
+
+}  // namespace
+}  // namespace ccam

@@ -1,20 +1,27 @@
 // crashsim — crash-consistency sweep driver.
 //
 // Runs the deterministic crash harness (src/core/crash_harness.h): a seeded
-// CCAM maintenance workload is killed at scheduled page-write boundaries,
-// the surviving platter state is reopened and verified. Prints a per-point
-// outcome table and exits nonzero if any crash point neither recovers nor
-// is detected with a clean typed Status.
+// CCAM maintenance workload is killed at scheduled kill points, the
+// surviving platter state is reopened and verified. Prints a per-point
+// outcome table, optionally writes a machine-readable JSON report, and
+// exits nonzero on any classification failure:
+//   - default (detect-only): a kill point must recover or be detected with
+//     a clean typed Status; a scheduled kill that never fires also fails.
+//   - --strict: runs with write-ahead logging on; every kill point must
+//     recover to exactly the acknowledged operations (plus at most the
+//     in-flight one, atomically), with deterministic replay.
 //
 // Usage:
 //   crashsim [--seed=N] [--page-size=N] [--ops=N] [--points=N]
 //            [--torn-bytes=N] [--policy=first|second|higher]
-//            [--image=PATH] [--verbose]
+//            [--failpoint=disk.write|wal.append|wal.flush]
+//            [--strict] [--json=PATH] [--image=PATH] [--verbose]
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "src/core/crash_harness.h"
@@ -29,12 +36,83 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 }
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--seed=N] [--page-size=N] [--ops=N] [--points=N]\n"
-               "          [--torn-bytes=N] [--policy=first|second|higher]\n"
-               "          [--image=PATH] [--verbose]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed=N] [--page-size=N] [--ops=N] [--points=N]\n"
+      "          [--torn-bytes=N] [--policy=first|second|higher]\n"
+      "          [--failpoint=disk.write|wal.append|wal.flush]\n"
+      "          [--strict] [--json=PATH] [--image=PATH] [--verbose]\n",
+      argv0);
   return 2;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool WriteJsonReport(const std::string& path,
+                     const ccam::CrashSimOptions& opt,
+                     const ccam::CrashSimReport& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n"
+      << "  \"seed\": " << opt.seed << ",\n"
+      << "  \"page_size\": " << opt.page_size << ",\n"
+      << "  \"policy\": \"" << ccam::ReorgPolicyName(opt.policy) << "\",\n"
+      << "  \"torn_bytes\": " << opt.torn_bytes << ",\n"
+      << "  \"durability\": " << (opt.durability ? "true" : "false") << ",\n"
+      << "  \"failpoint\": \"" << JsonEscape(opt.crash_failpoint) << "\",\n"
+      << "  \"total_kill_points\": " << report.total_writes << ",\n"
+      << "  \"swept\": " << report.points.size() << ",\n"
+      << "  \"counts\": {\n"
+      << "    \"no_crash\": " << report.no_crash << ",\n"
+      << "    \"recovered\": " << report.recovered << ",\n"
+      << "    \"corruption_detected\": " << report.corruption_detected
+      << ",\n"
+      << "    \"durable\": " << report.durable << ",\n"
+      << "    \"lost_ack\": " << report.lost_ack << ",\n"
+      << "    \"recovery_failed\": " << report.recovery_failed << "\n"
+      << "  },\n"
+      << "  \"failures\": " << report.failures() << ",\n"
+      << "  \"points\": [\n";
+  for (size_t i = 0; i < report.points.size(); ++i) {
+    const ccam::CrashPointReport& p = report.points[i];
+    out << "    {\"point\": " << p.crash_point << ", \"outcome\": \""
+        << ccam::CrashOutcomeName(p.result.outcome)
+        << "\", \"writes_before_crash\": " << p.result.writes_before_crash
+        << ", \"recovered_nodes\": " << p.result.recovered_nodes
+        << ", \"recovered_image_crc\": " << p.result.recovered_image_crc
+        << ", \"detail\": \"" << JsonEscape(p.result.detail) << "\"}"
+        << (i + 1 < report.points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -44,6 +122,7 @@ int main(int argc, char** argv) {
   opt.image_path = "/tmp/ccam_crashsim.img";
   uint64_t points = 64;
   bool verbose = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     std::string v;
     if (ParseFlag(argv[i], "seed", &v)) {
@@ -58,6 +137,13 @@ int main(int argc, char** argv) {
       opt.torn_bytes = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "image", &v)) {
       opt.image_path = v;
+    } else if (ParseFlag(argv[i], "json", &v)) {
+      json_path = v;
+    } else if (ParseFlag(argv[i], "failpoint", &v)) {
+      if (v != "disk.write" && v != "wal.append" && v != "wal.flush") {
+        return Usage(argv[0]);
+      }
+      opt.crash_failpoint = v;
     } else if (ParseFlag(argv[i], "policy", &v)) {
       if (v == "first") {
         opt.policy = ccam::ReorgPolicy::kFirstOrder;
@@ -68,11 +154,20 @@ int main(int argc, char** argv) {
       } else {
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      opt.durability = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else {
       return Usage(argv[0]);
     }
+  }
+  if (opt.crash_failpoint != "disk.write" && !opt.durability) {
+    std::fprintf(stderr,
+                 "crashsim: --failpoint=%s requires --strict (the WAL only "
+                 "exists in durable mode)\n",
+                 opt.crash_failpoint.c_str());
+    return 2;
   }
 
   auto report = ccam::RunCrashSim(opt, points);
@@ -82,17 +177,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "crashsim: seed=%llu page-size=%zu policy=%s torn-bytes=%d — "
-      "%llu write boundaries, %zu crash points\n",
+      "crashsim: seed=%llu page-size=%zu policy=%s torn-bytes=%d "
+      "failpoint=%s mode=%s — %llu kill points, %zu swept\n",
       static_cast<unsigned long long>(opt.seed), opt.page_size,
       ccam::ReorgPolicyName(opt.policy), opt.torn_bytes,
+      opt.crash_failpoint.c_str(), opt.durability ? "strict" : "detect-only",
       static_cast<unsigned long long>(report->total_writes),
       report->points.size());
-  bool bad = false;
   for (const ccam::CrashPointReport& p : report->points) {
-    bool unexpected = p.result.outcome == ccam::CrashOutcome::kNoCrash;
-    bad = bad || unexpected;
-    if (verbose || unexpected) {
+    bool failed = p.result.outcome == ccam::CrashOutcome::kNoCrash ||
+                  p.result.outcome == ccam::CrashOutcome::kLostAck ||
+                  p.result.outcome == ccam::CrashOutcome::kRecoveryFailed;
+    if (verbose || failed) {
       std::printf("  point %5llu: %-19s %s\n",
                   static_cast<unsigned long long>(p.crash_point),
                   ccam::CrashOutcomeName(p.result.outcome),
@@ -100,14 +196,26 @@ int main(int argc, char** argv) {
     }
   }
   std::printf(
-      "crashsim: %zu recovered, %zu corruption-detected, %zu no-crash\n",
-      report->recovered, report->corruption_detected, report->no_crash);
-  if (bad) {
-    std::fprintf(stderr,
-                 "crashsim: FAIL — scheduled crash point(s) never fired\n");
+      "crashsim: %zu durable, %zu recovered, %zu corruption-detected, "
+      "%zu lost-ack, %zu recovery-failed, %zu no-crash\n",
+      report->durable, report->recovered, report->corruption_detected,
+      report->lost_ack, report->recovery_failed, report->no_crash);
+  if (!json_path.empty() && !WriteJsonReport(json_path, opt, *report)) {
+    std::fprintf(stderr, "crashsim: cannot write JSON report to %s\n",
+                 json_path.c_str());
     return 1;
   }
-  std::printf("crashsim: OK — every crash point recovered or was detected "
-              "with a typed status\n");
+  if (report->failures() > 0) {
+    std::fprintf(stderr, "crashsim: FAIL — %zu kill point(s) violated the "
+                 "%s criterion\n",
+                 report->failures(),
+                 opt.durability ? "strict durability" : "detection");
+    return 1;
+  }
+  std::printf(opt.durability
+                  ? "crashsim: OK — every kill point recovered exactly the "
+                    "acknowledged operations\n"
+                  : "crashsim: OK — every crash point recovered or was "
+                    "detected with a typed status\n");
   return 0;
 }
