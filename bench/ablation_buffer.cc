@@ -27,6 +27,7 @@ int Run() {
   const std::vector<size_t> pool_sizes = {1, 2, 4, 8, 16, 32, 64};
   std::vector<std::string> headers{"Method"};
   for (size_t p : pool_sizes) headers.push_back("B=" + std::to_string(p));
+  BenchJsonWriter json("ablation_buffer");
   TablePrinter table(std::move(headers));
 
   for (Method m : {Method::kCcamS, Method::kDfs, Method::kGrid,
@@ -49,6 +50,7 @@ int Run() {
     table.AddRow(std::move(row));
   }
   table.Print();
+  json.AddTable("pool_size", table);
   std::printf(
       "\nExpected shape: monotone decrease with pool size for every "
       "method; CCAM-S lowest at small pools where clustering matters "
@@ -80,6 +82,7 @@ int Run() {
                          Fmt(hits / (hits + misses), 3)});
   }
   policy_table.Print();
+  json.AddTable("replacement_policy", policy_table);
   std::printf(
       "\nExpected shape: LRU ~= CLOCK (its approximation) with FIFO "
       "slightly behind — route locality re-references recent pages.\n");
@@ -121,6 +124,7 @@ int Run() {
     evict_table.AddRow(std::move(row));
   }
   evict_table.Print();
+  json.AddTable("eviction_cost", evict_table);
   std::printf("\nExpected shape: flat in capacity (O(1) victim "
               "selection).\n");
   return 0;

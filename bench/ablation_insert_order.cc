@@ -21,6 +21,7 @@ int Run() {
   std::printf("Ablation: CCAM-D Add-node() stream order x create policy "
               "(block = 1 KiB). Cells: resulting CRR\n\n");
 
+  BenchJsonWriter json("ablation_insert_order");
   TablePrinter table({"Stream order", "first-order", "second-order",
                       "higher-order"});
   for (CcamInsertOrder order :
@@ -45,6 +46,7 @@ int Run() {
     table.AddRow(std::move(row));
   }
   table.Print();
+  json.AddTable("insert_order", table);
   std::printf(
       "\nExpected shape: Z-order and BFS streams within a few points of "
       "each other and of CCAM-S; the random stream clearly behind under "

@@ -33,6 +33,7 @@ int Run() {
   std::printf("Ablation: partitioning heuristic behind "
               "cluster-nodes-into-pages (block = 1 KiB)\n\n");
 
+  BenchJsonWriter json("ablation_partitioner");
   TablePrinter table({"Partitioner", "CRR", "+refined CRR", "pages",
                       "cluster ms", "refine ms"});
   for (PartitionAlgorithm algo :
@@ -68,6 +69,7 @@ int Run() {
                   Fmt(ms(t0, t1), 1), Fmt(ms(t2, t3), 1)});
   }
   table.Print();
+  json.AddTable("partitioners", table);
   std::printf(
       "\nExpected shape: ratio-cut and FM well above random; pairwise "
       "refinement never hurts and mostly helps; random clustering is the "
@@ -122,6 +124,7 @@ int Run() {
   std::printf("\nCluster + refine wall-clock vs thread count "
               "(CCAM_BENCH_THREADS to override)\n\n");
   threads_table.Print();
+  json.AddTable("thread_sweep", threads_table);
   std::printf(
       "\nSpeedup requires real cores; on a single-CPU host the sweep "
       "demonstrates the determinism contract only.\n");

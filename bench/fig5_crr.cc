@@ -22,6 +22,7 @@ int Run() {
               net.NumNodes(), net.NumEdges());
 
   const std::vector<size_t> block_sizes = {512, 1024, 2048, 4096};
+  BenchJsonWriter json("fig5_crr");
   TablePrinter table({"Method", "512", "1024", "2048", "4096"});
   for (Method m : AllMethods()) {
     std::vector<std::string> row{MethodName(m)};
@@ -42,6 +43,7 @@ int Run() {
     table.AddRow(std::move(row));
   }
   table.Print();
+  json.AddTable("crr_vs_block_size", table);
   std::printf(
       "\nPaper reference points (Minneapolis map): CCAM-S ~0.76 at 1 KiB; "
       "BFS-AM ~0.10 at 1 KiB; Grid File overtakes DFS-AM at 4 KiB.\n");

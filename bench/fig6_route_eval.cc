@@ -40,6 +40,7 @@ int Run() {
               "2048, one-page buffer, weights from %zu routes)\n\n",
               all_routes.size());
 
+  BenchJsonWriter json("fig6_route_eval");
   TablePrinter table({"Method", "L=10", "L=20", "L=30", "L=40", "WCRR"});
   for (Method m : AllMethods()) {
     AccessMethodOptions options;
@@ -72,6 +73,7 @@ int Run() {
     table.AddRow(std::move(row));
   }
   table.Print();
+  json.AddTable("random_walk_routes", table);
   std::printf(
       "\nExpected shape (paper Fig. 6): accesses grow with route length; "
       "CCAM-S and CCAM-D below every other method at all lengths.\n");
@@ -121,6 +123,7 @@ int Run() {
     sp_table.AddRow(std::move(row));
   }
   sp_table.Print();
+  json.AddTable("shortest_path_routes", sp_table);
 
   // --- Does clustering by the access weights (WCRR) actually pay off
   // over uniform-weight (CRR) clustering, on the workload the weights
@@ -150,6 +153,7 @@ int Run() {
                        Fmt(ComputeWcrr(net, am.PageMap()), 4)});
   }
   knob_table.Print();
+  json.AddTable("clustering_knob", knob_table);
   std::printf(
       "\nExpected shape: weighted clustering trades a little CRR for "
       "higher WCRR and lower I/O on the workload it was tuned for.\n");

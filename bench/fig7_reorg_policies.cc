@@ -91,6 +91,7 @@ int Run() {
     }
   }
 
+  BenchJsonWriter json("fig7_reorg_policies");
   std::printf("Panel (a): cumulative average Insert() data-page accesses\n");
   TablePrinter io_table({"#inserts", "first-order", "second-order",
                          "higher-order", "lazy(10)"});
@@ -101,6 +102,7 @@ int Run() {
                      Fmt(tracks[3].avg_io[c], 2)});
   }
   io_table.Print();
+  json.AddTable("insert_io", io_table);
 
   std::printf("\nPanel (b): CRR after N insertions\n");
   TablePrinter crr_table({"#inserts", "first-order", "second-order",
@@ -111,6 +113,7 @@ int Run() {
                       Fmt(tracks[2].crr[c], 4), Fmt(tracks[3].crr[c], 4)});
   }
   crr_table.Print();
+  json.AddTable("crr_after_inserts", crr_table);
 
   std::printf(
       "\nExpected shape (paper Fig. 7): higher-order I/O much higher than "

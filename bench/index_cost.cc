@@ -21,6 +21,7 @@ int Run() {
   std::printf("Index access cost: mean index / data page accesses per "
               "Find() over 2000 random lookups (block = 1 KiB)\n\n");
 
+  BenchJsonWriter json("index_cost");
   TablePrinter table({"index pool pages", "tree height",
                       "index IO / find", "data IO / find"});
   for (size_t pool : {4u, 8u, 16u, 32u, 128u}) {
@@ -52,6 +53,7 @@ int Run() {
                   Fmt(index_io, 3), Fmt(data_io, 3)});
   }
   table.Print();
+  json.AddTable("index_cost", table);
   std::printf(
       "\nExpected shape: index I/O falls to ~0 once the pool holds the "
       "tree (the paper's 'index pages are buffered' assumption); data I/O "

@@ -131,4 +131,29 @@ BENCHMARK(BM_StaticCreate)->Arg(512)->Arg(1024)->Arg(4096)->Unit(
 }  // namespace bench
 }  // namespace ccam
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to the repository
+// root's BENCH_micro_ops.json (google-benchmark's own JSON schema) so this
+// target emits a machine-readable artifact alongside the TablePrinter
+// benches. Explicit --benchmark_out flags win.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=" + ccam::bench::BenchJsonDir() +
+                         "/BENCH_micro_ops.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

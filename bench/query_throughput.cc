@@ -159,24 +159,21 @@ int Run() {
     return am;
   };
 
-  FILE* json = std::fopen("BENCH_query_throughput.json", "w");
-  if (json != nullptr) std::fprintf(json, "[\n");
-  bool first_record = true;
+  BenchJsonWriter json("query_throughput");
   auto emit = [&](const char* workload, size_t pool_pages,
                   const SweepPoint& p, int queries) {
-    if (json == nullptr) return;
-    std::fprintf(json,
-                 "%s  {\"workload\": \"%s\", \"pool_pages\": %zu, "
-                 "\"shards\": %zu, \"threads\": %d, "
-                 "\"disk_read_latency_us\": %u, \"queries\": %d, "
-                 "\"qps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
-                 "\"page_accesses\": %llu, \"conserved\": %s}",
-                 first_record ? "" : ",\n", workload, pool_pages,
-                 ShardsFor(pool_pages), p.threads, latency_us, queries,
-                 p.qps, p.p50_us, p.p99_us,
-                 static_cast<unsigned long long>(p.page_accesses),
-                 p.conserved ? "true" : "false");
-    first_record = false;
+    json.AddRecord(
+        workload,
+        {{"pool_pages", std::to_string(pool_pages)},
+         {"shards", std::to_string(ShardsFor(pool_pages))},
+         {"threads", std::to_string(p.threads)},
+         {"disk_read_latency_us", std::to_string(latency_us)},
+         {"queries", std::to_string(queries)},
+         {"qps", Fmt(p.qps, 1)},
+         {"p50_us", Fmt(p.p50_us, 1)},
+         {"p99_us", Fmt(p.p99_us, 1)},
+         {"page_accesses", std::to_string(p.page_accesses)},
+         {"conserved", p.conserved ? "true" : "false"}});
   };
 
   // --- Route evaluation vs threads and pool size -------------------------
@@ -257,12 +254,6 @@ int Run() {
   std::printf("A* shortest path (%d OD pairs, 64-page pool):\n",
               kAStarQueries);
   astar.Print();
-
-  if (json != nullptr) {
-    std::fprintf(json, "\n]\n");
-    std::fclose(json);
-    std::printf("\nwrote BENCH_query_throughput.json\n");
-  }
   std::remove(kImagePath);
   if (!all_conserved) {
     std::fprintf(stderr,

@@ -10,8 +10,8 @@
 // (task-parallel recursive bisection). The clustering is bit-identical at
 // every thread count, so the sweep varies only wall-clock; the table
 // asserts that by printing a single CRR column and a "same pages" flag.
-// Every (nodes, threads) cell is also appended to BENCH_scale.json in the
-// working directory as one machine-readable record per line element.
+// Every (nodes, threads) cell is also appended to BENCH_scale.json at the
+// repository root as one machine-readable record (bench_util JSON schema).
 
 #include <chrono>
 #include <cstdio>
@@ -45,19 +45,17 @@ int Run() {
     return headers;
   }());
 
-  FILE* json = std::fopen("BENCH_scale.json", "w");
-  if (json != nullptr) std::fprintf(json, "[\n");
-  bool first_record = true;
+  BenchJsonWriter json("scale");
   auto emit = [&](const Network& net, const char* algorithm, int threads,
                   double create_ms, double crr, size_t pages) {
-    if (json == nullptr) return;
-    std::fprintf(json,
-                 "%s  {\"nodes\": %zu, \"edges\": %zu, \"algorithm\": "
-                 "\"%s\", \"threads\": %d, \"create_ms\": %.3f, "
-                 "\"crr\": %.6f, \"pages\": %zu}",
-                 first_record ? "" : ",\n", net.NumNodes(), net.NumEdges(),
-                 algorithm, threads, create_ms, crr, pages);
-    first_record = false;
+    json.AddRecord("thread_sweep",
+                   {{"nodes", std::to_string(net.NumNodes())},
+                    {"edges", std::to_string(net.NumEdges())},
+                    {"algorithm", algorithm},
+                    {"threads", std::to_string(threads)},
+                    {"create_ms", Fmt(create_ms, 3)},
+                    {"crr", Fmt(crr, 6)},
+                    {"pages", std::to_string(pages)}});
   };
 
   for (int side : {16, 23, 32, 45, 64, 91}) {
@@ -129,6 +127,7 @@ int Run() {
     threads_table.AddRow(std::move(row));
   }
   table.Print();
+  json.AddTable("crr_vs_size", table);
   std::printf(
       "\nExpected shape: CCAM-S CRR roughly flat across sizes (clustering "
       "quality is local); CCAM-D close behind at a fraction of no cost "
@@ -137,17 +136,12 @@ int Run() {
   std::printf("\nCCAM-S create wall-clock vs clustering threads "
               "(CCAM_BENCH_THREADS to override the sweep)\n\n");
   threads_table.Print();
+  json.AddTable("create_wallclock", threads_table);
   std::printf(
       "\n\"same pages\" = every thread count produced the identical "
       "node-to-page assignment (the parallel clusterer's determinism "
       "contract). Speedups need real cores; on a single-CPU host the "
       "sweep only demonstrates the determinism.\n");
-
-  if (json != nullptr) {
-    std::fprintf(json, "\n]\n");
-    std::fclose(json);
-    std::printf("\nWrote BENCH_scale.json\n");
-  }
   return 0;
 }
 

@@ -34,6 +34,7 @@ int Run() {
   }
   headers.push_back("kNN k=8");
   headers.push_back("scan/rslt");
+  BenchJsonWriter json("spatial_queries");
   TablePrinter table(std::move(headers));
 
   for (Method m : {Method::kCcamS, Method::kDfs, Method::kGrid,
@@ -82,6 +83,7 @@ int Run() {
     table.AddRow(std::move(row));
   }
   table.Print();
+  json.AddTable("spatial_io", table);
   std::printf(
       "\nExpected shape: Grid File (proximity clustering) lowest on window "
       "queries; CCAM close behind (connectivity correlates with proximity "

@@ -135,6 +135,7 @@ int Run() {
               net.NumNodes(), net.NumEdges(), net.AvgOutDegree(),
               net.AvgNeighborListSize());
 
+  BenchJsonWriter json("table5_network_ops");
   TablePrinter table({"Method", "GetSuccs act", "GetSuccs pred",
                       "GetASucc act", "GetASucc pred", "Delete act",
                       "Delete pred", "Insert act", "CRR", "gamma"});
@@ -157,6 +158,7 @@ int Run() {
                   Fmt(costs.ins), Fmt(costs.crr, 4), Fmt(p.gamma, 2)});
   }
   table.Print();
+  json.AddTable("network_ops", table);
   std::printf(
       "\nPaper reference (CCAM row): GetSuccs 0.627/0.680, GetASucc "
       "0.209/0.239, Delete 3.364/3.532, Insert 4.710, CRR 0.7606.\n"

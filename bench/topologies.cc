@@ -32,6 +32,7 @@ int Run() {
 
   std::printf("Topology sweep: CRR (1 KiB pages; scale-free uses 4 KiB for "
               "its hub records)\n\n");
+  BenchJsonWriter json("topologies");
   TablePrinter table({"Topology", "nodes", "edges", "avg deg", "CCAM-S",
                       "CCAM-D", "DFS-AM", "Grid File", "BFS-AM", "bound"});
   for (Topology& t : topologies) {
@@ -54,6 +55,7 @@ int Run() {
     table.AddRow(std::move(row));
   }
   table.Print();
+  json.AddTable("topology_crr", table);
 
   std::printf("\nMin-fill ablation (road grid): MinPgSize fraction vs CRR "
               "and page count\n\n");
@@ -81,6 +83,7 @@ int Run() {
                            3)});
   }
   fill_table.Print();
+  json.AddTable("min_fill", fill_table);
   std::printf(
       "\nExpected shape: CCAM-S best on every topology; the scale-free "
       "hubs depress everyone's CRR; relaxing min fill trades pages for "

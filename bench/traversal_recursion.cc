@@ -27,6 +27,7 @@ int Run() {
 
   std::printf("Traversal recursion: data-page accesses (block = 1 KiB, 25 "
               "random sources)\n\n");
+  BenchJsonWriter json("traversal_recursion");
   TablePrinter table({"Method", "reach d=4", "reach d=8", "reach d=16",
                       "components", "CRR"});
   for (Method m : AllMethods()) {
@@ -52,6 +53,7 @@ int Run() {
     table.AddRow(std::move(row));
   }
   table.Print();
+  json.AddTable("traversal_io", table);
   std::printf("\nExpected shape: ordering by CRR, CCAM-S lowest at every "
               "depth; component discovery touches the whole file, so the "
               "gap narrows but persists.\n");

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer configuration and runs every concurrency
 # test suite under it: the thread pool, the deterministic parallel
-# clustering, and the sharded buffer pool / query-session hammer.
+# clustering, the sharded buffer pool / query-session hammer, and the
+# metrics-registry increment-conservation hammer.
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
 
 BUILD="${1:-build-tsan}"
-TESTS='thread_pool_test|cluster_determinism_test|buffer_pool_concurrency_test'
+TESTS='thread_pool_test|cluster_determinism_test|buffer_pool_concurrency_test|metrics_test'
 
 # No explicit generator: reuse whatever an existing cache was made with.
 cmake -B "$BUILD" -S . -DCCAM_TSAN=ON
 cmake --build "$BUILD" --target \
-  thread_pool_test cluster_determinism_test buffer_pool_concurrency_test
+  thread_pool_test cluster_determinism_test buffer_pool_concurrency_test \
+  metrics_test
 ctest --test-dir "$BUILD" -R "$TESTS" --output-on-failure
 
 echo "TSan: all concurrency tests passed with zero reported races."

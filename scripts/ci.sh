@@ -4,10 +4,15 @@
 # but later stages still run so one CI invocation reports everything.
 #
 #   1. tier-1    — default `ctest` suite (fast correctness tests)
-#   2. faults    — scripts/check_faults.sh: fault-injection + crash
+#   2. metrics   — tools/stats: end-to-end observability smoke (durable
+#                  workload with the registry attached; every instrumented
+#                  family must collect nonzero data)
+#   3. perf      — scripts/check_perf.sh --smoke: bench JSON artifacts
+#                  round-trip through the regression gate
+#   4. faults    — scripts/check_faults.sh: fault-injection + crash
 #                  consistency sweeps, differential oracle, strict durable
 #                  crashsim with JSON gating
-#   3. tsan      — scripts/check_tsan.sh: concurrency suites under
+#   5. tsan      — scripts/check_tsan.sh: concurrency suites under
 #                  ThreadSanitizer (separate build directory)
 #
 # Usage: scripts/ci.sh [build-dir] [tsan-build-dir]
@@ -40,7 +45,14 @@ tier1() {
   ctest --test-dir "$BUILD" --output-on-failure
 }
 
+metrics() {
+  cmake --build "$BUILD" --target stats -j "$(nproc)" &&
+  "$BUILD/tools/stats" > /dev/null
+}
+
 run_stage "tier-1 (ctest)" tier1
+run_stage "metrics (tools/stats)" metrics
+run_stage "perf (check_perf.sh --smoke)" scripts/check_perf.sh --smoke "$BUILD"
 run_stage "faults (check_faults.sh)" scripts/check_faults.sh "$BUILD"
 run_stage "tsan (check_tsan.sh)" scripts/check_tsan.sh "$TSAN_BUILD"
 

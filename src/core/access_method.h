@@ -14,6 +14,8 @@
 
 namespace ccam {
 
+class MetricsRegistry;
+
 /// Reorganization policies for maintenance operations (paper Table 1).
 /// The policy order is the order of overhead incurred during an update:
 /// higher order policies reorganize more pages and can achieve higher CRR.
@@ -127,6 +129,12 @@ class AccessMethod {
 
   /// Number of live data pages.
   virtual size_t NumDataPages() const = 0;
+
+  /// The metrics registry observing this access method, or nullptr when
+  /// observability is detached (the default). Query operators open their
+  /// "query.<op>" spans against this — a null registry makes every span
+  /// inert, preserving the paper's accounting bit for bit.
+  virtual MetricsRegistry* metrics() const { return nullptr; }
 };
 
 }  // namespace ccam

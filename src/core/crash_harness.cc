@@ -10,6 +10,7 @@
 
 #include "src/common/coding.h"
 #include "src/common/fault_injector.h"
+#include "src/common/metrics.h"
 #include "src/common/random.h"
 #include "src/graph/generator.h"
 
@@ -52,10 +53,19 @@ struct WorkloadTrace {
 /// is a harness-level error.
 Status RunWorkload(Ccam* file, const CrashSimOptions& opt,
                    WorkloadTrace* trace) {
+  // Flight recorder: when the harness attached a registry with an enabled
+  // ring, each workload step leaves an event, so a failing kill point can
+  // be reconstructed from its dump.
+  TraceRing* ring =
+      file->metrics() != nullptr ? file->metrics()->trace() : nullptr;
   Network net = GenerateRandomGeometricNetwork(opt.initial_nodes,
                                                /*radius=*/220.0,
                                                /*extent=*/1000.0, opt.seed);
   Status st = file->Create(net);
+  if (ring != nullptr && ring->enabled()) {
+    ring->Record(st.ok() ? "workload.create" : "workload.create_failed", 0,
+                 net.NodeIds().size());
+  }
   if (!st.ok()) {
     if (!file->disk()->halted()) return st;
     if (trace != nullptr) {
@@ -121,10 +131,17 @@ Status RunWorkload(Ccam* file, const CrashSimOptions& opt,
       op = file->DeleteEdge(u, v, opt.policy);
       mirror = [u, v](Network* n) { return n->RemoveEdge(u, v); };
     }
+    if (ring != nullptr && ring->enabled()) {
+      ring->Record(op.ok() ? "workload.op" : "workload.op_failed", 0,
+                   static_cast<uint64_t>(i));
+    }
     if (op.ok()) {
       CCAM_RETURN_NOT_OK(mirror(&net));
     } else {
       if (file->disk()->halted()) {
+        if (ring != nullptr && ring->enabled()) {
+          ring->Record("workload.halted", 0, static_cast<uint64_t>(i));
+        }
         if (trace != nullptr) {
           trace->halted = true;
           trace->inflight = net;
@@ -238,8 +255,24 @@ Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
       std::to_string(crash_point)));
   Ccam file(MakeOptions(options));
   file.SetFaultInjector(&faults);
+  // Flight recorder for this kill point: the ring is dumped to stderr only
+  // when the run ends in a criterion violation. Attaching the registry does
+  // not perturb the workload — instrumentation never touches the simulated
+  // I/O accounting or the RNG stream.
+  MetricsRegistry metrics;
+  metrics.trace()->Enable(512);
+  file.SetMetrics(&metrics);
   WorkloadTrace trace;
   CCAM_RETURN_NOT_OK(RunWorkload(&file, options, &trace));
+  auto dump_flight_recorder = [&](const CrashRunResult& failed) {
+    std::fprintf(stderr,
+                 "crash harness: %s at kill point %llu (%s)\n"
+                 "flight recorder (oldest first):\n",
+                 CrashOutcomeName(failed.outcome),
+                 static_cast<unsigned long long>(crash_point),
+                 failed.detail.c_str());
+    metrics.trace()->Dump(stderr);
+  };
 
   CrashRunResult out;
   out.writes_before_crash = file.disk()->stats().writes;
@@ -258,6 +291,8 @@ Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
   Status st = reopened.OpenImage(options.image_path);
   if (st.ok()) st = reopened.CheckFileInvariants();
   if (st.ok()) st = reopened.CheckGraphInvariants();
+  metrics.trace()->Record(st.ok() ? "recover.reopen" : "recover.reopen_failed",
+                          0, reopened.PageMap().size());
 
   if (!options.durability) {
     if (st.ok()) {
@@ -274,6 +309,7 @@ Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
   if (!st.ok()) {
     out.outcome = CrashOutcome::kRecoveryFailed;
     out.detail = st.ToString();
+    dump_flight_recorder(out);
     return out;
   }
   out.recovered_nodes = reopened.PageMap().size();
@@ -286,6 +322,7 @@ Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
       out.outcome = CrashOutcome::kLostAck;
       out.detail = "vs acked state: " + acked.ToString() +
                    "; vs acked+in-flight: " + inflight.ToString();
+      dump_flight_recorder(out);
       return out;
     }
   }
@@ -302,6 +339,7 @@ Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
   if (!det.ok()) {
     out.outcome = CrashOutcome::kRecoveryFailed;
     out.detail = "recovery replay: " + det.ToString();
+    dump_flight_recorder(out);
     return out;
   }
   uint32_t c1, c2;
@@ -312,6 +350,7 @@ Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
   if (c1 != c2) {
     out.outcome = CrashOutcome::kRecoveryFailed;
     out.detail = "non-deterministic recovery replay";
+    dump_flight_recorder(out);
     return out;
   }
   out.recovered_image_crc = c1;

@@ -119,6 +119,23 @@ class NetworkFile : public AccessMethod {
   /// The write-ahead log, when durability is on (for tests / inspection).
   Wal* wal() { return wal_.get(); }
 
+  /// Attaches (or detaches) a metrics registry to every simulated device
+  /// of this file: the data disk ("disk.*" counters and latency
+  /// histograms), the data buffer pool ("buffer_pool.*"), the index disk
+  /// when maintained ("index.*" — the index pool stays unobserved so its
+  /// traffic never mixes into the buffer_pool.* series), and the
+  /// write-ahead log when durability is on ("wal.*"). Query sessions
+  /// opened from this file inherit the registry for their "query.*"
+  /// spans. Attach while the file is quiescent.
+  void SetMetrics(MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    disk_.SetMetrics(metrics);
+    pool_.SetMetrics(metrics);
+    if (index_disk_) index_disk_->SetMetrics(metrics);
+    if (wal_) wal_->SetMetrics(metrics);
+  }
+  MetricsRegistry* metrics() const override { return metrics_; }
+
   /// Complete reorganization: reclusters the entire data file (Table 1's
   /// "all pages in data file" option — the expensive global pass the
   /// incremental policies exist to avoid). Restores near-create CRR after
@@ -339,6 +356,9 @@ class NetworkFile : public AccessMethod {
 
   bool last_op_structural_ = false;
   uint64_t reorg_seed_ = 0;
+
+  /// Attached registry (null = observability off); see SetMetrics.
+  MetricsRegistry* metrics_ = nullptr;
 
   // Lazy reorganization state.
   int lazy_threshold_ = 0;  // 0 = disabled

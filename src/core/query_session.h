@@ -66,6 +66,10 @@ class QuerySession : public AccessMethod {
 
   NetworkFile* file() const { return file_; }
 
+  /// Sessions inherit the file's registry, so "query.*" spans from every
+  /// concurrent stream land in the same catalog.
+  MetricsRegistry* metrics() const override { return file_->metrics(); }
+
  private:
   NetworkFile* file_;
   IoStats io_;  // per-session: the session is single-threaded by contract

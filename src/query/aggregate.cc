@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/common/metrics.h"
 #include "src/query/search.h"
 
 namespace ccam {
@@ -12,6 +13,7 @@ namespace ccam {
 Result<RouteUnitAggregate> AggregateRouteUnit(AccessMethod* am,
                                               const RouteUnit& unit) {
   RouteUnitAggregate agg;
+  QuerySpan span(am->metrics(), "query.aggregate");
   IoStats before = am->DataIoStats();
 
   // Retrieve each distinct member node once; edge costs come from the
@@ -59,6 +61,7 @@ Result<TourEvalResult> EvaluateTour(AccessMethod* am, const Route& tour) {
   if (closed.nodes.front() != closed.nodes.back()) {
     closed.nodes.push_back(closed.nodes.front());
   }
+  QuerySpan span(am->metrics(), "query.aggregate");
   IoStats before = am->DataIoStats();
   NodeRecord current;
   CCAM_ASSIGN_OR_RETURN(current, am->Find(closed.nodes[0]));

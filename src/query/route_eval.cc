@@ -1,10 +1,13 @@
 #include "src/query/route_eval.h"
 
+#include "src/common/metrics.h"
+
 namespace ccam {
 
 Result<RouteEvalResult> EvaluateRoute(AccessMethod* am, const Route& route) {
   RouteEvalResult result;
   if (route.nodes.empty()) return result;
+  QuerySpan span(am->metrics(), "query.route_eval");
 
   IoStats before = am->DataIoStats();
   NodeRecord current;

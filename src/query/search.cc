@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/common/metrics.h"
+
 namespace ccam {
 
 namespace {
@@ -41,6 +43,7 @@ std::vector<NodeId> ReconstructPath(
 Result<SearchResult> BestFirst(AccessMethod* am, NodeId src, NodeId dst,
                                double heuristic_weight) {
   SearchResult result;
+  QuerySpan span(am->metrics(), "query.search");
   IoStats before = am->DataIoStats();
 
   NodeRecord dst_rec;
@@ -111,6 +114,7 @@ Result<SearchResult> ShortestPathAStar(AccessMethod* am, NodeId src,
 Result<MultiSourceResult> MultiSourceDistances(
     AccessMethod* am, const std::vector<NodeId>& sources) {
   MultiSourceResult result;
+  QuerySpan span(am->metrics(), "query.search");
   IoStats before = am->DataIoStats();
 
   std::unordered_map<NodeId, double> best;

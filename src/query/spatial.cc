@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/metrics.h"
 #include "src/index/zorder.h"
 
 namespace ccam {
@@ -92,6 +93,7 @@ Result<SpatialQueryEngine::WindowResult> SpatialQueryEngine::WindowQuery(
     return Status::InvalidArgument("inverted query window");
   }
   WindowResult result;
+  QuerySpan span(am_->metrics(), "query.spatial");
   IoStats before = am_->DataIoStats();
 
   std::vector<NodeId> candidates;
@@ -139,6 +141,7 @@ Result<SpatialQueryEngine::WindowResult> SpatialQueryEngine::WindowQuery(
 Result<SpatialQueryEngine::NearestResult>
 SpatialQueryEngine::NearestNeighbors(double x, double y, size_t k) {
   NearestResult result;
+  QuerySpan span(am_->metrics(), "query.spatial");
   IoStats before = am_->DataIoStats();
   for (uint64_t v : rtree_.KNearest(x, y, k)) {
     NodeRecord rec;

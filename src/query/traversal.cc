@@ -4,11 +4,14 @@
 #include <deque>
 #include <unordered_set>
 
+#include "src/common/metrics.h"
+
 namespace ccam {
 
 Result<ReachabilityResult> ReachableFrom(AccessMethod* am, NodeId source,
                                          int max_depth) {
   ReachabilityResult result;
+  QuerySpan span(am->metrics(), "query.traversal");
   IoStats before = am->DataIoStats();
 
   NodeRecord src;
@@ -52,6 +55,7 @@ Result<ClosureSample> SampleTransitiveClosure(
 
 Result<ComponentsResult> WeaklyConnectedComponents(AccessMethod* am) {
   ComponentsResult result;
+  QuerySpan span(am->metrics(), "query.traversal");
   IoStats before = am->DataIoStats();
 
   // Snapshot the node set up front (PageMap is the in-memory index).

@@ -81,10 +81,12 @@ Status BufferPool::EvictFrameLocked(Shard* shard, Frame* frame) {
   assert(frame->pin_count == 0);
   if (frame->dirty) {
     CCAM_RETURN_NOT_OK(disk_->WritePage(frame->id, frame->data.get()));
+    if (m_writeback_ != nullptr) m_writeback_->Inc();
   }
   PageId id = frame->id;
   ListRemove(shard, frame);
   shard->frames.erase(id);
+  if (m_eviction_ != nullptr) m_eviction_->Inc();
   return Status::OK();
 }
 
@@ -143,13 +145,13 @@ Result<char*> BufferPool::FetchPage(PageId id, bool* was_miss) {
       return Status::IOError("concurrent read of page " + std::to_string(id) +
                              " failed");
     }
-    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    ++shard.hits;
+    if (m_hit_ != nullptr) m_hit_->Inc();
     frame.ref_bit = true;
     if (policy_ == ReplacementPolicy::kLru) ListMoveToBack(&shard, &frame);
     if (was_miss != nullptr) *was_miss = false;
     return frame.data.get();
   }
-  shard.misses.fetch_add(1, std::memory_order_relaxed);
   if (shard.frames.size() >= shard.capacity) {
     CCAM_RETURN_NOT_OK(EvictOneLocked(&shard));
   }
@@ -176,6 +178,12 @@ Result<char*> BufferPool::FetchPage(PageId id, bool* was_miss) {
     if (--frame.pin_count == 0) shard.frames.erase(id);
     return read_status;
   }
+  // The miss is counted only now — after its disk read completed and
+  // under the shard latch — so a counter sample never sees a miss whose
+  // read is still in flight (or one that subsequently failed), and
+  // hits + misses always equals the successful fetches that returned.
+  ++shard.misses;
+  if (m_miss_ != nullptr) m_miss_->Inc();
   if (was_miss != nullptr) *was_miss = true;
   return frame.data.get();
 }
@@ -239,6 +247,7 @@ Status BufferPool::FlushPage(PageId id) {
   if (it == shard.frames.end() || !it->second.dirty) return Status::OK();
   CCAM_RETURN_NOT_OK(disk_->WritePage(id, it->second.data.get()));
   it->second.dirty = false;
+  if (m_writeback_ != nullptr) m_writeback_->Inc();
   return Status::OK();
 }
 
@@ -249,6 +258,7 @@ Status BufferPool::FlushAll() {
       if (frame.dirty) {
         CCAM_RETURN_NOT_OK(disk_->WritePage(id, frame.data.get()));
         frame.dirty = false;
+        if (m_writeback_ != nullptr) m_writeback_->Inc();
       }
     }
   }
@@ -284,27 +294,33 @@ size_t BufferPool::NumBuffered() const {
   return total;
 }
 
-uint64_t BufferPool::hits() const {
-  uint64_t total = 0;
+BufferPool::Counters BufferPool::GetCounters() const {
+  Counters total;
   for (const auto& shard : shards_) {
-    total += shard->hits.load(std::memory_order_relaxed);
-  }
-  return total;
-}
-
-uint64_t BufferPool::misses() const {
-  uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    total += shard->misses.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
   }
   return total;
 }
 
 void BufferPool::ResetCounters() {
   for (const auto& shard : shards_) {
-    shard->hits.store(0, std::memory_order_relaxed);
-    shard->misses.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->hits = 0;
+    shard->misses = 0;
   }
+}
+
+void BufferPool::SetMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_hit_ = m_miss_ = m_eviction_ = m_writeback_ = nullptr;
+    return;
+  }
+  m_hit_ = metrics->GetCounter("buffer_pool.hit");
+  m_miss_ = metrics->GetCounter("buffer_pool.miss");
+  m_eviction_ = metrics->GetCounter("buffer_pool.eviction");
+  m_writeback_ = metrics->GetCounter("buffer_pool.writeback");
 }
 
 int BufferPool::PinCount(PageId id) const {

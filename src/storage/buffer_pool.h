@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/storage/disk_manager.h"
@@ -113,9 +114,33 @@ class BufferPool {
   /// Flushes and empties the pool.
   Status Reset();
 
-  uint64_t hits() const;
-  uint64_t misses() const;
+  /// Hit/miss counters, sampled as one coherent pair. Both fields are
+  /// updated together under the owning shard's latch at the moment a fetch
+  /// *completes successfully* (a hit when the frame was resident or the
+  /// caller joined a landed single-flight read; a miss when this fetch's
+  /// own disk read completed) — so at any sampling instant
+  /// `hits + misses` equals the number of successful fetches that have
+  /// returned, even while other threads are mid-fetch. Failed fetches
+  /// count as neither.
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  /// Aggregates the per-shard counters, taking each shard latch briefly so
+  /// every shard contributes an internally consistent pair. Safe to call
+  /// from any thread while fetches are in flight.
+  Counters GetCounters() const;
+
+  uint64_t hits() const { return GetCounters().hits; }
+  uint64_t misses() const { return GetCounters().misses; }
   void ResetCounters();
+
+  /// Attaches (or detaches) a metrics registry: fetch outcomes bump
+  /// "buffer_pool.hit" / "buffer_pool.miss", evictions
+  /// "buffer_pool.eviction", dirty write-backs "buffer_pool.writeback".
+  /// Like the disk's SetMetrics, attach while the pool is quiescent.
+  void SetMetrics(MetricsRegistry* metrics);
 
   int PinCount(PageId id) const;
 
@@ -136,7 +161,10 @@ class BufferPool {
 
   /// One latch-protected slice of the frame table. The intrusive list
   /// holds every frame of the shard: in recency order for kLru (head =
-  /// coldest), in load order for kFifo and kClock.
+  /// coldest), in load order for kFifo and kClock. The hit/miss counters
+  /// are guarded by `mu` (not atomics): they are only ever touched with
+  /// the latch held, which is what lets GetCounters() read each shard's
+  /// pair as a consistent unit.
   struct Shard {
     mutable std::mutex mu;
     std::condition_variable io_cv;  // wakes waiters when a miss read lands
@@ -145,8 +173,8 @@ class BufferPool {
     Frame* tail = nullptr;
     Frame* hand = nullptr;  // CLOCK hand (null = start at head)
     size_t capacity = 0;
-    std::atomic<uint64_t> hits{0};
-    std::atomic<uint64_t> misses{0};
+    uint64_t hits = 0;
+    uint64_t misses = 0;
   };
 
   Shard& ShardFor(PageId id) const {
@@ -166,6 +194,12 @@ class BufferPool {
   size_t capacity_;
   ReplacementPolicy policy_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Cached metric handles (null = metrics detached; see SetMetrics).
+  MetricCounter* m_hit_ = nullptr;
+  MetricCounter* m_miss_ = nullptr;
+  MetricCounter* m_eviction_ = nullptr;
+  MetricCounter* m_writeback_ = nullptr;
 };
 
 /// RAII pin: fetches a page on construction and unpins on destruction.

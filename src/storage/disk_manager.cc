@@ -37,10 +37,31 @@ Status HaltedStatus(const std::string& op) {
 
 void DiskManager::SetFailpointPrefix(const std::string& prefix) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  prefix_ = prefix;
   fp_read_ = prefix + ".read";
   fp_write_ = prefix + ".write";
   fp_alloc_ = prefix + ".alloc";
   fp_free_ = prefix + ".free";
+  MetricsRegistry* metrics = metrics_;
+  lock.unlock();
+  // Re-resolve the metric handles under the new prefix.
+  if (metrics != nullptr) SetMetrics(metrics);
+}
+
+void DiskManager::SetMetrics(MetricsRegistry* metrics) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    m_reads_ = m_writes_ = m_allocs_ = m_frees_ = nullptr;
+    m_read_us_ = m_write_us_ = nullptr;
+    return;
+  }
+  m_reads_ = metrics->GetCounter(prefix_ + ".read");
+  m_writes_ = metrics->GetCounter(prefix_ + ".write");
+  m_allocs_ = metrics->GetCounter(prefix_ + ".alloc");
+  m_frees_ = metrics->GetCounter(prefix_ + ".free");
+  m_read_us_ = metrics->GetHistogram(prefix_ + ".read_us");
+  m_write_us_ = metrics->GetHistogram(prefix_ + ".write_us");
 }
 
 void DiskManager::SetVerifyChecksums(bool verify) {
@@ -67,6 +88,7 @@ Result<PageId> DiskManager::AllocatePage() {
     }
   }
   allocs_.fetch_add(1, std::memory_order_relaxed);
+  if (m_allocs_ != nullptr) m_allocs_->Inc();
   if (in_txn_) {
     PageId id;
     if (!txn_free_list_.empty()) {
@@ -137,6 +159,7 @@ Status DiskManager::FreePage(PageId id) {
     }
     txn_free_list_.push_back(id);
     frees_.fetch_add(1, std::memory_order_relaxed);
+    if (m_frees_ != nullptr) m_frees_->Inc();
     return Status::OK();
   }
   if (id >= pages_.size() || !allocated_[id]) {
@@ -146,10 +169,16 @@ Status DiskManager::FreePage(PageId id) {
   allocated_[id] = false;
   free_list_.push_back(id);
   frees_.fetch_add(1, std::memory_order_relaxed);
+  if (m_frees_ != nullptr) m_frees_->Inc();
   return Status::OK();
 }
 
 Status DiskManager::ReadPage(PageId id, char* out) {
+  // Metric handles are written only while the device is quiescent (attach
+  // time), like the fault injector; the clock is read only when attached.
+  MetricHistogram* read_hist = m_read_us_;
+  std::chrono::steady_clock::time_point t0;
+  if (read_hist != nullptr) t0 = std::chrono::steady_clock::now();
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     if (halted()) return HaltedStatus("read of page " + std::to_string(id));
@@ -206,16 +235,26 @@ Status DiskManager::ReadPage(PageId id, char* out) {
       }
     }
     reads_.fetch_add(1, std::memory_order_relaxed);
+    if (m_reads_ != nullptr) m_reads_->Inc();
   }
   // Latency is modeled outside the lock so in-flight reads overlap.
   uint32_t latency = read_latency_us_.load(std::memory_order_relaxed);
   if (latency != 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(latency));
   }
+  if (read_hist != nullptr) {
+    read_hist->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const char* in) {
+  MetricHistogram* write_hist = m_write_us_;
+  std::chrono::steady_clock::time_point t0;
+  if (write_hist != nullptr) t0 = std::chrono::steady_clock::now();
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (halted()) return HaltedStatus("write of page " + std::to_string(id));
   if (in_txn_) {
@@ -264,6 +303,13 @@ Status DiskManager::WritePage(PageId id, const char* in) {
   std::memcpy(pages_[id].get(), in, page_size_);
   seals_[id] = Crc32c(in, page_size_);
   writes_.fetch_add(1, std::memory_order_relaxed);
+  if (m_writes_ != nullptr) m_writes_->Inc();
+  if (write_hist != nullptr) {
+    write_hist->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
   return Status::OK();
 }
 
@@ -394,6 +440,7 @@ Status DiskManager::ApplyPlatterWrite(PageId id, const char* in) {
   std::memcpy(pages_[id].get(), in, page_size_);
   seals_[id] = Crc32c(in, page_size_);
   writes_.fetch_add(1, std::memory_order_relaxed);
+  if (m_writes_ != nullptr) m_writes_->Inc();
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/common/fault_injector.h"
+#include "src/common/metrics.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/storage/io_stats.h"
@@ -133,6 +134,15 @@ class DiskManager {
   void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
   FaultInjector* fault_injector() const { return faults_; }
 
+  /// Attaches (or detaches) a metrics registry. Completed I/Os then bump
+  /// "<prefix>.read" / "<prefix>.write" / "<prefix>.alloc" /
+  /// "<prefix>.free" counters and feed "<prefix>.read_us" /
+  /// "<prefix>.write_us" latency histograms (prefix as per
+  /// SetFailpointPrefix, default "disk"). Detached (the default), every
+  /// instrumentation site is one null-pointer test — the simulated I/O
+  /// accounting the paper's tables are built on is untouched either way.
+  void SetMetrics(MetricsRegistry* metrics);
+
   /// Renames this device's failpoints to "<prefix>.read" etc. (default
   /// "disk"). Index-file disks use "index" so fault schedules compose.
   void SetFailpointPrefix(const std::string& prefix);
@@ -231,10 +241,21 @@ class DiskManager {
   std::atomic<bool> halted_{false};
   FaultInjector* faults_ = nullptr;
   Wal* wal_ = nullptr;
+  std::string prefix_ = "disk";
   std::string fp_read_ = "disk.read";
   std::string fp_write_ = "disk.write";
   std::string fp_alloc_ = "disk.alloc";
   std::string fp_free_ = "disk.free";
+
+  /// Cached metric handles, resolved at attach time so the I/O paths never
+  /// take the registry lock. All null when no registry is attached.
+  MetricsRegistry* metrics_ = nullptr;
+  MetricCounter* m_reads_ = nullptr;
+  MetricCounter* m_writes_ = nullptr;
+  MetricCounter* m_allocs_ = nullptr;
+  MetricCounter* m_frees_ = nullptr;
+  MetricHistogram* m_read_us_ = nullptr;
+  MetricHistogram* m_write_us_ = nullptr;
 };
 
 }  // namespace ccam

@@ -1,6 +1,7 @@
 #include "src/storage/wal.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/coding.h"
 #include "src/storage/disk_manager.h"
@@ -89,11 +90,18 @@ Status Wal::Append(RecordType type, uint64_t txn, std::string_view payload) {
   }
   pending_ += frame;
   ++appends_;
+  if (m_append_ != nullptr) m_append_->Inc();
   return Status::OK();
 }
 
 Status Wal::Flush() {
   CCAM_RETURN_NOT_OK(DeviceHalted("flush"));
+  // Clock reads happen only with a histogram attached, and the latency is
+  // recorded only when the flush succeeds — injected failures never feed
+  // the series.
+  MetricHistogram* flush_hist = m_flush_us_;
+  std::chrono::steady_clock::time_point t0;
+  if (flush_hist != nullptr) t0 = std::chrono::steady_clock::now();
   if (faults_ != nullptr) {
     if (auto fault = faults_->Hit("wal.flush")) {
       switch (fault->kind) {
@@ -122,6 +130,12 @@ Status Wal::Flush() {
   durable_ += pending_;
   pending_.clear();
   ++flushes_;
+  if (m_flush_ != nullptr) m_flush_->Inc();
+  if (flush_hist != nullptr) {
+    auto dt = std::chrono::steady_clock::now() - t0;
+    flush_hist->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(dt).count()));
+  }
   return Status::OK();
 }
 
@@ -130,6 +144,7 @@ Status Wal::Truncate() {
   durable_.clear();
   pending_.clear();
   ++truncates_;
+  if (m_truncate_ != nullptr) m_truncate_->Inc();
   return Status::OK();
 }
 
@@ -192,6 +207,18 @@ void Wal::ResetStats() {
   appends_ = 0;
   flushes_ = 0;
   truncates_ = 0;
+}
+
+void Wal::SetMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_append_ = m_flush_ = m_truncate_ = nullptr;
+    m_flush_us_ = nullptr;
+    return;
+  }
+  m_append_ = metrics->GetCounter("wal.append");
+  m_flush_ = metrics->GetCounter("wal.flush");
+  m_truncate_ = metrics->GetCounter("wal.truncate");
+  m_flush_us_ = metrics->GetHistogram("wal.flush_us");
 }
 
 }  // namespace ccam

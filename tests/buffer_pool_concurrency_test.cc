@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/fault_injector.h"
+#include "src/common/metrics.h"
 #include "src/common/random.h"
 #include "src/core/ccam.h"
 #include "src/core/query_session.h"
@@ -25,14 +26,47 @@ namespace {
 
 constexpr int kThreads = 8;
 
+/// Mid-flight counter sampler: repeatedly reads `progress` (the workers'
+/// count of completed successful fetches), then takes a GetCounters()
+/// snapshot, until `done`. Because a worker bumps its shard's hit/miss
+/// counter *before* it bumps `progress`, every consistent snapshot must
+/// satisfy hits + misses >= progress-read-before-it, and the snapshot
+/// total must be monotone across samples. A torn (per-shard-inconsistent)
+/// snapshot breaks both. Returns the number of samples taken; sets
+/// `*torn` if any invariant failed.
+uint64_t SampleCountersUntilDone(const BufferPool& pool,
+                                 const std::atomic<uint64_t>& progress,
+                                 const std::atomic<bool>& done, bool* torn) {
+  uint64_t samples = 0;
+  uint64_t prev_total = 0;
+  while (!done.load()) {
+    uint64_t before = progress.load();
+    BufferPool::Counters c = pool.GetCounters();
+    uint64_t total = c.hits + c.misses;
+    if (total < before || total < prev_total) *torn = true;
+    prev_total = total;
+    ++samples;
+    std::this_thread::yield();
+  }
+  return samples;
+}
+
 TEST(BufferPoolConcurrencyTest, MixedFetchHammer) {
   DiskManager disk(128);
   std::vector<PageId> ids;
   for (int i = 0; i < 96; ++i) ids.push_back(*disk.AllocatePage());
   BufferPool pool(&disk, 32, ReplacementPolicy::kLru, /*num_shards=*/4);
+  MetricsRegistry metrics;
+  pool.SetMetrics(&metrics);
 
   std::atomic<uint64_t> fetches{0};
   std::atomic<bool> failed{false};
+  std::atomic<bool> done{false};
+  bool torn = false;
+  uint64_t samples = 0;
+  std::thread sampler([&] {
+    samples = SampleCountersUntilDone(pool, fetches, done, &torn);
+  });
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
@@ -64,10 +98,18 @@ TEST(BufferPoolConcurrencyTest, MixedFetchHammer) {
     });
   }
   for (auto& th : threads) th.join();
+  done.store(true);
+  sampler.join();
 
   EXPECT_FALSE(failed.load());
+  EXPECT_FALSE(torn) << "mid-flight GetCounters() snapshot violated "
+                        "hits + misses >= completed fetches";
+  EXPECT_GT(samples, 0u);
   // Counter conservation: every fetch is exactly one hit or one miss.
   EXPECT_EQ(pool.hits() + pool.misses(), fetches.load());
+  // The attached registry mirrors the pool's own accounting exactly.
+  EXPECT_EQ(metrics.GetCounter("buffer_pool.hit")->value(), pool.hits());
+  EXPECT_EQ(metrics.GetCounter("buffer_pool.miss")->value(), pool.misses());
   // Every miss is exactly one disk read.
   EXPECT_EQ(disk.stats().reads, pool.misses());
   // No lost pins: every page settles at pin count 0.
@@ -128,6 +170,15 @@ TEST(BufferPoolConcurrencyTest, FaultActiveHammerConservesState) {
   std::atomic<uint64_t> successes{0};
   std::atomic<uint64_t> io_failures{0};
   std::atomic<bool> broken{false};
+  // Mid-flight snapshots must stay consistent even while fetches are
+  // failing: a failed fetch bumps neither counter, so the sampler's
+  // invariant is against *successes* only.
+  std::atomic<bool> done{false};
+  bool torn = false;
+  uint64_t samples = 0;
+  std::thread sampler([&] {
+    samples = SampleCountersUntilDone(pool, successes, done, &torn);
+  });
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
@@ -149,8 +200,13 @@ TEST(BufferPoolConcurrencyTest, FaultActiveHammerConservesState) {
     });
   }
   for (auto& th : threads) th.join();
+  done.store(true);
+  sampler.join();
 
   EXPECT_FALSE(broken.load());
+  EXPECT_FALSE(torn) << "mid-flight GetCounters() snapshot violated "
+                        "hits + misses >= successful fetches";
+  EXPECT_GT(samples, 0u);
   EXPECT_GT(io_failures.load(), 0u) << "fault never fired";
   // Conservation under faults: every *successful* fetch is exactly one
   // pool hit or one completed disk read. A failed fetch is neither (the
