@@ -18,8 +18,10 @@
 # Usage:
 #   scripts/check_perf.sh baseline.json current.json [tolerance-pct]
 #   scripts/check_perf.sh --smoke [build-dir]
-#       builds the fastest bench, runs it twice, and diffs the two
-#       artifacts — a self-test that the gate and the writers agree.
+#       builds the fastest bench plus the hierarchy-speedup bench (at its
+#       smallest scale point), runs each twice, and diffs the artifact
+#       pairs — a self-test that the gate and the writers agree, and that
+#       the CH overlay's page-access counts are run-to-run deterministic.
 set -uo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
@@ -27,13 +29,23 @@ if [[ "${1:-}" == "--smoke" ]]; then
   cd "$ROOT"
   BUILD="${2:-build}"
   cmake -B "$BUILD" -S . >/dev/null &&
-    cmake --build "$BUILD" --target fig5_crr -j "$(nproc)" >/dev/null ||
+    cmake --build "$BUILD" --target fig5_crr hierarchy_speedup \
+      -j "$(nproc)" >/dev/null ||
     { echo "check_perf: smoke build failed"; exit 1; }
   TMP="$(mktemp -d)"
   trap 'rm -rf "$TMP"' EXIT
   mkdir -p "$TMP/a" "$TMP/b"
   CCAM_BENCH_JSON_DIR="$TMP/a" "$BUILD/bench/fig5_crr" >/dev/null || exit 1
   CCAM_BENCH_JSON_DIR="$TMP/b" "$BUILD/bench/fig5_crr" >/dev/null || exit 1
+  CCAM_BENCH_JSON_DIR="$TMP/a" CCAM_HIER_SIDES=32 \
+    "$BUILD/bench/hierarchy_speedup" >/dev/null || exit 1
+  CCAM_BENCH_JSON_DIR="$TMP/b" CCAM_HIER_SIDES=32 \
+    "$BUILD/bench/hierarchy_speedup" >/dev/null || exit 1
+  # Sub-millisecond CH queries make the wall-clock columns jittery at the
+  # smoke scale; widen only the noisy-field tolerance — access counts are
+  # still required to match exactly.
+  "$0" "$TMP/a/BENCH_hierarchy_speedup.json" \
+       "$TMP/b/BENCH_hierarchy_speedup.json" 75 || exit 1
   set -- "$TMP/a/BENCH_fig5_crr.json" "$TMP/b/BENCH_fig5_crr.json"
 fi
 

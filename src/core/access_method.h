@@ -9,6 +9,7 @@
 #include "src/graph/network.h"
 #include "src/partition/partition.h"
 #include "src/storage/buffer_pool.h"
+#include "src/storage/hierarchy_record.h"
 #include "src/storage/io_stats.h"
 #include "src/storage/record.h"
 
@@ -72,6 +73,13 @@ struct AccessMethodOptions {
   /// moment the operation performs it, which the staged commit necessarily
   /// defers (see INTERNALS, "Write-ahead logging & durable recovery").
   bool durability = false;
+  /// Build and maintain the paged contraction-hierarchy overlay: create
+  /// operations additionally contract the network in nested-dissection
+  /// order and persist the shortcut graph on a separate "hier" disk, and
+  /// ShortestPathCH answers route queries bidirectionally over it. Off by
+  /// default — the paper's experiments (Table 5 / Fig 6) never touch the
+  /// overlay, and every mutation invalidates it until the next build.
+  bool hierarchy_overlay = false;
   uint64_t seed = 42;
 };
 
@@ -135,6 +143,23 @@ class AccessMethod {
   /// "query.<op>" spans against this — a null registry makes every span
   /// inert, preserving the paper's accounting bit for bit.
   virtual MetricsRegistry* metrics() const { return nullptr; }
+
+  /// --- Contraction-hierarchy overlay --------------------------------------
+  /// True when a valid hierarchy overlay is attached (built and not
+  /// invalidated by a mutation since). The default access method has none.
+  virtual bool HasHierarchy() const { return false; }
+
+  /// Reads one node's hierarchy record (rank plus upward/downward shortcut
+  /// arcs) through the overlay's buffer pool; the page access is charged
+  /// to HierarchyIoStats(), per session where applicable.
+  virtual Result<HierarchyNodeRecord> HierarchyNode(NodeId id) {
+    (void)id;
+    return Status::NotSupported("no hierarchy overlay");
+  }
+
+  /// Overlay-page I/O counters, kept separate from DataIoStats() so the
+  /// paper's data-page accounting is untouched by the overlay.
+  virtual IoStats HierarchyIoStats() const { return IoStats{}; }
 };
 
 }  // namespace ccam

@@ -69,6 +69,11 @@ Status Ccam::Create(const Network& network) {
   }
   disk_.ResetStats();
   if (index_disk_) index_disk_->ResetStats();
+  if (options_.hierarchy_overlay) {
+    // Each AddNode above invalidated any overlay; build it once the file
+    // is complete. The source network is still in hand — no rescan.
+    CCAM_RETURN_NOT_OK(BuildHierarchyOverlayFromNetwork(network));
+  }
   return Status::OK();
 }
 

@@ -46,6 +46,9 @@ NetworkFile::NetworkFile(const AccessMethodOptions& options)
 }
 
 NetworkFile::MutationScope::MutationScope(NetworkFile* file) : file_(file) {
+  // Every mutation drops the hierarchy overlay: a shortcut graph built
+  // over records that are about to change must never answer queries.
+  file_->InvalidateHierarchyOverlay();
   if (file_->options_.durability && !file_->disk_.InTxn()) {
     owns_ = file_->disk_.BeginTxn().ok();
   }
@@ -132,6 +135,11 @@ Status NetworkFile::BuildFromAssignment(
     // creation I/O is not part of any operation measurement either way.
     disk_.ResetStats();
     if (index_disk_) index_disk_->ResetStats();
+  }
+  if (built.ok() && options_.hierarchy_overlay) {
+    // The logical network is still in hand: contract it directly instead
+    // of rescanning the pages just written.
+    CCAM_RETURN_NOT_OK(BuildHierarchyOverlayFromNetwork(network));
   }
   return built;
 }
@@ -520,7 +528,13 @@ Status NetworkFile::FinishUpdate() {
 
 Status NetworkFile::SaveImage(const std::string& path) {
   CCAM_RETURN_NOT_OK(pool_.FlushAll());
-  return disk_.SaveToFile(path);
+  CCAM_RETURN_NOT_OK(disk_.SaveToFile(path));
+  if (HasHierarchy()) {
+    // The overlay persists as a sidecar image; a file saved without one
+    // simply reopens without CH support until the next build.
+    CCAM_RETURN_NOT_OK(hierarchy_->SaveImage(path + ".hier"));
+  }
+  return Status::OK();
 }
 
 Status NetworkFile::OpenImage(const std::string& path) {
@@ -583,6 +597,17 @@ Status NetworkFile::OpenImage(const std::string& path) {
     // A durable open promises a consistent graph, not just decodable
     // pages: recovery must leave no dangling or asymmetric adjacency.
     CCAM_RETURN_NOT_OK(CheckGraphInvariants());
+  }
+  if (options_.hierarchy_overlay) {
+    // Reattach the overlay sidecar, if one was saved beside the image. A
+    // missing or empty sidecar just means no overlay (e.g. the image was
+    // saved after a mutation invalidated it); corruption propagates.
+    auto overlay = std::make_unique<HierarchyOverlay>(options_);
+    overlay->SetFaultInjector(faults_);
+    overlay->SetMetrics(metrics_);
+    Result<bool> loaded = overlay->LoadImage(path + ".hier");
+    if (!loaded.ok()) return loaded.status();
+    if (*loaded) hierarchy_ = std::move(overlay);
   }
   disk_.ResetStats();
   if (index_disk_) index_disk_->ResetStats();
@@ -757,6 +782,43 @@ Result<std::vector<NodeRecord>> NetworkFile::SharedGetSuccessors(NodeId id,
 
 std::unique_ptr<QuerySession> NetworkFile::OpenSession() {
   return std::make_unique<QuerySession>(this);
+}
+
+Result<HierarchyNodeRecord> NetworkFile::SharedHierarchyNode(NodeId id,
+                                                             IoStats* io) {
+  if (!HasHierarchy()) {
+    return Status::NotSupported("no hierarchy overlay");
+  }
+  return hierarchy_->ReadNode(id, io);
+}
+
+Status NetworkFile::BuildHierarchyOverlayFromNetwork(const Network& network) {
+  auto overlay = std::make_unique<HierarchyOverlay>(options_);
+  overlay->SetFaultInjector(faults_);
+  overlay->SetMetrics(metrics_);
+  CCAM_RETURN_NOT_OK(overlay->Build(network));
+  hierarchy_ = std::move(overlay);
+  return Status::OK();
+}
+
+Status NetworkFile::BuildHierarchyOverlay() {
+  // Reconstruct the logical network by scanning every data page. The scan
+  // reads through the pool like any query, but a rebuild is maintenance,
+  // not workload: its reads are excluded from the data I/O counters.
+  IoStats before = disk_.stats();
+  std::vector<NodeRecord> all;
+  Status scan = Status::OK();
+  for (PageId page : disk_.AllocatedPageIds()) {
+    auto records = RecordsOnPage(page);
+    if (!records.ok()) {
+      scan = records.status();
+      break;
+    }
+    for (NodeRecord& rec : *records) all.push_back(std::move(rec));
+  }
+  disk_.RestoreStats(before);
+  CCAM_RETURN_NOT_OK(scan);
+  return BuildHierarchyOverlayFromNetwork(NetworkFromRecords(all));
 }
 
 Status NetworkFile::InsertNode(const NodeRecord& record, ReorgPolicy policy) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/core/access_method.h"
+#include "src/core/hierarchy_overlay.h"
 #include "src/index/bptree.h"
 #include "src/storage/buffer_pool.h"
 #include "src/storage/disk_manager.h"
@@ -107,13 +108,16 @@ class NetworkFile : public AccessMethod {
 
   /// Attaches a fault injector to every simulated device of this file
   /// (nullptr detaches): the data disk ("disk.*" failpoints), the index
-  /// disk when maintained ("index.*"), and the write-ahead log when
-  /// durability is on ("wal.append" / "wal.flush"). The distinct prefixes
+  /// disk when maintained ("index.*"), the write-ahead log when durability
+  /// is on ("wal.append" / "wal.flush"), and the hierarchy overlay's disk
+  /// and log when present ("hier.*" / "hier.wal.*"). The distinct prefixes
   /// let one fault schedule target any device without touching the others.
   void SetFaultInjector(FaultInjector* faults) {
+    faults_ = faults;
     disk_.SetFaultInjector(faults);
     if (index_disk_) index_disk_->SetFaultInjector(faults);
     if (wal_) wal_->SetFaultInjector(faults);
+    if (hierarchy_) hierarchy_->SetFaultInjector(faults);
   }
 
   /// The write-ahead log, when durability is on (for tests / inspection).
@@ -126,13 +130,15 @@ class NetworkFile : public AccessMethod {
   /// traffic never mixes into the buffer_pool.* series), and the
   /// write-ahead log when durability is on ("wal.*"). Query sessions
   /// opened from this file inherit the registry for their "query.*"
-  /// spans. Attach while the file is quiescent.
+  /// spans. The hierarchy overlay's disk and log report under "hier.*" /
+  /// "hier.wal.*". Attach while the file is quiescent.
   void SetMetrics(MetricsRegistry* metrics) {
     metrics_ = metrics;
     disk_.SetMetrics(metrics);
     pool_.SetMetrics(metrics);
     if (index_disk_) index_disk_->SetMetrics(metrics);
     if (wal_) wal_->SetMetrics(metrics);
+    if (hierarchy_) hierarchy_->SetMetrics(metrics);
   }
   MetricsRegistry* metrics() const override { return metrics_; }
 
@@ -176,6 +182,36 @@ class NetworkFile : public AccessMethod {
   Result<NodeRecord> SharedGetASuccessor(NodeId from, NodeId to, IoStats* io);
   Result<std::vector<NodeRecord>> SharedGetSuccessors(NodeId id, IoStats* io);
 
+  /// --- Contraction-hierarchy overlay --------------------------------------
+  /// (Re)builds the overlay from the stored records: scans every data page
+  /// (the scan's reads are excluded from the data I/O counters, like
+  /// ScanPageOccupancy), contracts the reconstructed network, and persists
+  /// the shortcut graph beside the file. Create() does this automatically
+  /// when options.hierarchy_overlay is set; call it explicitly after
+  /// OpenImage or a mutation batch to re-enable CH queries.
+  Status BuildHierarchyOverlay();
+
+  bool HasHierarchy() const override {
+    return hierarchy_ != nullptr && hierarchy_->valid();
+  }
+  Result<HierarchyNodeRecord> HierarchyNode(NodeId id) override {
+    return SharedHierarchyNode(id, nullptr);
+  }
+  IoStats HierarchyIoStats() const override {
+    return hierarchy_ ? hierarchy_->Stats() : IoStats{};
+  }
+
+  /// Thread-safe overlay read for concurrent query sessions; a pool miss
+  /// charges one read to `io`.
+  Result<HierarchyNodeRecord> SharedHierarchyNode(NodeId id, IoStats* io);
+
+  /// The overlay itself (tests, benches); null until built.
+  HierarchyOverlay* hierarchy() { return hierarchy_.get(); }
+
+  /// Drops the overlay. Every mutation does this implicitly: a shortcut
+  /// graph over stale records must never answer queries.
+  void InvalidateHierarchyOverlay() { hierarchy_.reset(); }
+
   /// Opens a read-only query session: an AccessMethod view over this file
   /// with its own per-session IoStats. One session per thread; sessions
   /// share this file's buffer pool.
@@ -215,6 +251,10 @@ class NetworkFile : public AccessMethod {
   /// indexes. Used by subclasses' Create().
   Status BuildFromAssignment(const Network& network,
                              const std::vector<std::vector<NodeId>>& pages);
+
+  /// Contracts `network` into a fresh overlay (the no-rescan path used by
+  /// create operations that still hold the logical network).
+  Status BuildHierarchyOverlayFromNetwork(const Network& network);
 
   /// Reads and decodes the record of `id` through the buffer pool. When
   /// `io` is given, a pool miss charges one read to it (per-session
@@ -353,6 +393,11 @@ class NetworkFile : public AccessMethod {
 
   /// Write-ahead log of the data disk; non-null iff durability is on.
   std::unique_ptr<Wal> wal_;
+
+  /// Contraction-hierarchy overlay; non-null iff built and still valid.
+  std::unique_ptr<HierarchyOverlay> hierarchy_;
+  /// Remembered so a later overlay build inherits the injector.
+  FaultInjector* faults_ = nullptr;
 
   bool last_op_structural_ = false;
   uint64_t reorg_seed_ = 0;

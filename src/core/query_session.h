@@ -57,7 +57,18 @@ class QuerySession : public AccessMethod {
 
   /// This session's data-page accesses (not the file's global counters).
   IoStats DataIoStats() const override { return io_; }
-  void ResetIoStats() override { io_ = IoStats{}; }
+  void ResetIoStats() override {
+    io_ = IoStats{};
+    hier_io_ = IoStats{};
+  }
+
+  /// Overlay reads follow the same per-session convention: a fetch is
+  /// charged here iff it missed the overlay's shared buffer pool.
+  bool HasHierarchy() const override { return file_->HasHierarchy(); }
+  Result<HierarchyNodeRecord> HierarchyNode(NodeId id) override {
+    return file_->SharedHierarchyNode(id, &hier_io_);
+  }
+  IoStats HierarchyIoStats() const override { return hier_io_; }
 
   const NodePageMap& PageMap() const override { return file_->PageMap(); }
   BufferPool* buffer_pool() override { return file_->buffer_pool(); }
@@ -72,7 +83,8 @@ class QuerySession : public AccessMethod {
 
  private:
   NetworkFile* file_;
-  IoStats io_;  // per-session: the session is single-threaded by contract
+  IoStats io_;       // per-session: the session is single-threaded by contract
+  IoStats hier_io_;  // per-session overlay reads, same contract
 };
 
 }  // namespace ccam

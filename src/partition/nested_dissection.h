@@ -1,0 +1,48 @@
+#ifndef CCAM_PARTITION_NESTED_DISSECTION_H_
+#define CCAM_PARTITION_NESTED_DISSECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/graph/network.h"
+#include "src/partition/partition.h"
+
+namespace ccam {
+
+/// Options of the nested-dissection ordering. The defaults mirror the
+/// clustering pipeline: the same two-way partitioner family, content-derived
+/// seeds, and a num_threads knob whose every value produces the identical
+/// order.
+struct NestedDissectionOptions {
+  /// Two-way partitioner used at every dissection level.
+  PartitionAlgorithm algorithm = PartitionAlgorithm::kRatioCut;
+  /// Subsets at or below this size stop dissecting and are ordered by
+  /// ascending node id.
+  size_t leaf_size = 16;
+  /// Worker threads. 0 = hardware concurrency, 1 = sequential; the order is
+  /// bit-identical for every value.
+  int num_threads = 0;
+  uint64_t seed = 42;
+};
+
+/// Derives a nested-dissection elimination order of `subset` from the
+/// recursive-bisection partitioner: each level bisects the subset, derives a
+/// vertex separator from the cut (the side-B endpoints of cut edges), orders
+/// both separator-free halves recursively, and places the separator last.
+/// Contracting nodes in this order keeps every separator — the nodes whose
+/// elimination would create the densest shortcut cliques — at the top of the
+/// hierarchy, which is what bounds the shortcut count (see PAPERS.md,
+/// "Faster and Better Nested Dissection Orders for CCH").
+///
+/// The returned order lists nodes least-important-first (position = rank).
+/// It is a pure function of (network, subset, options): per-subproblem seeds
+/// are derived from subproblem content exactly as in ClusterNodesIntoPages,
+/// so the task-parallel and sequential paths produce the same bytes.
+Result<std::vector<NodeId>> NestedDissectionOrder(
+    const Network& network, const std::vector<NodeId>& subset,
+    const NestedDissectionOptions& options);
+
+}  // namespace ccam
+
+#endif  // CCAM_PARTITION_NESTED_DISSECTION_H_

@@ -3,9 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "src/common/metrics.h"
 
@@ -13,30 +10,179 @@ namespace ccam {
 
 namespace {
 
-struct QueueEntry {
-  double priority;  // g (Dijkstra) or g + h (A*)
-  double g;
-  NodeId node;
-  bool operator>(const QueueEntry& o) const { return priority > o.priority; }
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Search working set: one dense slot per reached node (g, parent, closed
+/// flag) indexed by an open-addressing table, plus a 4-ary heap with
+/// decrease-key over the slots. Replaces the former lazy-deletion
+/// std::priority_queue and its three per-node unordered_maps: one hash
+/// probe per touched node instead of three, no duplicate heap entries, and
+/// a shallower, cache-friendlier heap (4-ary beats binary here because
+/// sift-down dominates and reads four children from one cache line).
+/// Ties on priority settle by ascending node id, so the expansion order —
+/// and hence the page-access count — is a pure function of the graph.
+class SearchCore {
+ public:
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Slot {
+    NodeId id = kInvalidNodeId;
+    uint32_t parent = kNil;    // slot index of the best predecessor
+    double g = kInf;
+    double priority = kInf;    // g (Dijkstra) or g + h (A*)
+    uint32_t heap_pos = kNil;  // kNil when not in the open heap
+    bool closed = false;
+  };
+
+  /// `expected` sizes the table for the whole node set up front (the
+  /// paper-scale searches reach most of it), so searches never rehash.
+  explicit SearchCore(size_t expected) {
+    size_t cap = 64;
+    while (cap < expected * 2) cap <<= 1;
+    index_.assign(cap, kNil);
+    mask_ = cap - 1;
+    slots_.reserve(expected);
+    heap_.reserve(expected);
+  }
+
+  /// Finds or creates the slot of `id`.
+  uint32_t Intern(NodeId id) {
+    size_t h = Hash(id);
+    while (true) {
+      uint32_t s = index_[h];
+      if (s == kNil) {
+        if ((slots_.size() + 1) * 10 > index_.size() * 7) {
+          Grow();
+          return Intern(id);
+        }
+        uint32_t idx = static_cast<uint32_t>(slots_.size());
+        slots_.push_back(Slot{});
+        slots_.back().id = id;
+        index_[h] = idx;
+        return idx;
+      }
+      if (slots_[s].id == id) return s;
+      h = (h + 1) & mask_;
+    }
+  }
+
+  Slot& slot(uint32_t s) { return slots_[s]; }
+
+  bool HeapEmpty() const { return heap_.empty(); }
+
+  /// Inserts `s` or restores heap order after its priority decreased.
+  void HeapPushOrDecrease(uint32_t s) {
+    if (slots_[s].heap_pos == kNil) {
+      slots_[s].heap_pos = static_cast<uint32_t>(heap_.size());
+      heap_.push_back(s);
+    }
+    SiftUp(slots_[s].heap_pos);
+  }
+
+  uint32_t HeapPop() {
+    uint32_t top = heap_[0];
+    slots_[top].heap_pos = kNil;
+    uint32_t last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      slots_[last].heap_pos = 0;
+      SiftDown(0);
+    }
+    return top;
+  }
+
+  /// Parent-chain walk from the slot of `dst` back to a root slot.
+  std::vector<NodeId> ReconstructPath(uint32_t dst_slot) const {
+    std::vector<NodeId> path;
+    for (uint32_t s = dst_slot; s != kNil; s = slots_[s].parent) {
+      path.push_back(slots_[s].id);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+ private:
+  bool Less(uint32_t a, uint32_t b) const {
+    const Slot& x = slots_[a];
+    const Slot& y = slots_[b];
+    return x.priority != y.priority ? x.priority < y.priority : x.id < y.id;
+  }
+
+  void SiftUp(size_t pos) {
+    uint32_t s = heap_[pos];
+    while (pos > 0) {
+      size_t up = (pos - 1) / 4;
+      if (!Less(s, heap_[up])) break;
+      heap_[pos] = heap_[up];
+      slots_[heap_[pos]].heap_pos = static_cast<uint32_t>(pos);
+      pos = up;
+    }
+    heap_[pos] = s;
+    slots_[s].heap_pos = static_cast<uint32_t>(pos);
+  }
+
+  void SiftDown(size_t pos) {
+    uint32_t s = heap_[pos];
+    size_t n = heap_.size();
+    while (true) {
+      size_t first = pos * 4 + 1;
+      if (first >= n) break;
+      size_t best = first;
+      size_t last = std::min(first + 4, n);
+      for (size_t c = first + 1; c < last; ++c) {
+        if (Less(heap_[c], heap_[best])) best = c;
+      }
+      if (!Less(heap_[best], s)) break;
+      heap_[pos] = heap_[best];
+      slots_[heap_[pos]].heap_pos = static_cast<uint32_t>(pos);
+      pos = best;
+    }
+    heap_[pos] = s;
+    slots_[s].heap_pos = static_cast<uint32_t>(pos);
+  }
+
+  size_t Hash(NodeId id) const {
+    uint64_t x = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(x >> 32) & mask_;
+  }
+
+  void Grow() {
+    std::vector<uint32_t> old = std::move(index_);
+    index_.assign(old.size() * 2, kNil);
+    mask_ = index_.size() - 1;
+    for (uint32_t s = 0; s < slots_.size(); ++s) {
+      size_t h = Hash(slots_[s].id);
+      while (index_[h] != kNil) h = (h + 1) & mask_;
+      index_[h] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> index_;  // open addressing, linear probing
+  std::vector<uint32_t> heap_;   // 4-ary min-heap of slot indices
+  size_t mask_ = 0;
 };
 
-using MinQueue = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                                     std::greater<QueueEntry>>;
-
-std::vector<NodeId> ReconstructPath(
-    const std::unordered_map<NodeId, NodeId>& parent, NodeId src,
-    NodeId dst) {
-  std::vector<NodeId> path{dst};
-  NodeId cur = dst;
-  while (cur != src) {
-    auto it = parent.find(cur);
-    if (it == parent.end()) return {};
-    cur = it->second;
-    path.push_back(cur);
+/// Resolves the settled/relaxed counters ("query.search.settled" /
+/// "query.search.relaxed") once per search; null registry = both null and
+/// every site is one pointer test (the zero-overhead contract).
+struct SearchCounters {
+  explicit SearchCounters(MetricsRegistry* reg) {
+    if (reg != nullptr) {
+      settled = reg->GetCounter("query.search.settled");
+      relaxed = reg->GetCounter("query.search.relaxed");
+    }
   }
-  std::reverse(path.begin(), path.end());
-  return path;
-}
+  ~SearchCounters() {
+    if (settled != nullptr && n_settled > 0) settled->Inc(n_settled);
+    if (relaxed != nullptr && n_relaxed > 0) relaxed->Inc(n_relaxed);
+  }
+  MetricCounter* settled = nullptr;
+  MetricCounter* relaxed = nullptr;
+  uint64_t n_settled = 0;
+  uint64_t n_relaxed = 0;
+};
 
 /// Shared best-first search; `heuristic_weight` < 0 disables the heuristic
 /// (plain Dijkstra).
@@ -44,6 +190,7 @@ Result<SearchResult> BestFirst(AccessMethod* am, NodeId src, NodeId dst,
                                double heuristic_weight) {
   SearchResult result;
   QuerySpan span(am->metrics(), "query.search");
+  SearchCounters counters(am->metrics());
   IoStats before = am->DataIoStats();
 
   NodeRecord dst_rec;
@@ -54,42 +201,47 @@ Result<SearchResult> BestFirst(AccessMethod* am, NodeId src, NodeId dst,
     return heuristic_weight * std::hypot(rec.x - tx, rec.y - ty);
   };
 
-  std::unordered_map<NodeId, double> best_g;
-  std::unordered_map<NodeId, NodeId> parent;
-  std::unordered_set<NodeId> closed;
-  MinQueue open;
+  SearchCore core(am->PageMap().size());
 
   NodeRecord src_rec;
   CCAM_ASSIGN_OR_RETURN(src_rec, am->Find(src));
-  best_g[src] = 0.0;
-  open.push({heuristic(src_rec), 0.0, src});
+  {
+    uint32_t s = core.Intern(src);
+    core.slot(s).g = 0.0;
+    core.slot(s).priority = heuristic(src_rec);
+    core.HeapPushOrDecrease(s);
+  }
 
-  while (!open.empty()) {
-    QueueEntry top = open.top();
-    open.pop();
-    if (closed.count(top.node)) continue;
-    closed.insert(top.node);
+  while (!core.HeapEmpty()) {
+    uint32_t cur = core.HeapPop();
+    core.slot(cur).closed = true;
+    NodeId node = core.slot(cur).id;
+    double g = core.slot(cur).g;
     ++result.nodes_expanded;
-    if (top.node == dst) {
-      result.cost = top.g;
-      result.path = ReconstructPath(parent, src, dst);
+    ++counters.n_settled;
+    if (node == dst) {
+      result.cost = g;
+      result.path = core.ReconstructPath(cur);
       break;
     }
     std::vector<NodeRecord> successors;
-    CCAM_ASSIGN_OR_RETURN(successors, am->GetSuccessors(top.node));
+    CCAM_ASSIGN_OR_RETURN(successors, am->GetSuccessors(node));
     // Costs come from the expanded node's successor-list.
     NodeRecord expanded;
-    CCAM_ASSIGN_OR_RETURN(expanded, am->Find(top.node));  // buffered
+    CCAM_ASSIGN_OR_RETURN(expanded, am->Find(node));  // buffered
     for (const NodeRecord& succ : successors) {
-      if (closed.count(succ.id)) continue;
+      uint32_t t = core.Intern(succ.id);
+      if (core.slot(t).closed) continue;
       auto cost = expanded.SuccessorCost(succ.id);
       if (!cost.ok()) continue;
-      double g = top.g + *cost;
-      auto it = best_g.find(succ.id);
-      if (it == best_g.end() || g < it->second) {
-        best_g[succ.id] = g;
-        parent[succ.id] = top.node;
-        open.push({g + heuristic(succ), g, succ.id});
+      ++counters.n_relaxed;
+      double ng = g + *cost;
+      SearchCore::Slot& ts = core.slot(t);
+      if (ng < ts.g) {
+        ts.g = ng;
+        ts.parent = cur;
+        ts.priority = ng + heuristic(succ);
+        core.HeapPushOrDecrease(t);
       }
     }
   }
@@ -115,34 +267,41 @@ Result<MultiSourceResult> MultiSourceDistances(
     AccessMethod* am, const std::vector<NodeId>& sources) {
   MultiSourceResult result;
   QuerySpan span(am->metrics(), "query.search");
+  SearchCounters counters(am->metrics());
   IoStats before = am->DataIoStats();
 
-  std::unordered_map<NodeId, double> best;
-  std::unordered_set<NodeId> closed;
-  MinQueue open;
+  SearchCore core(am->PageMap().size());
   for (NodeId s : sources) {
-    best[s] = 0.0;
-    open.push({0.0, 0.0, s});
+    uint32_t idx = core.Intern(s);
+    if (core.slot(idx).g == 0.0) continue;  // duplicate source
+    core.slot(idx).g = 0.0;
+    core.slot(idx).priority = 0.0;
+    core.HeapPushOrDecrease(idx);
   }
-  while (!open.empty()) {
-    QueueEntry top = open.top();
-    open.pop();
-    if (closed.count(top.node)) continue;
-    closed.insert(top.node);
-    result.distances.emplace_back(top.node, top.g);
+  while (!core.HeapEmpty()) {
+    uint32_t cur = core.HeapPop();
+    core.slot(cur).closed = true;
+    NodeId node = core.slot(cur).id;
+    double g = core.slot(cur).g;
+    ++counters.n_settled;
+    result.distances.emplace_back(node, g);
     std::vector<NodeRecord> successors;
-    CCAM_ASSIGN_OR_RETURN(successors, am->GetSuccessors(top.node));
+    CCAM_ASSIGN_OR_RETURN(successors, am->GetSuccessors(node));
     NodeRecord expanded;
-    CCAM_ASSIGN_OR_RETURN(expanded, am->Find(top.node));
+    CCAM_ASSIGN_OR_RETURN(expanded, am->Find(node));
     for (const NodeRecord& succ : successors) {
-      if (closed.count(succ.id)) continue;
+      uint32_t t = core.Intern(succ.id);
+      if (core.slot(t).closed) continue;
       auto cost = expanded.SuccessorCost(succ.id);
       if (!cost.ok()) continue;
-      double g = top.g + *cost;
-      auto it = best.find(succ.id);
-      if (it == best.end() || g < it->second) {
-        best[succ.id] = g;
-        open.push({g, g, succ.id});
+      ++counters.n_relaxed;
+      double ng = g + *cost;
+      SearchCore::Slot& ts = core.slot(t);
+      if (ng < ts.g) {
+        ts.g = ng;
+        ts.parent = cur;
+        ts.priority = ng;
+        core.HeapPushOrDecrease(t);
       }
     }
   }

@@ -1,0 +1,102 @@
+#include "src/storage/hierarchy_record.h"
+
+#include "src/common/coding.h"
+
+namespace ccam {
+
+namespace {
+
+void EncodeArcs(std::string* out, const std::vector<HierarchyArc>& arcs) {
+  for (const HierarchyArc& arc : arcs) {
+    PutFixed32(out, arc.node);
+    PutDouble(out, arc.cost);
+    PutFixed32(out, arc.via);
+  }
+}
+
+bool DecodeArcs(Decoder* dec, size_t count, std::vector<HierarchyArc>* arcs) {
+  arcs->resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    (*arcs)[i].node = dec->GetFixed32();
+    (*arcs)[i].cost = dec->GetDouble();
+    (*arcs)[i].via = dec->GetFixed32();
+  }
+  return dec->Ok();
+}
+
+}  // namespace
+
+void HierarchyNodeRecord::EncodeTo(std::string* out) const {
+  PutFixed32(out, id);
+  PutFixed32(out, rank);
+  PutFixed16(out, static_cast<uint16_t>(up.size()));
+  PutFixed16(out, static_cast<uint16_t>(down.size()));
+  EncodeArcs(out, up);
+  EncodeArcs(out, down);
+}
+
+Result<HierarchyNodeRecord> HierarchyNodeRecord::Decode(
+    std::string_view bytes) {
+  Decoder dec(bytes.data(), bytes.size());
+  HierarchyNodeRecord rec;
+  rec.id = dec.GetFixed32();
+  rec.rank = dec.GetFixed32();
+  const size_t up_count = dec.GetFixed16();
+  const size_t down_count = dec.GetFixed16();
+  if (!dec.Ok() ||
+      dec.Remaining() != (up_count + down_count) * kHierarchyArcBytes) {
+    return Status::Corruption("hierarchy record truncated");
+  }
+  if (!DecodeArcs(&dec, up_count, &rec.up) ||
+      !DecodeArcs(&dec, down_count, &rec.down)) {
+    return Status::Corruption("hierarchy record arc list truncated");
+  }
+  return rec;
+}
+
+NodeId HierarchyNodeRecord::PeekId(std::string_view bytes) {
+  if (bytes.size() < 4) return kInvalidNodeId;
+  return DecodeFixed32(bytes.data());
+}
+
+Result<HierarchyArc> HierarchyNodeRecord::UpArcTo(NodeId node) const {
+  for (const HierarchyArc& arc : up) {
+    if (arc.node == node) return arc;
+  }
+  return Status::NotFound("no upward arc " + std::to_string(id) + " -> " +
+                          std::to_string(node));
+}
+
+Result<HierarchyArc> HierarchyNodeRecord::DownArcFrom(NodeId node) const {
+  for (const HierarchyArc& arc : down) {
+    if (arc.node == node) return arc;
+  }
+  return Status::NotFound("no downward arc " + std::to_string(node) + " -> " +
+                          std::to_string(id));
+}
+
+void HierarchyMeta::EncodeTo(std::string* out) const {
+  PutFixed32(out, kHierarchyMetaMagic);
+  PutFixed32(out, version);
+  PutFixed64(out, num_nodes);
+  PutFixed64(out, num_shortcuts);
+}
+
+Result<HierarchyMeta> HierarchyMeta::Decode(std::string_view bytes) {
+  Decoder dec(bytes.data(), bytes.size());
+  const uint32_t magic = dec.GetFixed32();
+  HierarchyMeta meta;
+  meta.version = dec.GetFixed32();
+  meta.num_nodes = dec.GetFixed64();
+  meta.num_shortcuts = dec.GetFixed64();
+  if (!dec.Ok() || magic != kHierarchyMetaMagic) {
+    return Status::Corruption("hierarchy metadata record invalid");
+  }
+  if (meta.version != kHierarchyFormatVersion) {
+    return Status::Corruption("hierarchy overlay format version " +
+                              std::to_string(meta.version) + " unsupported");
+  }
+  return meta;
+}
+
+}  // namespace ccam

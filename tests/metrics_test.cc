@@ -8,12 +8,15 @@
 #include <atomic>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/random.h"
 #include "src/core/ccam.h"
 #include "src/graph/generator.h"
 #include "src/graph/route.h"
+#include "src/query/hierarchy.h"
 #include "src/query/route_eval.h"
 #include "src/query/search.h"
 #include "src/storage/io_stats.h"
@@ -300,6 +303,111 @@ TEST(MetricsGuardTest, PageAccessCountsIdenticalWithMetricsAttached) {
   EXPECT_EQ(reg.GetCounter("disk.read")->value(), on.io.reads);
   EXPECT_EQ(reg.GetCounter("query.route_eval")->value(), routes.size());
   EXPECT_EQ(reg.GetCounter("query.search")->value(), 1u);
+}
+
+// --- Search counter conservation ------------------------------------------
+
+TEST(SearchCountersTest, SettledAndRelaxedConservation) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  options.buffer_pool_pages = 8;
+  Ccam am(options, CcamCreateMode::kStatic);
+  MetricsRegistry reg;
+  am.SetMetrics(&reg);
+  ASSERT_TRUE(am.Create(net).ok());
+  reg.Reset();
+
+  std::vector<NodeId> ids = net.NodeIds();
+  Random rng(42);
+  const int kQueries = 12;
+  uint64_t expanded_sum = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    NodeId src = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+    NodeId dst = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+    auto res = (i % 2 == 0) ? ShortestPathDijkstra(&am, src, dst)
+                            : ShortestPathAStar(&am, src, dst);
+    ASSERT_TRUE(res.ok());
+    expanded_sum += res->nodes_expanded;
+  }
+
+  // Conservation: the settled counter is exactly the sum of the per-query
+  // nodes_expanded the results already report; each search is one span.
+  EXPECT_EQ(reg.GetCounter("query.search.settled")->value(), expanded_sum);
+  EXPECT_EQ(reg.GetCounter("query.search")->value(),
+            static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(reg.GetHistogram("query.search_us")->count(),
+            static_cast<uint64_t>(kQueries));
+  // Every settled node except a source entered the frontier through a
+  // relaxation, and no relaxation is counted after its edge is pruned.
+  uint64_t relaxed = reg.GetCounter("query.search.relaxed")->value();
+  EXPECT_GE(relaxed + kQueries, expanded_sum);
+  EXPECT_GT(relaxed, 0u);
+}
+
+TEST(SearchCountersTest, HierarchyCountersConservation) {
+  Network net = GenerateMinneapolisLikeMap(1995);
+  AccessMethodOptions options;
+  options.page_size = 1024;
+  options.buffer_pool_pages = 8;
+  options.hierarchy_overlay = true;
+  Ccam am(options, CcamCreateMode::kStatic);
+  MetricsRegistry reg;
+  am.SetMetrics(&reg);
+  ASSERT_TRUE(am.Create(net).ok());
+  reg.Reset();
+
+  std::vector<NodeId> ids = net.NodeIds();
+  Random rng(7);
+  const int kQueries = 12;
+  uint64_t expanded_sum = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    NodeId src = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+    NodeId dst = ids[rng.Uniform(static_cast<uint32_t>(ids.size()))];
+    auto res = ShortestPathCH(&am, src, dst);
+    ASSERT_TRUE(res.ok());
+    expanded_sum += res->nodes_expanded;
+  }
+
+  EXPECT_EQ(reg.GetCounter("query.hierarchy")->value(),
+            static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(reg.GetHistogram("query.hierarchy_us")->count(),
+            static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(reg.GetCounter("query.hierarchy.settled")->value(), expanded_sum);
+  // The bidirectional search seeds two frontiers per query; every other
+  // settle stems from a relaxation.
+  uint64_t relaxed = reg.GetCounter("query.hierarchy.relaxed")->value();
+  EXPECT_GE(relaxed + 2 * kQueries, expanded_sum);
+  EXPECT_GT(relaxed, 0u);
+  // CH queries never touch the flat-search counters and vice versa.
+  EXPECT_EQ(reg.GetCounter("query.search")->value(), 0u);
+}
+
+TEST(SearchCountersTest, NullRegistryLeavesSearchResultsIdentical) {
+  // The zero-overhead contract: counters are resolved once per search and
+  // skipped entirely on a null registry, so attaching a registry must not
+  // change any reported result field.
+  Network net = GenerateRingRadialCity(6, 8);
+  std::vector<NodeId> ids = net.NodeIds();
+  auto run = [&](MetricsRegistry* reg) {
+    AccessMethodOptions options;
+    options.page_size = 1024;
+    options.buffer_pool_pages = 8;
+    options.hierarchy_overlay = true;
+    Ccam am(options, CcamCreateMode::kStatic);
+    if (reg != nullptr) am.SetMetrics(reg);
+    EXPECT_TRUE(am.Create(net).ok());
+    auto dj = ShortestPathDijkstra(&am, ids.front(), ids.back());
+    auto ch = ShortestPathCH(&am, ids.front(), ids.back());
+    EXPECT_TRUE(dj.ok());
+    EXPECT_TRUE(ch.ok());
+    return std::make_tuple(dj->path, dj->nodes_expanded, dj->page_accesses,
+                           ch->path, ch->nodes_expanded, ch->page_accesses);
+  };
+  MetricsRegistry reg;
+  EXPECT_EQ(run(nullptr), run(&reg));
+  EXPECT_GT(reg.GetCounter("query.search.settled")->value(), 0u);
+  EXPECT_GT(reg.GetCounter("query.hierarchy.settled")->value(), 0u);
 }
 
 }  // namespace
