@@ -15,6 +15,11 @@
 # deterministic output of a seeded experiment and must match EXACTLY;
 # any drift there is a correctness change, not noise.
 #
+# Artifacts produced by a DEBUG build (google-benchmark stamps
+# "library_build_type": "debug" into its context) skip the wall-clock
+# comparisons entirely, with a loud warning: debug timings measure
+# assertion density, not performance. Deterministic fields still gate.
+#
 # Usage:
 #   scripts/check_perf.sh baseline.json current.json [tolerance-pct]
 #   scripts/check_perf.sh --smoke [build-dir]
@@ -64,16 +69,31 @@ tol = float(os.environ["TOL"]) / 100.0
 
 # Wall-clock-ish field names: noisy, compared within tolerance. Everything
 # else numeric is deterministic and must match exactly.
-NOISY = ("ms", "us", "time", "qps", "sec", "rate", "speedup")
+NOISY = ("ms", "us", "time", "qps", "sec", "rate", "speedup", "occupancy",
+         "per_query")
 
 def noisy(field):
     f = field.lower()
     return any(tok in f for tok in NOISY)
 
+# Set by load() when an artifact came from a debug build (google-benchmark
+# stamps "library_build_type" into its context). Debug wall-clock numbers
+# measure assertion density, not performance: comparing them is pure
+# noise, so the noisy fields are skipped entirely — loudly.
+debug_build = False
+
 def load(path):
     """Returns {join_key: {field: number}} for either artifact schema."""
+    global debug_build
     with open(path) as f:
         doc = json.load(f)
+    ctx = doc.get("context")
+    if isinstance(ctx, dict) and ctx.get("library_build_type") == "debug":
+        print(f"check_perf: WARNING: {os.path.basename(path)} was produced "
+              "by a DEBUG build; wall-clock fields will NOT be compared "
+              "(deterministic fields still must match exactly). Re-run the "
+              "bench from a Release build for a real perf gate.")
+        debug_build = True
     out = {}
     if "records" in doc:  # bench_util.h schema
         # Records are joined on their string/bool fields; many records can
@@ -119,6 +139,8 @@ for key in sorted(base):
             failures.append(f"{key}: field '{field}' disappeared")
             continue
         new = cur[key][field]
+        if noisy(field) and debug_build:
+            continue
         compared += 1
         if noisy(field):
             limit = tol * max(abs(old), 1e-9)

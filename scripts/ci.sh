@@ -9,10 +9,15 @@
 #                  family must collect nonzero data)
 #   3. perf      — scripts/check_perf.sh --smoke: bench JSON artifacts
 #                  round-trip through the regression gate
-#   4. faults    — scripts/check_faults.sh: fault-injection + crash
+#   4. serve     — bench/serve_load in smoke mode: short load through the
+#                  query-serving layer; the binary itself gates on nonzero
+#                  qps, zero batched-vs-serial equivalence mismatches, and
+#                  IoStats conservation (wall-clock speedup gates are
+#                  skipped in the smoke run — they belong to full perf runs)
+#   5. faults    — scripts/check_faults.sh: fault-injection + crash
 #                  consistency sweeps, differential oracle, strict durable
 #                  crashsim with JSON gating
-#   5. tsan      — scripts/check_tsan.sh: concurrency suites under
+#   6. tsan      — scripts/check_tsan.sh: concurrency suites under
 #                  ThreadSanitizer (separate build directory)
 #
 # Usage: scripts/ci.sh [build-dir] [tsan-build-dir]
@@ -50,9 +55,16 @@ metrics() {
   "$BUILD/tools/stats" > /dev/null
 }
 
+serve_smoke() {
+  cmake --build "$BUILD" --target serve_load -j "$(nproc)" &&
+  CCAM_SERVE_DURATION_MS=400 CCAM_SERVE_QPS=8000 CCAM_SERVE_SKIP_GATE=1 \
+    "$BUILD/bench/serve_load"
+}
+
 run_stage "tier-1 (ctest)" tier1
 run_stage "metrics (tools/stats)" metrics
 run_stage "perf (check_perf.sh --smoke)" scripts/check_perf.sh --smoke "$BUILD"
+run_stage "serve (serve_load smoke)" serve_smoke
 run_stage "faults (check_faults.sh)" scripts/check_faults.sh "$BUILD"
 run_stage "tsan (check_tsan.sh)" scripts/check_tsan.sh "$TSAN_BUILD"
 

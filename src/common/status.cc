@@ -26,6 +26,8 @@ const char* CodeName(Status::Code code) {
       return "ShortRead";
     case Status::Code::kShortWrite:
       return "ShortWrite";
+    case Status::Code::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -26,6 +26,12 @@ class Status {
     kShortRead = 8,
     /// A write persisted only a prefix of the data (torn write).
     kShortWrite = 9,
+    /// The serving layer refused the request to protect itself: the
+    /// bounded request queue is full, the tenant exceeded its rate
+    /// limit, or the service is shutting down. Clients should back off
+    /// and retry; the typed code lets them tell load shedding from a
+    /// real failure.
+    kOverloaded = 10,
   };
 
   /// Constructs an OK status.
@@ -64,6 +70,9 @@ class Status {
   static Status ShortWrite(std::string msg) {
     return Status(Code::kShortWrite, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(Code::kOverloaded, std::move(msg));
+  }
   /// Builds a status with an arbitrary code (fault injection returns the
   /// configured code of the armed failpoint). `code` must not be kOk.
   static Status FromCode(Code code, std::string msg) {
@@ -80,6 +89,7 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsShortRead() const { return code_ == Code::kShortRead; }
   bool IsShortWrite() const { return code_ == Code::kShortWrite; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,7 +1,9 @@
 #ifndef CCAM_CORE_QUERY_SESSION_H_
 #define CCAM_CORE_QUERY_SESSION_H_
 
+#include <cassert>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/network_file.h"
@@ -21,6 +23,14 @@ namespace ccam {
 /// charged to the session iff it missed the shared buffer pool, so the
 /// sessions' counters sum exactly to the file's global disk reads.
 ///
+/// Debug builds enforce the contract: the session binds to the thread of
+/// its first read and asserts every later read runs on that same thread —
+/// a violation used to corrupt the per-session counters silently (two
+/// unsynchronized writers on plain uint64_t fields) and only surfaced,
+/// sometimes, as a conservation mismatch much later. A deliberate
+/// single-threaded handoff (a pool worker adopting a session built
+/// elsewhere) calls RebindToCurrentThread() at the ownership transfer.
+///
 /// Mutating operations return NotSupported.
 class QuerySession : public AccessMethod {
  public:
@@ -33,12 +43,15 @@ class QuerySession : public AccessMethod {
   }
 
   Result<NodeRecord> Find(NodeId id) override {
+    DebugCheckThread();
     return file_->SharedFind(id, &io_);
   }
   Result<NodeRecord> GetASuccessor(NodeId from, NodeId to) override {
+    DebugCheckThread();
     return file_->SharedGetASuccessor(from, to, &io_);
   }
   Result<std::vector<NodeRecord>> GetSuccessors(NodeId id) override {
+    DebugCheckThread();
     return file_->SharedGetSuccessors(id, &io_);
   }
 
@@ -66,6 +79,7 @@ class QuerySession : public AccessMethod {
   /// charged here iff it missed the overlay's shared buffer pool.
   bool HasHierarchy() const override { return file_->HasHierarchy(); }
   Result<HierarchyNodeRecord> HierarchyNode(NodeId id) override {
+    DebugCheckThread();
     return file_->SharedHierarchyNode(id, &hier_io_);
   }
   IoStats HierarchyIoStats() const override { return hier_io_; }
@@ -77,14 +91,57 @@ class QuerySession : public AccessMethod {
 
   NetworkFile* file() const { return file_; }
 
+  /// Pins one data page for the lifetime of the returned guard, charging a
+  /// pool miss to this session. The region-batched execution path pins a
+  /// batch's home page once, so every request in the batch then reads it
+  /// as a buffer hit — one fetch serving many queries while the
+  /// per-session conservation invariant still holds exactly.
+  PageGuard PinDataPage(PageId id) {
+    DebugCheckThread();
+    return PageGuard(file_->buffer_pool(), id, &io_);
+  }
+
+  /// Multi-pin form: pins every distinct page of `ids` (the batch's region
+  /// working set) through BufferPool::FetchPages, charging misses here.
+  Status PinDataPages(const std::vector<PageId>& ids,
+                      std::vector<PageGuard>* guards) {
+    DebugCheckThread();
+    return file_->buffer_pool()->FetchPages(ids, guards, &io_);
+  }
+
+  /// Transfers the session to the calling thread (debug-build contract
+  /// bookkeeping only). Call at a deliberate ownership handoff — e.g. a
+  /// serving worker adopting a session that the service constructed on its
+  /// own thread — never to share one session between live threads.
+  void RebindToCurrentThread() {
+#ifndef NDEBUG
+    bound_thread_ = std::this_thread::get_id();
+#endif
+  }
+
   /// Sessions inherit the file's registry, so "query.*" spans from every
   /// concurrent stream land in the same catalog.
   MetricsRegistry* metrics() const override { return file_->metrics(); }
 
  private:
+  void DebugCheckThread() {
+#ifndef NDEBUG
+    if (bound_thread_ == std::thread::id()) {
+      bound_thread_ = std::this_thread::get_id();
+    }
+    assert(bound_thread_ == std::this_thread::get_id() &&
+           "QuerySession used from two threads: open one session per thread "
+           "(or RebindToCurrentThread() at a single-threaded handoff)");
+#endif
+  }
+
   NetworkFile* file_;
   IoStats io_;       // per-session: the session is single-threaded by contract
   IoStats hier_io_;  // per-session overlay reads, same contract
+#ifndef NDEBUG
+  /// Thread of the first read (default id = not yet bound).
+  std::thread::id bound_thread_{};
+#endif
 };
 
 }  // namespace ccam

@@ -1,0 +1,63 @@
+#include "src/serve/admission.h"
+
+namespace ccam {
+namespace serve {
+
+AdmissionController::AdmissionController(const Options& options)
+    : options_(options) {
+  if (options_.max_tenant_depth == 0) {
+    options_.max_tenant_depth = options_.max_queue_depth / 4;
+    if (options_.max_tenant_depth == 0) options_.max_tenant_depth = 1;
+  }
+  if (options_.tenant_burst <= 0.0) {
+    options_.tenant_burst = options_.tenant_rate;
+  }
+}
+
+Status AdmissionController::Admit(uint32_t tenant, uint64_t now_us,
+                                  RejectGate* gate) {
+  if (gate != nullptr) *gate = RejectGate::kNone;
+  if (queue_depth_ >= options_.max_queue_depth) {
+    if (gate != nullptr) *gate = RejectGate::kQueueFull;
+    return Status::Overloaded("request queue full (" +
+                              std::to_string(queue_depth_) + " queued)");
+  }
+  auto depth = tenant_depth_.find(tenant);
+  if (depth != tenant_depth_.end() &&
+      depth->second >= options_.max_tenant_depth) {
+    if (gate != nullptr) *gate = RejectGate::kTenantDepth;
+    return Status::Overloaded("tenant " + std::to_string(tenant) +
+                              " queue allowance exhausted (" +
+                              std::to_string(depth->second) + " queued)");
+  }
+  if (options_.tenant_rate > 0.0) {
+    auto [bucket, inserted] = buckets_.try_emplace(
+        tenant, options_.tenant_rate, options_.tenant_burst);
+    (void)inserted;
+    if (!bucket->second.TryAcquire(now_us)) {
+      if (gate != nullptr) *gate = RejectGate::kRateLimit;
+      return Status::Overloaded("tenant " + std::to_string(tenant) +
+                                " over rate limit");
+    }
+  }
+  return Status::OK();
+}
+
+void AdmissionController::OnEnqueue(uint32_t tenant) {
+  ++queue_depth_;
+  ++tenant_depth_[tenant];
+}
+
+void AdmissionController::OnDequeue(uint32_t tenant) {
+  --queue_depth_;
+  auto it = tenant_depth_.find(tenant);
+  if (it != tenant_depth_.end() && it->second > 0) --it->second;
+}
+
+size_t AdmissionController::TenantDepth(uint32_t tenant) const {
+  auto it = tenant_depth_.find(tenant);
+  return it == tenant_depth_.end() ? 0 : it->second;
+}
+
+}  // namespace serve
+}  // namespace ccam

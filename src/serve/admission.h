@@ -1,0 +1,105 @@
+#ifndef CCAM_SERVE_ADMISSION_H_
+#define CCAM_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/status.h"
+
+namespace ccam {
+namespace serve {
+
+/// Classic token bucket: `rate` tokens per second accrue continuously up
+/// to a cap of `burst`; a request consumes one token or is refused. Time
+/// is passed in explicitly (microseconds on any monotonic scale), which
+/// keeps the arithmetic deterministic and unit-testable without sleeping.
+/// Not thread-safe: the admission controller serializes access.
+class TokenBucket {
+ public:
+  /// `rate` <= 0 disables limiting (TryAcquire always succeeds).
+  TokenBucket(double rate, double burst)
+      : rate_(rate), burst_(burst > 0 ? burst : 1.0), tokens_(burst_) {}
+
+  /// Consumes one token accrued by `now_us` if available.
+  bool TryAcquire(uint64_t now_us) {
+    if (rate_ <= 0.0) return true;
+    if (now_us > last_us_) {
+      tokens_ += rate_ * static_cast<double>(now_us - last_us_) * 1e-6;
+      if (tokens_ > burst_) tokens_ = burst_;
+      last_us_ = now_us;
+    }
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  uint64_t last_us_ = 0;
+};
+
+/// Per-tenant admission policy of the query service, applied on the submit
+/// path before a request may enter the bounded queue. Three independent
+/// gates, each with a typed Overloaded rejection:
+///
+///  * global queue depth   — the service's total backlog is bounded;
+///  * per-tenant depth     — one tenant may only occupy a fraction of the
+///                           queue, so a flooding tenant exhausts its own
+///                           allowance while others keep being admitted
+///                           (the anti-starvation half of fairness; the
+///                           DRR scheduler is the service-order half);
+///  * per-tenant rate      — a token bucket smoothing each tenant to its
+///                           contracted request rate with bounded burst.
+///
+/// Not thread-safe: the service calls Admit under its submit lock.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Total queued-but-unexecuted requests across all tenants.
+    size_t max_queue_depth = 1024;
+    /// Queued requests any single tenant may hold. 0 = a quarter of
+    /// max_queue_depth (so three misbehaving tenants still cannot squeeze
+    /// a fourth out of the queue entirely).
+    size_t max_tenant_depth = 0;
+    /// Token-bucket rate per tenant in requests/second; <= 0 disables.
+    double tenant_rate = 0.0;
+    /// Token-bucket burst capacity; <= 0 defaults to tenant_rate (one
+    /// second of burst).
+    double tenant_burst = 0.0;
+  };
+
+  /// Which gate refused an arrival (for the service's rejection metrics).
+  enum class RejectGate { kNone, kQueueFull, kTenantDepth, kRateLimit };
+
+  explicit AdmissionController(const Options& options);
+
+  /// Decides one arrival from `tenant` at monotonic time `now_us`. OK
+  /// admits (the caller must then Enqueue/Dequeue-account below);
+  /// otherwise a typed Overloaded status names the exhausted gate (and
+  /// `gate`, when given, identifies it programmatically).
+  Status Admit(uint32_t tenant, uint64_t now_us, RejectGate* gate = nullptr);
+
+  /// Queue-depth accounting hooks, called when an admitted request enters
+  /// the scheduler and when it leaves for execution.
+  void OnEnqueue(uint32_t tenant);
+  void OnDequeue(uint32_t tenant);
+
+  size_t queue_depth() const { return queue_depth_; }
+  size_t TenantDepth(uint32_t tenant) const;
+
+ private:
+  Options options_;
+  size_t queue_depth_ = 0;
+  std::unordered_map<uint32_t, size_t> tenant_depth_;
+  std::unordered_map<uint32_t, TokenBucket> buckets_;
+};
+
+}  // namespace serve
+}  // namespace ccam
+
+#endif  // CCAM_SERVE_ADMISSION_H_

@@ -1,0 +1,448 @@
+#include "src/serve/query_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/query/aggregate.h"
+#include "src/query/hierarchy.h"
+#include "src/query/route_eval.h"
+#include "src/query/search.h"
+
+namespace ccam {
+namespace serve {
+
+const char* ServeOpName(ServeOp op) {
+  switch (op) {
+    case ServeOp::kRouteEval:
+      return "route_eval";
+    case ServeOp::kAStar:
+      return "astar";
+    case ServeOp::kHierarchy:
+      return "hierarchy";
+    case ServeOp::kAggregate:
+      return "aggregate";
+  }
+  return "unknown";
+}
+
+uint64_t QueryService::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+QueryService::QueryService(NetworkFile* file,
+                           const QueryServiceOptions& options)
+    : file_(file),
+      options_(options),
+      admission_(AdmissionController::Options{
+          options.max_queue_depth, options.max_tenant_depth,
+          options.tenant_rate, options.tenant_burst}) {
+  int n = options_.num_workers;
+  if (n <= 0) n = static_cast<int>(file_->buffer_pool()->num_shards());
+  if (n < 1) n = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->scheduler = DrrScheduler(options_.drr_quantum);
+    w->session = file_->OpenSession();
+    workers_.push_back(std::move(w));
+  }
+  pool_ = std::make_unique<ThreadPool>(n);
+  for (auto& w : workers_) {
+    Worker* wp = w.get();
+    pool_->Submit([this, wp] { WorkerLoop(wp); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(/*drain=*/true); }
+
+void QueryService::SetMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_submitted_ = m_admitted_ = m_rejected_queue_ = m_rejected_tenant_ =
+        m_rejected_rate_ = m_rejected_shutdown_ = m_completed_ = m_batches_ =
+            m_batched_requests_ = nullptr;
+    g_queue_depth_ = nullptr;
+    h_queue_wait_us_ = h_exec_us_ = h_latency_us_ = h_batch_occupancy_ =
+        nullptr;
+    return;
+  }
+  m_submitted_ = metrics->GetCounter("serve.submitted");
+  m_admitted_ = metrics->GetCounter("serve.admitted");
+  m_rejected_queue_ = metrics->GetCounter("serve.rejected_queue_full");
+  m_rejected_tenant_ = metrics->GetCounter("serve.rejected_tenant_depth");
+  m_rejected_rate_ = metrics->GetCounter("serve.rejected_rate_limited");
+  m_rejected_shutdown_ = metrics->GetCounter("serve.rejected_shutdown");
+  m_completed_ = metrics->GetCounter("serve.completed");
+  m_batches_ = metrics->GetCounter("serve.batches");
+  m_batched_requests_ = metrics->GetCounter("serve.batched_requests");
+  g_queue_depth_ = metrics->GetGauge("serve.queue_depth");
+  h_queue_wait_us_ = metrics->GetHistogram("serve.queue_wait_us");
+  h_exec_us_ = metrics->GetHistogram("serve.batch_exec_us");
+  h_latency_us_ = metrics->GetHistogram("serve.latency_us");
+  h_batch_occupancy_ = metrics->GetHistogram("serve.batch_occupancy");
+}
+
+ServeTicketPtr QueryService::Submit(ServeRequest request) {
+  auto ticket = std::make_shared<ServeTicket>();
+  n_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (m_submitted_ != nullptr) m_submitted_->Inc();
+
+  auto reject = [&](Status status, MetricCounter* counter) {
+    n_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (counter != nullptr) counter->Inc();
+    ServeResponse response;
+    response.status = std::move(status);
+    response.done_us = NowMicros();
+    ticket->Fulfill(std::move(response));
+    return ticket;
+  };
+
+  const NodeId origin = request.Origin();
+  if (origin == kInvalidNodeId) {
+    return reject(Status::InvalidArgument("request has no origin node"),
+                  nullptr);
+  }
+  PageId region = kInvalidPageId;
+  auto it = file_->PageMap().find(origin);
+  if (it == file_->PageMap().end()) {
+    return reject(
+        Status::NotFound("origin node " + std::to_string(origin) +
+                         " is not stored in the file"),
+        nullptr);
+  }
+  region = it->second;
+
+  const uint64_t now = NowMicros();
+  Worker* w = nullptr;
+  if (options_.region_affinity) {
+    w = workers_[region % workers_.size()].get();
+  } else {
+    w = workers_[round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                 workers_.size()]
+            .get();
+  }
+
+  {
+    // One critical section covers the admission decision and the worker
+    // enqueue (lock order: admission_mu_ -> worker mu, same as Shutdown),
+    // so a cancelling Shutdown can never slip between "admitted" and
+    // "queued" and leave a ticket nobody will fulfill.
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    if (!accepting_) {
+      return reject(Status::Overloaded("service shutting down"),
+                    m_rejected_shutdown_);
+    }
+    AdmissionController::RejectGate gate;
+    Status admit = admission_.Admit(request.tenant, now, &gate);
+    if (!admit.ok()) {
+      MetricCounter* counter = nullptr;
+      switch (gate) {
+        case AdmissionController::RejectGate::kQueueFull:
+          counter = m_rejected_queue_;
+          break;
+        case AdmissionController::RejectGate::kTenantDepth:
+          counter = m_rejected_tenant_;
+          break;
+        case AdmissionController::RejectGate::kRateLimit:
+          counter = m_rejected_rate_;
+          break;
+        case AdmissionController::RejectGate::kNone:
+          break;
+      }
+      return reject(std::move(admit), counter);
+    }
+    admission_.OnEnqueue(request.tenant);
+    if (g_queue_depth_ != nullptr) {
+      g_queue_depth_->Set(static_cast<int64_t>(admission_.queue_depth()));
+    }
+
+    QueuedRequest item;
+    item.request = std::move(request);
+    item.ticket = ticket;
+    item.region = region;
+    item.enqueue_us = now;
+    {
+      std::lock_guard<std::mutex> wlock(w->mu);
+      w->scheduler.Enqueue(std::move(item));
+    }
+  }
+  n_admitted_.fetch_add(1, std::memory_order_relaxed);
+  if (m_admitted_ != nullptr) m_admitted_->Inc();
+  w->cv.notify_one();
+  return ticket;
+}
+
+void QueryService::WorkerLoop(Worker* worker) {
+  // The service constructed this session on its own thread; the worker
+  // adopts it here, at the single-threaded handoff.
+  worker->session->RebindToCurrentThread();
+  std::vector<QueuedRequest> batch;
+  const size_t cap = options_.region_batching ? options_.max_batch : 1;
+  std::unique_lock<std::mutex> lock(worker->mu);
+  for (;;) {
+    worker->cv.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             !worker->scheduler.empty();
+    });
+    if (worker->scheduler.empty()) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    batch.clear();
+    if (worker->scheduler.PopBatch(cap, &batch) == 0) continue;
+    if (options_.region_batching && options_.batch_window_us > 0 &&
+        batch.size() < cap && !stop_.load(std::memory_order_acquire)) {
+      // Bounded batching window: hold the underfull batch open briefly for
+      // more same-region arrivals. Bounded by the deadline, so the added
+      // p99 at low load is at most batch_window_us (and the default window
+      // is 0: purely opportunistic batching, no waiting at all).
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.batch_window_us);
+      while (batch.size() < cap && !stop_.load(std::memory_order_acquire)) {
+        const bool timed_out =
+            worker->cv.wait_until(lock, deadline) == std::cv_status::timeout;
+        worker->scheduler.PopSameRegion(batch.front().region,
+                                        cap - batch.size(), &batch);
+        if (timed_out) break;
+      }
+    }
+    lock.unlock();
+    ExecuteBatch(worker, &batch);
+    lock.lock();
+  }
+}
+
+void QueryService::ExecuteBatch(Worker* worker,
+                                std::vector<QueuedRequest>* batch) {
+  const uint64_t start_us = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    for (const QueuedRequest& item : *batch) {
+      admission_.OnDequeue(item.request.tenant);
+    }
+    if (g_queue_depth_ != nullptr) {
+      g_queue_depth_->Set(static_cast<int64_t>(admission_.queue_depth()));
+    }
+  }
+
+  // Pin the batch's region page once through the worker's session: the one
+  // fetch (charged to this session iff it misses the shared pool) then
+  // serves every request of the batch as a buffer hit.
+  std::vector<PageGuard> pins;
+  if (options_.region_batching && batch->front().region != kInvalidPageId) {
+    (void)worker->session->PinDataPages({batch->front().region}, &pins);
+  }
+
+  const size_t n = batch->size();
+  std::vector<ServeResponse> responses(n);
+  std::vector<size_t> by_op[4];
+  for (size_t i = 0; i < n; ++i) {
+    by_op[static_cast<size_t>((*batch)[i].request.op)].push_back(i);
+  }
+  AccessMethod* am = worker->session.get();
+
+  const std::vector<size_t>& route_idx =
+      by_op[static_cast<size_t>(ServeOp::kRouteEval)];
+  if (!route_idx.empty()) {
+    std::vector<const Route*> routes;
+    routes.reserve(route_idx.size());
+    for (size_t i : route_idx) routes.push_back(&(*batch)[i].request.route);
+    auto results = EvaluateRouteBatch(am, routes);
+    for (size_t k = 0; k < route_idx.size(); ++k) {
+      ServeResponse& r = responses[route_idx[k]];
+      if (results[k].ok()) {
+        r.cost = results[k].value().total_cost;
+        r.num_edges = results[k].value().num_edges;
+      } else {
+        r.status = results[k].status();
+      }
+    }
+  }
+
+  const std::vector<size_t>& astar_idx =
+      by_op[static_cast<size_t>(ServeOp::kAStar)];
+  if (!astar_idx.empty()) {
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(astar_idx.size());
+    for (size_t i : astar_idx) {
+      const Route& route = (*batch)[i].request.route;
+      pairs.emplace_back(route.nodes.front(), route.nodes.back());
+    }
+    auto results = ShortestPathAStarBatch(am, pairs);
+    for (size_t k = 0; k < astar_idx.size(); ++k) {
+      ServeResponse& r = responses[astar_idx[k]];
+      if (results[k].ok()) {
+        r.cost = results[k].value().cost;
+        r.num_edges = results[k].value().path.empty()
+                          ? 0
+                          : results[k].value().path.size() - 1;
+        r.path = std::move(results[k].value().path);
+      } else {
+        r.status = results[k].status();
+      }
+    }
+  }
+
+  const std::vector<size_t>& ch_idx =
+      by_op[static_cast<size_t>(ServeOp::kHierarchy)];
+  if (!ch_idx.empty()) {
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(ch_idx.size());
+    for (size_t i : ch_idx) {
+      const Route& route = (*batch)[i].request.route;
+      pairs.emplace_back(route.nodes.front(), route.nodes.back());
+    }
+    auto results = ShortestPathCHBatch(am, pairs);
+    for (size_t k = 0; k < ch_idx.size(); ++k) {
+      ServeResponse& r = responses[ch_idx[k]];
+      if (results[k].ok()) {
+        r.cost = results[k].value().cost;
+        r.num_edges = results[k].value().path.empty()
+                          ? 0
+                          : results[k].value().path.size() - 1;
+        r.path = std::move(results[k].value().path);
+      } else {
+        r.status = results[k].status();
+      }
+    }
+  }
+
+  const std::vector<size_t>& agg_idx =
+      by_op[static_cast<size_t>(ServeOp::kAggregate)];
+  if (!agg_idx.empty()) {
+    std::vector<const RouteUnit*> units;
+    units.reserve(agg_idx.size());
+    for (size_t i : agg_idx) units.push_back(&(*batch)[i].request.unit);
+    auto results = AggregateRouteUnitBatch(am, units);
+    for (size_t k = 0; k < agg_idx.size(); ++k) {
+      ServeResponse& r = responses[agg_idx[k]];
+      if (results[k].ok()) {
+        r.cost = results[k].value().total_edge_cost;
+        r.num_edges = results[k].value().num_edges;
+      } else {
+        r.status = results[k].status();
+      }
+    }
+  }
+
+  pins.clear();  // unpin before fulfilling: clients may re-query promptly
+
+  const uint64_t end_us = NowMicros();
+  for (size_t i = 0; i < n; ++i) {
+    QueuedRequest& item = (*batch)[i];
+    ServeResponse& r = responses[i];
+    r.queue_us = start_us > item.enqueue_us ? start_us - item.enqueue_us : 0;
+    r.batch_size = static_cast<uint32_t>(n);
+    r.done_us = end_us;
+    if (h_queue_wait_us_ != nullptr) h_queue_wait_us_->Record(r.queue_us);
+    if (h_latency_us_ != nullptr) {
+      h_latency_us_->Record(end_us > item.enqueue_us
+                                ? end_us - item.enqueue_us
+                                : 0);
+    }
+    item.ticket->Fulfill(std::move(r));
+  }
+  n_completed_.fetch_add(n, std::memory_order_relaxed);
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (n > 1) n_batched_requests_.fetch_add(n, std::memory_order_relaxed);
+  if (m_completed_ != nullptr) m_completed_->Inc(n);
+  if (m_batches_ != nullptr) m_batches_->Inc();
+  if (n > 1 && m_batched_requests_ != nullptr) m_batched_requests_->Inc(n);
+  if (h_exec_us_ != nullptr) h_exec_us_->Record(end_us - start_us);
+  if (h_batch_occupancy_ != nullptr) h_batch_occupancy_->Record(n);
+}
+
+void QueryService::CancelBatch(std::vector<QueuedRequest>* batch,
+                               const char* why) {
+  if (batch->empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    for (const QueuedRequest& item : *batch) {
+      admission_.OnDequeue(item.request.tenant);
+    }
+    if (g_queue_depth_ != nullptr) {
+      g_queue_depth_->Set(static_cast<int64_t>(admission_.queue_depth()));
+    }
+  }
+  const uint64_t now = NowMicros();
+  for (QueuedRequest& item : *batch) {
+    ServeResponse response;
+    response.status = Status::Overloaded(why);
+    response.done_us = now;
+    item.ticket->Fulfill(std::move(response));
+  }
+  n_rejected_.fetch_add(batch->size(), std::memory_order_relaxed);
+  if (m_rejected_shutdown_ != nullptr) {
+    m_rejected_shutdown_->Inc(batch->size());
+  }
+}
+
+void QueryService::Shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    accepting_ = false;
+  }
+  if (!drain) {
+    std::vector<QueuedRequest> cancelled;
+    for (auto& w : workers_) {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->scheduler.DrainAll(&cancelled);
+    }
+    CancelBatch(&cancelled, "cancelled: service shutting down");
+  }
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w->cv.notify_all();
+  // Workers exit once their scheduler is empty (immediately after a
+  // cancelling drain; after executing the backlog otherwise); destroying
+  // the pool joins them.
+  pool_.reset();
+}
+
+IoStats QueryService::TotalSessionIoStats() const {
+  IoStats total;
+  for (const auto& w : workers_) {
+    IoStats s = w->session->DataIoStats();
+    total.reads += s.reads;
+    total.writes += s.writes;
+    total.allocs += s.allocs;
+    total.frees += s.frees;
+  }
+  return total;
+}
+
+IoStats QueryService::TotalSessionHierarchyIoStats() const {
+  IoStats total;
+  for (const auto& w : workers_) {
+    IoStats s = w->session->HierarchyIoStats();
+    total.reads += s.reads;
+    total.writes += s.writes;
+    total.allocs += s.allocs;
+    total.frees += s.frees;
+  }
+  return total;
+}
+
+QueryService::Stats QueryService::GetStats() const {
+  Stats stats;
+  stats.submitted = n_submitted_.load(std::memory_order_relaxed);
+  stats.admitted = n_admitted_.load(std::memory_order_relaxed);
+  stats.rejected = n_rejected_.load(std::memory_order_relaxed);
+  stats.completed = n_completed_.load(std::memory_order_relaxed);
+  stats.batches = n_batches_.load(std::memory_order_relaxed);
+  stats.batched_requests = n_batched_requests_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t QueryService::queue_depth() {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return admission_.queue_depth();
+}
+
+}  // namespace serve
+}  // namespace ccam

@@ -125,6 +125,24 @@ TEST_F(CliTest, ReplayRunsTrace) {
   EXPECT_NE(res.output.find("4 operations"), std::string::npos);
 }
 
+TEST_F(CliTest, ServeRunsLoadAndConserves) {
+  auto res = RunCli("serve " + Common() +
+                    " --qps 500 --duration-ms 300 --workers 4");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("conserved: yes"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("qps"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeUnbatchedStillConserves) {
+  auto res = RunCli("serve " + Common() +
+                    " --qps 300 --duration-ms 200 --workers 2 --no-batching");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("unbatched"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("conserved: yes"), std::string::npos)
+      << res.output;
+}
+
 TEST_F(CliTest, UsageOnBadCommand) {
   auto res = RunCli("frobnicate");
   EXPECT_EQ(res.exit_code, 2);

@@ -12,6 +12,12 @@
 //                     --xmin 0 --ymin 0 --xmax 500 --ymax 500
 //   ccam_cli replay   --net map.net --image file.img --trace ops.txt
 //                     [--policy first-order|second-order|higher-order]
+//   ccam_cli serve    --net map.net --image file.img [--workers 8]
+//                     [--qps 2000] [--duration-ms 1000] [--tenants 4]
+//                     [--theta 0.9] [--rate-limit 0] [--no-batching]
+//                     (open-loop load against the in-process QueryService;
+//                     reports qps, latency percentiles, reject rate,
+//                     batch occupancy, and the conservation check)
 //
 // The `.net` file is the text network format (src/graph/graph_io.h); the
 // `.img` file is a CCAM disk image (NetworkFile::SaveImage).
@@ -30,6 +36,8 @@
 #include "src/query/search.h"
 #include "src/query/spatial.h"
 #include "src/query/trace.h"
+#include "src/serve/loadgen.h"
+#include "src/serve/query_service.h"
 
 namespace ccam {
 namespace cli {
@@ -40,8 +48,9 @@ class Args {
  public:
   Args(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--weighted") == 0) {
-        flags_["weighted"] = true;  // boolean flag, no value
+      if (std::strcmp(argv[i], "--weighted") == 0 ||
+          std::strcmp(argv[i], "--no-batching") == 0) {
+        flags_[argv[i] + 2] = true;  // boolean flag, no value
         continue;
       }
       if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
@@ -248,10 +257,58 @@ int CmdReplay(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  Network net = LoadNet(args.Require("net"));
+  (void)net;
+  auto am = OpenFile(args);
+
+  serve::LoadgenOptions load;
+  load.tenants = static_cast<uint32_t>(args.GetInt("tenants", 4));
+  load.offered_qps = args.GetDouble("qps", 2000.0);
+  load.duration_sec = args.GetDouble("duration-ms", 1000.0) * 1e-3;
+  load.zipf_theta = args.GetDouble("theta", 0.9);
+  load.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  std::vector<serve::ServeRequest> pool =
+      serve::BuildRequestPool(am.get(), load);
+  if (pool.empty()) {
+    std::fprintf(stderr, "serve: empty request pool\n");
+    return 1;
+  }
+
+  serve::QueryServiceOptions options;
+  options.num_workers = static_cast<int>(args.GetInt("workers", 8));
+  options.max_queue_depth =
+      static_cast<size_t>(args.GetInt("queue-depth", 1024));
+  options.tenant_rate = args.GetDouble("rate-limit", 0.0);
+  options.region_batching = !args.GetFlag("no-batching");
+  serve::QueryService service(am.get(), options);
+  serve::LoadReport report =
+      serve::RunLoad(&service, am.get(), pool, load);
+  service.Shutdown(/*drain=*/true);
+
+  std::printf(
+      "served %llu/%llu requests in %.2fs (%s, %d workers, %u tenants)\n"
+      "  qps %.0f, p50 %llu us, p95 %llu us, p99 %llu us\n"
+      "  reject rate %.3f, batch occupancy %.2f, hit rate %.3f\n"
+      "  session reads %llu, disk reads %llu, conserved: %s\n",
+      static_cast<unsigned long long>(report.completed),
+      static_cast<unsigned long long>(report.submitted), report.elapsed_sec,
+      options.region_batching ? "batched" : "unbatched",
+      service.num_workers(), load.tenants, report.qps,
+      static_cast<unsigned long long>(report.p50_us),
+      static_cast<unsigned long long>(report.p95_us),
+      static_cast<unsigned long long>(report.p99_us), report.reject_rate,
+      report.mean_batch_occupancy, report.hit_rate,
+      static_cast<unsigned long long>(report.session_reads),
+      static_cast<unsigned long long>(report.disk_reads),
+      report.conserved ? "yes" : "NO");
+  return report.conserved && report.completed > 0 ? 0 : 1;
+}
+
 int Usage() {
   std::fputs(
-      "usage: ccam_cli <generate|create|stats|find|route|window|replay> "
-      "[--flag value ...]\n"
+      "usage: ccam_cli <generate|create|stats|find|route|window|replay|"
+      "serve> [--flag value ...]\n"
       "see the header comment of tools/ccam_cli.cc for details\n",
       stderr);
   return 2;
@@ -268,6 +325,7 @@ int Main(int argc, char** argv) {
   if (cmd == "route") return CmdRoute(args);
   if (cmd == "window") return CmdWindow(args);
   if (cmd == "replay") return CmdReplay(args);
+  if (cmd == "serve") return CmdServe(args);
   return Usage();
 }
 
