@@ -14,10 +14,16 @@
 #                  qps, zero batched-vs-serial equivalence mismatches, and
 #                  IoStats conservation (wall-clock speedup gates are
 #                  skipped in the smoke run — they belong to full perf runs)
-#   5. faults    — scripts/check_faults.sh: fault-injection + crash
+#   5. swap      — snapshot store: the 8-reader swap hammer, a quick
+#                  mid-swap crashsim sweep over every snapshot.* failpoint
+#                  (recovery must land on exactly the old or exactly the
+#                  new version), and bench/swap_availability emitting
+#                  BENCH_swap_availability.json (reader p99 during reorg
+#                  vs quiesced — scripts/check_perf.sh diffs it)
+#   6. faults    — scripts/check_faults.sh: fault-injection + crash
 #                  consistency sweeps, differential oracle, strict durable
 #                  crashsim with JSON gating
-#   6. tsan      — scripts/check_tsan.sh: concurrency suites under
+#   7. tsan      — scripts/check_tsan.sh: concurrency suites under
 #                  ThreadSanitizer (separate build directory)
 #
 # Usage: scripts/ci.sh [build-dir] [tsan-build-dir]
@@ -61,10 +67,25 @@ serve_smoke() {
     "$BUILD/bench/serve_load"
 }
 
+swap_stage() {
+  cmake --build "$BUILD" --target snapshot_swap_test crashsim \
+    swap_availability -j "$(nproc)" || return 1
+  "$BUILD/tests/snapshot_swap_test" || return 1
+  local fp
+  for fp in snapshot.log.append snapshot.log.flush snapshot.build \
+            snapshot.publish snapshot.retire; do
+    "$BUILD/tools/crashsim" --snapshot --failpoint="$fp" --points=6 \
+      --dir="${TMPDIR:-/tmp}/ccam_ci_swap_${fp//./_}" || return 1
+  done
+  CCAM_SWAP_BENCH_OPS=4000 CCAM_SWAP_BENCH_SWAPS=4 \
+    "$BUILD/bench/swap_availability"
+}
+
 run_stage "tier-1 (ctest)" tier1
 run_stage "metrics (tools/stats)" metrics
 run_stage "perf (check_perf.sh --smoke)" scripts/check_perf.sh --smoke "$BUILD"
 run_stage "serve (serve_load smoke)" serve_smoke
+run_stage "swap (hammer + mid-swap crashsim)" swap_stage
 run_stage "faults (check_faults.sh)" scripts/check_faults.sh "$BUILD"
 run_stage "tsan (check_tsan.sh)" scripts/check_tsan.sh "$TSAN_BUILD"
 

@@ -1,6 +1,7 @@
 #ifndef CCAM_CORE_ACCESS_METHOD_H_
 #define CCAM_CORE_ACCESS_METHOD_H_
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -137,6 +138,22 @@ class AccessMethod {
 
   /// Number of live data pages.
   virtual size_t NumDataPages() const = 0;
+
+  /// Node-ids visible to queries, ascending. The default derives them from
+  /// PageMap(), which is exact for the paged files (the map is the live
+  /// set); snapshot sessions override to merge their mutation overlay.
+  /// Query operators that enumerate "all nodes" (component sweeps, spatial
+  /// index builds) must use this instead of walking PageMap() directly.
+  virtual std::vector<NodeId> LiveNodeIds() const {
+    std::vector<NodeId> ids;
+    ids.reserve(PageMap().size());
+    for (const auto& kv : PageMap()) ids.push_back(kv.first);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  /// Number of node-ids LiveNodeIds() would return (sizing hint).
+  virtual size_t NumLiveNodes() const { return PageMap().size(); }
 
   /// The metrics registry observing this access method, or nullptr when
   /// observability is detached (the default). Query operators open their

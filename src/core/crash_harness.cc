@@ -8,11 +8,14 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "src/common/coding.h"
 #include "src/common/fault_injector.h"
 #include "src/common/metrics.h"
 #include "src/common/random.h"
 #include "src/graph/generator.h"
+#include "src/storage/snapshot_manager.h"
 
 namespace ccam {
 namespace {
@@ -372,6 +375,322 @@ Result<CrashSimReport> RunCrashSim(const CrashSimOptions& options,
     CrashPointReport entry;
     entry.crash_point = point;
     CCAM_ASSIGN_OR_RETURN(entry.result, RunCrashOnce(options, point));
+    switch (entry.result.outcome) {
+      case CrashOutcome::kNoCrash:
+        ++report.no_crash;
+        break;
+      case CrashOutcome::kRecovered:
+        ++report.recovered;
+        break;
+      case CrashOutcome::kCorruptionDetected:
+        ++report.corruption_detected;
+        break;
+      case CrashOutcome::kDurable:
+        ++report.durable;
+        break;
+      case CrashOutcome::kLostAck:
+        ++report.lost_ack;
+        break;
+      case CrashOutcome::kRecoveryFailed:
+        ++report.recovery_failed;
+        break;
+    }
+    report.points.push_back(std::move(entry));
+  }
+  return report;
+}
+
+// --- Snapshot-store sweep ---------------------------------------------------
+
+namespace {
+
+SnapshotOptions MakeSnapshotOptions(const SnapshotCrashOptions& opt) {
+  SnapshotOptions o;
+  o.am.page_size = opt.page_size;
+  o.am.buffer_pool_pages = opt.buffer_pool_pages;
+  o.am.seed = opt.seed;
+  // Deterministic build sequence, same reasoning as MakeOptions: the kill
+  // point indexes into the failpoint-evaluation sequence, which must be a
+  // pure function of the seed.
+  o.am.num_threads = 1;
+  o.dir = opt.dir;
+  return o;
+}
+
+/// The snapshot oracle's reference states: the mirror of every
+/// acknowledged mutation, and that state plus the mutation in flight when
+/// the store halted. Reorganizations never change the logical network, so
+/// a kill inside build/publish/retire leaves acked == in-flight.
+struct SnapshotTrace {
+  Network acked;
+  Network inflight;
+  bool halted = false;
+};
+
+/// Exact-state oracle: `got` must be precisely the network `want`, node
+/// for node and edge for edge (adjacency order-insensitive — recovery
+/// rebuilds predecessor lists in page-scan order).
+Status CompareNetworks(const Network& got, const Network& want) {
+  std::vector<NodeId> want_ids = want.NodeIds();
+  std::vector<NodeId> got_ids = got.NodeIds();
+  if (got_ids != want_ids) {
+    return Status::Corruption("network holds " +
+                              std::to_string(got_ids.size()) +
+                              " nodes, expected " +
+                              std::to_string(want_ids.size()) +
+                              " (or differing ids)");
+  }
+  for (NodeId id : want_ids) {
+    const NetworkNode& g = got.node(id);
+    const NetworkNode& w = want.node(id);
+    if (g.x != w.x || g.y != w.y || g.payload != w.payload) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                ": attribute mismatch");
+    }
+    if (SortedAdj(g.succ) != SortedAdj(w.succ)) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                ": successor list mismatch");
+    }
+    if (SortedAdj(g.pred) != SortedAdj(w.pred)) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                ": predecessor list mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+/// Applies the seeded mutation stream to `mgr`, reorganizing every
+/// `reorg_every` acked mutations. The op mix mirrors RunWorkload's, but
+/// mutations are mirrored through SnapshotManager::ApplyMutation — the
+/// same code path recovery replays, so oracle and store cannot diverge on
+/// semantics. Returns OK when the workload ran to completion or stopped at
+/// an injected halt.
+Status RunSnapshotWorkload(SnapshotManager* mgr,
+                           const SnapshotCrashOptions& opt,
+                           SnapshotTrace* trace) {
+  Network net = mgr->network();
+  Random rng(opt.seed ^ 0x9e3779b97f4a7c15ULL);
+  NodeId next_id = 0;
+  for (NodeId id : net.NodeIds()) next_id = std::max(next_id, id + 1);
+
+  // Crash bookkeeping: `rec` (when non-null) is the mutation the store
+  // died inside of — acked state is the mirror, in-flight state is the
+  // mirror plus that one mutation.
+  auto halt_with = [&](const DeltaRecord* rec) {
+    if (trace == nullptr) return;
+    trace->halted = true;
+    trace->inflight = net;
+    if (rec != nullptr &&
+        SnapshotManager::ValidateMutation(trace->inflight, *rec).ok()) {
+      (void)SnapshotManager::ApplyMutation(&trace->inflight, *rec);
+    }
+    trace->acked = std::move(net);
+  };
+
+  int acked = 0;
+  for (int i = 0; i < opt.ops; ++i) {
+    std::vector<NodeId> live = net.NodeIds();
+    if (live.empty()) break;
+    auto pick = [&] {
+      return live[rng.Uniform(static_cast<uint32_t>(live.size()))];
+    };
+    uint32_t kind = rng.Uniform(100);
+    DeltaRecord rec;
+    Status op;
+    if (kind < 25) {
+      rec.kind = DeltaRecord::Kind::kInsertNode;
+      rec.node.id = next_id++;
+      rec.node.x = rng.NextDouble() * 1000.0;
+      rec.node.y = rng.NextDouble() * 1000.0;
+      rec.node.payload = "n" + std::to_string(rec.node.id);
+      NodeId a = pick();
+      NodeId b = pick();
+      float ca = 1.0f + static_cast<float>(rng.Uniform(9));
+      float cb = 1.0f + static_cast<float>(rng.Uniform(9));
+      rec.node.succ.push_back({a, ca});
+      rec.node.pred.push_back({a, ca});
+      if (b != a) {
+        rec.node.succ.push_back({b, cb});
+        rec.node.pred.push_back({b, cb});
+      }
+      op = mgr->InsertNode(rec.node);
+    } else if (kind < 40) {
+      rec.kind = DeltaRecord::Kind::kDeleteNode;
+      rec.u = pick();
+      op = mgr->DeleteNode(rec.u);
+    } else if (kind < 75) {
+      NodeId u = pick();
+      NodeId v = pick();
+      if (u == v || net.HasEdge(u, v)) continue;
+      rec.kind = DeltaRecord::Kind::kInsertEdge;
+      rec.u = u;
+      rec.v = v;
+      rec.cost = 1.0f + static_cast<float>(rng.Uniform(9));
+      op = mgr->InsertEdge(rec.u, rec.v, rec.cost);
+    } else {
+      NodeId u = pick();
+      const auto& succ = net.node(u).succ;
+      if (succ.empty()) continue;
+      rec.kind = DeltaRecord::Kind::kDeleteEdge;
+      rec.u = u;
+      rec.v = succ[rng.Uniform(static_cast<uint32_t>(succ.size()))].node;
+      op = mgr->DeleteEdge(rec.u, rec.v);
+    }
+    if (op.ok()) {
+      CCAM_RETURN_NOT_OK(SnapshotManager::ApplyMutation(&net, rec));
+      ++acked;
+      if (opt.reorg_every > 0 && acked % opt.reorg_every == 0) {
+        Status reorg = mgr->ReorganizeNow();
+        if (!reorg.ok()) {
+          if (mgr->halted()) {
+            halt_with(nullptr);
+            return Status::OK();
+          }
+          return reorg;
+        }
+      }
+    } else if (mgr->halted()) {
+      halt_with(&rec);
+      return Status::OK();
+    } else if (!IsLogicalFailure(op)) {
+      return op;
+    }
+  }
+  if (trace != nullptr) {
+    trace->halted = mgr->halted();
+    trace->inflight = net;
+    trace->acked = std::move(net);
+  }
+  return Status::OK();
+}
+
+/// Wipes and recreates the store directory, creates the store from the
+/// seeded network and attaches the injector. The injector is attached
+/// AFTER Create: the initial publication is not part of the kill-point
+/// space (there is no previous version to fall back to).
+Result<std::unique_ptr<SnapshotManager>> FreshStore(
+    const SnapshotCrashOptions& opt, FaultInjector* faults) {
+  if (opt.dir.empty()) {
+    return Status::InvalidArgument("SnapshotCrashOptions::dir is required");
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(opt.dir, ec);
+  Network initial = GenerateRandomGeometricNetwork(opt.initial_nodes,
+                                                   /*radius=*/220.0,
+                                                   /*extent=*/1000.0, opt.seed);
+  std::unique_ptr<SnapshotManager> mgr;
+  CCAM_ASSIGN_OR_RETURN(mgr,
+                        SnapshotManager::Create(MakeSnapshotOptions(opt),
+                                                initial));
+  mgr->SetFaultInjector(faults);
+  return mgr;
+}
+
+}  // namespace
+
+Result<uint64_t> CountSnapshotKillPoints(const SnapshotCrashOptions& options) {
+  FaultInjector faults(options.seed);
+  // Same never-firing trigger trick as CountWorkloadWrites: the hit count
+  // of the kill failpoint in a fault-free run is the kill-point space.
+  faults.Arm(options.crash_failpoint, FaultAction{}, FaultTrigger::Once(0));
+  std::unique_ptr<SnapshotManager> mgr;
+  CCAM_ASSIGN_OR_RETURN(mgr, FreshStore(options, &faults));
+  CCAM_RETURN_NOT_OK(RunSnapshotWorkload(mgr.get(), options, nullptr));
+  return faults.HitCount(options.crash_failpoint);
+}
+
+Result<CrashRunResult> RunSnapshotCrashOnce(const SnapshotCrashOptions& options,
+                                            uint64_t crash_point) {
+  FaultInjector faults(options.seed);
+  CCAM_RETURN_NOT_OK(faults.Configure(
+      options.crash_failpoint + "=crash:" +
+      std::to_string(options.torn_bytes) + "@" +
+      std::to_string(crash_point)));
+  std::unique_ptr<SnapshotManager> mgr;
+  CCAM_ASSIGN_OR_RETURN(mgr, FreshStore(options, &faults));
+  SnapshotTrace trace;
+  CCAM_RETURN_NOT_OK(RunSnapshotWorkload(mgr.get(), options, &trace));
+
+  CrashRunResult out;
+  out.writes_before_crash = faults.HitCount(options.crash_failpoint);
+  if (!mgr->halted()) {
+    out.outcome = CrashOutcome::kNoCrash;
+    return out;
+  }
+  // The directory now holds the torn on-disk shape of the kill instant
+  // (the store never buffers durable state in memory only — the delta log
+  // flush already happened for every acked mutation). Drop the halted
+  // store and recover from the directory alone.
+  mgr.reset();
+
+  auto reopened = SnapshotManager::Open(MakeSnapshotOptions(options));
+  if (!reopened.ok()) {
+    out.outcome = CrashOutcome::kRecoveryFailed;
+    out.detail = reopened.status().ToString();
+    return out;
+  }
+  Status st = (*reopened)->CheckConsistency();
+  if (!st.ok()) {
+    out.outcome = CrashOutcome::kRecoveryFailed;
+    out.detail = st.ToString();
+    return out;
+  }
+  Network recovered = (*reopened)->network();
+  uint64_t recovered_lsn = (*reopened)->NextLsn();
+  out.recovered_nodes = recovered.NodeIds().size();
+
+  // Strict criterion: exactly the acked stream, or acked + the in-flight
+  // mutation (its log frame may have fully reached disk before the tear).
+  Status acked = CompareNetworks(recovered, trace.acked);
+  if (!acked.ok()) {
+    Status inflight = CompareNetworks(recovered, trace.inflight);
+    if (!inflight.ok()) {
+      out.outcome = CrashOutcome::kLostAck;
+      out.detail = "vs acked state: " + acked.ToString() +
+                   "; vs acked+in-flight: " + inflight.ToString();
+      return out;
+    }
+  }
+
+  // Recovery must be idempotent: opening the once-recovered directory
+  // again lands on the same network and the same next lsn.
+  reopened->reset();
+  auto again = SnapshotManager::Open(MakeSnapshotOptions(options));
+  if (!again.ok()) {
+    out.outcome = CrashOutcome::kRecoveryFailed;
+    out.detail = "second recovery: " + again.status().ToString();
+    return out;
+  }
+  Status same = CompareNetworks((*again)->network(), recovered);
+  if (!same.ok() || (*again)->NextLsn() != recovered_lsn) {
+    out.outcome = CrashOutcome::kRecoveryFailed;
+    out.detail = "non-idempotent recovery: " +
+                 (same.ok() ? "lsn mismatch" : same.ToString());
+    return out;
+  }
+  uint32_t crc;
+  CCAM_ASSIGN_OR_RETURN(
+      crc, FileCrc(options.dir + "/v" +
+                   std::to_string((*again)->CurrentVersionId()) + ".img"));
+  out.recovered_image_crc = crc;
+  out.outcome = CrashOutcome::kDurable;
+  return out;
+}
+
+Result<CrashSimReport> RunSnapshotCrashSim(const SnapshotCrashOptions& options,
+                                           uint64_t num_points) {
+  CrashSimReport report;
+  CCAM_ASSIGN_OR_RETURN(report.total_writes,
+                        CountSnapshotKillPoints(options));
+  if (report.total_writes == 0 || num_points == 0) return report;
+  uint64_t n = std::min(num_points, report.total_writes);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t point =
+        1 + (i * (report.total_writes - 1)) / (n > 1 ? n - 1 : 1);
+    CrashPointReport entry;
+    entry.crash_point = point;
+    CCAM_ASSIGN_OR_RETURN(entry.result,
+                          RunSnapshotCrashOnce(options, point));
     switch (entry.result.outcome) {
       case CrashOutcome::kNoCrash:
         ++report.no_crash;

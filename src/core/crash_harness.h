@@ -133,6 +133,65 @@ Result<CrashRunResult> RunCrashOnce(const CrashSimOptions& options,
 Result<CrashSimReport> RunCrashSim(const CrashSimOptions& options,
                                    uint64_t num_points);
 
+/// ---------------------------------------------------------------------------
+/// Snapshot-store crash sweep (the versioned-swap reorganization protocol).
+///
+/// Same contract as the plain-file sweep, but the system under test is a
+/// SnapshotManager: a seeded mutation stream with a synchronous
+/// ReorganizeNow() every `reorg_every` acknowledged mutations, killed at the
+/// k-th evaluation of one of the "snapshot.*" failpoints
+/// (snapshot.log.append, snapshot.log.flush, snapshot.build,
+/// snapshot.publish, snapshot.retire). The kill leaves the torn on-disk
+/// shape of that instant — a torn log frame, a stray build image, a torn
+/// MANIFEST.tmp, a half-compacted delta log — and the harness reopens the
+/// directory with SnapshotManager::Open.
+///
+/// Always strict: the delta log *is* the store's durability mechanism, so
+/// recovery must succeed and land on exactly the acknowledged stream (plus,
+/// at most, the one mutation in flight when the store halted). Because a
+/// reorganization does not change the logical network, that criterion is
+/// precisely "exactly the old version or exactly the new version, never a
+/// blend": a recovered state mixing pre- and post-swap pages would fail
+/// CheckConsistency() or diverge from the mirror. Recovery is also checked
+/// to be idempotent — a second Open of the recovered directory yields the
+/// same network and next lsn.
+struct SnapshotCrashOptions {
+  uint64_t seed = 1995;
+  size_t page_size = 1024;
+  size_t buffer_pool_pages = 8;
+  /// Nodes of the initial network the store is created from.
+  int initial_nodes = 48;
+  /// Mutations applied after create (the kill-point space scales with
+  /// these and with the reorganizations they trigger).
+  int ops = 120;
+  /// Synchronous ReorganizeNow() after every this-many acked mutations
+  /// (0 disables reorganization — pure log-path sweep).
+  int reorg_every = 10;
+  /// Bytes of the crashing write that reach disk (the torn prefix).
+  int torn_bytes = 96;
+  /// Which "snapshot.*" failpoint the kill is scheduled on.
+  std::string crash_failpoint = "snapshot.publish";
+  /// Store directory; wiped and recreated by every run. Required.
+  std::string dir;
+};
+
+/// Fault-free run: returns how many times `options.crash_failpoint` is
+/// evaluated — the kill-point space of the snapshot protocol for that site.
+Result<uint64_t> CountSnapshotKillPoints(const SnapshotCrashOptions& options);
+
+/// Runs the snapshot workload with a crash at the `crash_point`-th
+/// evaluation of the configured failpoint, reopens the store directory and
+/// classifies against the strict criterion (kDurable / kLostAck /
+/// kRecoveryFailed / kNoCrash).
+Result<CrashRunResult> RunSnapshotCrashOnce(const SnapshotCrashOptions& options,
+                                            uint64_t crash_point);
+
+/// Sweeps `num_points` kill points spread evenly over the space (all of
+/// them when `num_points` >= total). Reuses CrashSimReport;
+/// `total_writes` holds the kill-point count.
+Result<CrashSimReport> RunSnapshotCrashSim(const SnapshotCrashOptions& options,
+                                           uint64_t num_points);
+
 }  // namespace ccam
 
 #endif  // CCAM_CORE_CRASH_HARNESS_H_

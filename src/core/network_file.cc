@@ -821,6 +821,43 @@ Status NetworkFile::BuildHierarchyOverlay() {
   return BuildHierarchyOverlayFromNetwork(NetworkFromRecords(all));
 }
 
+Result<Network> NetworkFile::ExportNetwork() {
+  IoStats before = disk_.stats();
+  std::vector<NodeRecord> all;
+  Status scan = Status::OK();
+  std::vector<PageId> pages = disk_.AllocatedPageIds();
+  std::sort(pages.begin(), pages.end());
+  for (PageId page : pages) {
+    auto records = RecordsOnPage(page);
+    if (!records.ok()) {
+      scan = records.status();
+      break;
+    }
+    for (NodeRecord& rec : *records) all.push_back(std::move(rec));
+  }
+  disk_.RestoreStats(before);
+  CCAM_RETURN_NOT_OK(scan);
+  Network net;
+  for (const NodeRecord& rec : all) {
+    Status st = net.AddNode(rec.id, rec.x, rec.y, rec.payload);
+    if (!st.ok()) {
+      return Status::Corruption("export: duplicate node " +
+                                std::to_string(rec.id));
+    }
+  }
+  for (const NodeRecord& rec : all) {
+    for (const AdjEntry& e : rec.succ) {
+      Status st = net.AddEdge(rec.id, e.node, e.cost);
+      if (!st.ok()) {
+        return Status::Corruption("export: bad edge " + std::to_string(rec.id) +
+                                  "->" + std::to_string(e.node) + ": " +
+                                  st.ToString());
+      }
+    }
+  }
+  return net;
+}
+
 Status NetworkFile::InsertNode(const NodeRecord& record, ReorgPolicy policy) {
   MutationScope txn(this);
   return txn.Finish(InsertNodeImpl(record, policy));

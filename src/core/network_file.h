@@ -94,6 +94,15 @@ class NetworkFile : public AccessMethod {
   /// page reads are excluded from the data I/O counters.
   Result<std::vector<PageOccupancy>> ScanPageOccupancy();
 
+  /// Reconstructs the logical network from the stored records: every node
+  /// with its true coordinates and payload, every successor edge with its
+  /// cost (predecessor lists rebuild implicitly; edge access weights are
+  /// not persisted and come back uniform). Like ScanPageOccupancy, the
+  /// scan's page reads are excluded from the data I/O counters. Snapshot
+  /// recovery uses this to rebuild the authoritative network from a
+  /// published image before replaying the delta log onto it.
+  Result<Network> ExportNetwork();
+
   /// Verifies file-structure invariants (every mapped node present exactly
   /// once on its page, records decode, index agrees). For tests.
   Status CheckFileInvariants();

@@ -201,7 +201,7 @@ Result<SearchResult> BestFirst(AccessMethod* am, NodeId src, NodeId dst,
     return heuristic_weight * std::hypot(rec.x - tx, rec.y - ty);
   };
 
-  SearchCore core(am->PageMap().size());
+  SearchCore core(am->NumLiveNodes());
 
   NodeRecord src_rec;
   CCAM_ASSIGN_OR_RETURN(src_rec, am->Find(src));
@@ -282,7 +282,7 @@ Result<MultiSourceResult> MultiSourceDistances(
   SearchCounters counters(am->metrics());
   IoStats before = am->DataIoStats();
 
-  SearchCore core(am->PageMap().size());
+  SearchCore core(am->NumLiveNodes());
   for (NodeId s : sources) {
     uint32_t idx = core.Intern(s);
     if (core.slot(idx).g == 0.0) continue;  // duplicate source

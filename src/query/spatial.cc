@@ -34,11 +34,9 @@ Result<std::unique_ptr<SpatialQueryEngine>> SpatialQueryEngine::Build(
   engine->ztree_ = std::make_unique<BPlusTree>(engine->zdisk_.get(),
                                                engine->zpool_.get());
 
-  // Scan every record once for coordinates.
-  std::vector<NodeId> ids;
-  ids.reserve(am->PageMap().size());
-  for (const auto& [id, page] : am->PageMap()) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  // Scan every record once for coordinates. LiveNodeIds() merges the
+  // mutation overlay when `am` is a snapshot session.
+  std::vector<NodeId> ids = am->LiveNodeIds();
 
   struct Point {
     NodeId id;

@@ -58,11 +58,10 @@ Result<ComponentsResult> WeaklyConnectedComponents(AccessMethod* am) {
   QuerySpan span(am->metrics(), "query.traversal");
   IoStats before = am->DataIoStats();
 
-  // Snapshot the node set up front (PageMap is the in-memory index).
-  std::vector<NodeId> all;
-  all.reserve(am->PageMap().size());
-  for (const auto& [id, page] : am->PageMap()) all.push_back(id);
-  std::sort(all.begin(), all.end());
+  // Snapshot the node set up front (for paged files this is the in-memory
+  // page map; snapshot sessions merge their mutation overlay).
+  std::vector<NodeId> all = am->LiveNodeIds();
+  std::unordered_set<NodeId> live(all.begin(), all.end());
 
   std::unordered_set<NodeId> seen;
   for (NodeId start : all) {
@@ -77,7 +76,7 @@ Result<ComponentsResult> WeaklyConnectedComponents(AccessMethod* am) {
       NodeRecord rec;
       CCAM_ASSIGN_OR_RETURN(rec, am->Find(cur));
       for (NodeId nbr : rec.Neighbors()) {
-        if (am->PageMap().count(nbr) && seen.insert(nbr).second) {
+        if (live.count(nbr) && seen.insert(nbr).second) {
           frontier.push_back(nbr);
         }
       }

@@ -41,13 +41,40 @@ QueryService::QueryService(NetworkFile* file,
           options.tenant_rate, options.tenant_burst}) {
   int n = options_.num_workers;
   if (n <= 0) n = static_cast<int>(file_->buffer_pool()->num_shards());
+  StartWorkers(n);
+}
+
+QueryService::QueryService(SnapshotManager* manager,
+                           const QueryServiceOptions& options)
+    : file_(nullptr),
+      manager_(manager),
+      options_(options),
+      admission_(AdmissionController::Options{
+          options.max_queue_depth, options.max_tenant_depth,
+          options.tenant_rate, options.tenant_burst}) {
+  int n = options_.num_workers;
+  if (n <= 0) {
+    // Same affinity grain as file mode: one worker per data-pool shard of
+    // the (current) version. A throwaway probe session reads the count —
+    // it lives and dies on this constructor thread.
+    auto probe = manager_->OpenSession();
+    n = static_cast<int>(probe->buffer_pool()->num_shards());
+  }
+  StartWorkers(n);
+}
+
+void QueryService::StartWorkers(int n) {
   if (n < 1) n = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     auto w = std::make_unique<Worker>();
     w->scheduler = DrrScheduler(options_.drr_quantum);
-    w->session = file_->OpenSession();
+    if (file_ != nullptr) {
+      w->session = file_->OpenSession();
+    } else {
+      w->snap_session = manager_->OpenSession();
+    }
     workers_.push_back(std::move(w));
   }
   pool_ = std::make_unique<ThreadPool>(n);
@@ -106,14 +133,25 @@ ServeTicketPtr QueryService::Submit(ServeRequest request) {
                   nullptr);
   }
   PageId region = kInvalidPageId;
-  auto it = file_->PageMap().find(origin);
-  if (it == file_->PageMap().end()) {
-    return reject(
-        Status::NotFound("origin node " + std::to_string(origin) +
-                         " is not stored in the file"),
-        nullptr);
+  if (manager_ != nullptr) {
+    auto r = manager_->RegionOf(origin);
+    if (!r.ok()) {
+      return reject(
+          Status::NotFound("origin node " + std::to_string(origin) +
+                           " is not stored in the snapshot store"),
+          nullptr);
+    }
+    region = *r;
+  } else {
+    auto it = file_->PageMap().find(origin);
+    if (it == file_->PageMap().end()) {
+      return reject(
+          Status::NotFound("origin node " + std::to_string(origin) +
+                           " is not stored in the file"),
+          nullptr);
+    }
+    region = it->second;
   }
-  region = it->second;
 
   const uint64_t now = NowMicros();
   Worker* w = nullptr;
@@ -178,7 +216,10 @@ ServeTicketPtr QueryService::Submit(ServeRequest request) {
 void QueryService::WorkerLoop(Worker* worker) {
   // The service constructed this session on its own thread; the worker
   // adopts it here, at the single-threaded handoff.
-  worker->session->RebindToCurrentThread();
+  if (worker->session != nullptr) worker->session->RebindToCurrentThread();
+  if (worker->snap_session != nullptr) {
+    worker->snap_session->RebindToCurrentThread();
+  }
   std::vector<QueuedRequest> batch;
   const size_t cap = options_.region_batching ? options_.max_batch : 1;
   std::unique_lock<std::mutex> lock(worker->mu);
@@ -211,6 +252,11 @@ void QueryService::WorkerLoop(Worker* worker) {
       }
     }
     lock.unlock();
+    // Batch boundary: re-acquire the current snapshot version before
+    // executing. In-flight batches never migrate versions — the refresh
+    // happens strictly between batches, with no pins held — so a reader
+    // drains off a retired version one batch after a swap publishes.
+    if (worker->snap_session != nullptr) worker->snap_session->Refresh();
     ExecuteBatch(worker, &batch);
     lock.lock();
   }
@@ -234,7 +280,16 @@ void QueryService::ExecuteBatch(Worker* worker,
   // serves every request of the batch as a buffer hit.
   std::vector<PageGuard> pins;
   if (options_.region_batching && batch->front().region != kInvalidPageId) {
-    (void)worker->session->PinDataPages({batch->front().region}, &pins);
+    // In snapshot mode the region was stamped against the version current
+    // at submit time; after a swap the page id may be gone from this
+    // worker's version, in which case the pin simply fails — batching
+    // affinity degrades for that batch, results are untouched.
+    if (worker->snap_session != nullptr) {
+      (void)worker->snap_session->PinDataPages({batch->front().region},
+                                               &pins);
+    } else {
+      (void)worker->session->PinDataPages({batch->front().region}, &pins);
+    }
   }
 
   const size_t n = batch->size();
@@ -243,7 +298,7 @@ void QueryService::ExecuteBatch(Worker* worker,
   for (size_t i = 0; i < n; ++i) {
     by_op[static_cast<size_t>((*batch)[i].request.op)].push_back(i);
   }
-  AccessMethod* am = worker->session.get();
+  AccessMethod* am = SessionOf(worker);
 
   const std::vector<size_t>& route_idx =
       by_op[static_cast<size_t>(ServeOp::kRouteEval)];
@@ -407,7 +462,8 @@ void QueryService::Shutdown(bool drain) {
 IoStats QueryService::TotalSessionIoStats() const {
   IoStats total;
   for (const auto& w : workers_) {
-    IoStats s = w->session->DataIoStats();
+    IoStats s = w->session != nullptr ? w->session->DataIoStats()
+                                      : w->snap_session->DataIoStats();
     total.reads += s.reads;
     total.writes += s.writes;
     total.allocs += s.allocs;
@@ -419,7 +475,8 @@ IoStats QueryService::TotalSessionIoStats() const {
 IoStats QueryService::TotalSessionHierarchyIoStats() const {
   IoStats total;
   for (const auto& w : workers_) {
-    IoStats s = w->session->HierarchyIoStats();
+    IoStats s = w->session != nullptr ? w->session->HierarchyIoStats()
+                                      : w->snap_session->HierarchyIoStats();
     total.reads += s.reads;
     total.writes += s.writes;
     total.allocs += s.allocs;

@@ -12,6 +12,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/network_file.h"
 #include "src/core/query_session.h"
+#include "src/storage/snapshot_manager.h"
 #include "src/serve/admission.h"
 #include "src/serve/request.h"
 #include "src/serve/scheduler.h"
@@ -79,6 +80,19 @@ struct QueryServiceOptions {
 class QueryService {
  public:
   QueryService(NetworkFile* file, const QueryServiceOptions& options);
+
+  /// Serves a snapshot store instead of a single file: each worker owns a
+  /// SnapshotSession pinned to one published version, refreshed only at
+  /// batch boundaries — an in-flight batch keeps its version (and its page
+  /// pins) across a concurrent swap, which is exactly the session-drain
+  /// contract the reorganizer's retirement waits on. Regions are stamped
+  /// via SnapshotManager::RegionOf against the version current at submit
+  /// time; a request executed after a swap may pin a page id from the
+  /// older layout, which degrades only batching affinity, never results.
+  /// Mutations and background reorganizations may run concurrently with
+  /// serving.
+  QueryService(SnapshotManager* manager, const QueryServiceOptions& options);
+
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -132,17 +146,27 @@ class QueryService {
     std::mutex mu;
     std::condition_variable cv;
     DrrScheduler scheduler;
+    /// Exactly one of the two is set: `session` against a NetworkFile,
+    /// `snap_session` against a SnapshotManager.
     std::unique_ptr<QuerySession> session;
+    std::unique_ptr<SnapshotSession> snap_session;
   };
 
+  void StartWorkers(int n);
   void WorkerLoop(Worker* worker);
   void ExecuteBatch(Worker* worker, std::vector<QueuedRequest>* batch);
   void CancelBatch(std::vector<QueuedRequest>* batch, const char* why);
+  AccessMethod* SessionOf(Worker* worker) const {
+    return worker->session != nullptr
+               ? static_cast<AccessMethod*>(worker->session.get())
+               : static_cast<AccessMethod*>(worker->snap_session.get());
+  }
 
   /// Microseconds on the steady clock (the service's common time base).
   static uint64_t NowMicros();
 
-  NetworkFile* file_;
+  NetworkFile* file_;                   // null in snapshot mode
+  SnapshotManager* manager_ = nullptr;  // null in file mode
   QueryServiceOptions options_;
 
   std::mutex admission_mu_;

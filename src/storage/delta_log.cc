@@ -1,0 +1,234 @@
+#include "src/storage/delta_log.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/coding.h"
+
+namespace ccam {
+
+namespace {
+
+std::string EncodePayload(const DeltaRecord& record) {
+  char buf[12];
+  switch (record.kind) {
+    case DeltaRecord::Kind::kInsertNode:
+      return record.node.Encode();
+    case DeltaRecord::Kind::kDeleteNode:
+      EncodeFixed32(buf, record.u);
+      return std::string(buf, 4);
+    case DeltaRecord::Kind::kInsertEdge:
+      EncodeFixed32(buf, record.u);
+      EncodeFixed32(buf + 4, record.v);
+      EncodeFloat(buf + 8, record.cost);
+      return std::string(buf, 12);
+    case DeltaRecord::Kind::kDeleteEdge:
+      EncodeFixed32(buf, record.u);
+      EncodeFixed32(buf + 4, record.v);
+      return std::string(buf, 8);
+  }
+  return {};
+}
+
+Status DecodePayload(DeltaRecord* record, std::string_view payload) {
+  switch (record->kind) {
+    case DeltaRecord::Kind::kInsertNode: {
+      auto rec = NodeRecord::Decode(payload);
+      if (!rec.ok()) return rec.status();
+      record->node = std::move(*rec);
+      record->u = record->node.id;
+      return Status::OK();
+    }
+    case DeltaRecord::Kind::kDeleteNode:
+      if (payload.size() != 4) {
+        return Status::Corruption("delta: bad delete-node payload");
+      }
+      record->u = DecodeFixed32(payload.data());
+      return Status::OK();
+    case DeltaRecord::Kind::kInsertEdge:
+      if (payload.size() != 12) {
+        return Status::Corruption("delta: bad insert-edge payload");
+      }
+      record->u = DecodeFixed32(payload.data());
+      record->v = DecodeFixed32(payload.data() + 4);
+      record->cost = DecodeFloat(payload.data() + 8);
+      return Status::OK();
+    case DeltaRecord::Kind::kDeleteEdge:
+      if (payload.size() != 8) {
+        return Status::Corruption("delta: bad delete-edge payload");
+      }
+      record->u = DecodeFixed32(payload.data());
+      record->v = DecodeFixed32(payload.data() + 4);
+      return Status::OK();
+  }
+  return Status::Corruption("delta: unknown record kind");
+}
+
+}  // namespace
+
+const char* DeltaKindName(DeltaRecord::Kind kind) {
+  switch (kind) {
+    case DeltaRecord::Kind::kInsertNode:
+      return "insert-node";
+    case DeltaRecord::Kind::kDeleteNode:
+      return "delete-node";
+    case DeltaRecord::Kind::kInsertEdge:
+      return "insert-edge";
+    case DeltaRecord::Kind::kDeleteEdge:
+      return "delete-edge";
+  }
+  return "unknown";
+}
+
+DeltaLog::~DeltaLog() { Close(); }
+
+Status DeltaLog::Open(const std::string& path) {
+  Close();
+  path_ = path;
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("delta log: cannot open " + path);
+  }
+  return Status::OK();
+}
+
+void DeltaLog::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status DeltaLog::Halted(const char* op) const {
+  if (halted_ != nullptr && halted_->load(std::memory_order_acquire)) {
+    return Status::IOError(std::string("delta log ") + op +
+                           ": snapshot store halted");
+  }
+  return Status::OK();
+}
+
+Status DeltaLog::WriteRaw(const std::string& bytes) {
+  if (file_ == nullptr) return Status::IOError("delta log not open");
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::IOError("delta log: write failed");
+  }
+  std::fflush(file_);
+  return Status::OK();
+}
+
+std::string DeltaLog::EncodeFrame(const DeltaRecord& record) {
+  std::string payload = EncodePayload(record);
+  std::string frame;
+  frame.resize(kFrameHeaderSize);
+  frame[0] = static_cast<char>(record.kind);
+  EncodeFixed64(&frame[1], record.lsn);
+  EncodeFixed32(&frame[9], static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  uint32_t crc = Crc32c(frame.data(), frame.size());
+  char trailer[4];
+  EncodeFixed32(trailer, crc);
+  frame.append(trailer, 4);
+  return frame;
+}
+
+Status DeltaLog::Append(const DeltaRecord& record) {
+  CCAM_RETURN_NOT_OK(Halted("append"));
+  std::string frame = EncodeFrame(record);
+  if (faults_ != nullptr) {
+    if (auto fault = faults_->Hit("snapshot.log.append")) {
+      if (fault->kind == FaultAction::Kind::kCrash) {
+        // Power cut mid-append: a torn prefix of the in-flight frame
+        // reaches the file, then the store halts.
+        (void)WriteRaw(frame.substr(0, std::min(fault->bytes, frame.size())));
+        if (halted_ != nullptr) {
+          halted_->store(true, std::memory_order_release);
+        }
+        return Status::IOError("delta log append: simulated crash");
+      }
+      return Status::FromCode(fault->code, "injected fault: snapshot.log.append");
+    }
+  }
+  pending_ += frame;
+  ++appends_;
+  return Status::OK();
+}
+
+Status DeltaLog::Flush() {
+  CCAM_RETURN_NOT_OK(Halted("flush"));
+  if (faults_ != nullptr) {
+    if (auto fault = faults_->Hit("snapshot.log.flush")) {
+      if (fault->kind == FaultAction::Kind::kCrash) {
+        (void)WriteRaw(
+            pending_.substr(0, std::min(fault->bytes, pending_.size())));
+        pending_.clear();
+        if (halted_ != nullptr) {
+          halted_->store(true, std::memory_order_release);
+        }
+        return Status::IOError("delta log flush: simulated crash");
+      }
+      return Status::FromCode(fault->code, "injected fault: snapshot.log.flush");
+    }
+  }
+  CCAM_RETURN_NOT_OK(WriteRaw(pending_));
+  pending_.clear();
+  ++flushes_;
+  return Status::OK();
+}
+
+Result<std::vector<DeltaRecord>> DeltaLog::ScanFile(const std::string& path,
+                                                    size_t* valid_bytes) {
+  if (valid_bytes != nullptr) *valid_bytes = 0;
+  std::vector<DeltaRecord> out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;  // absent log = empty log
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string bytes = ss.str();
+  size_t pos = 0;
+  while (pos + kFrameHeaderSize + kFrameTrailerSize <= bytes.size()) {
+    uint8_t kind = static_cast<uint8_t>(bytes[pos]);
+    uint64_t lsn = DecodeFixed64(bytes.data() + pos + 1);
+    uint32_t length = DecodeFixed32(bytes.data() + pos + 9);
+    size_t frame_size = kFrameHeaderSize + length + kFrameTrailerSize;
+    if (pos + frame_size > bytes.size()) break;  // torn tail: truncate
+    uint32_t stored = DecodeFixed32(bytes.data() + pos + kFrameHeaderSize +
+                                    length);
+    uint32_t actual = Crc32c(bytes.data() + pos, kFrameHeaderSize + length);
+    if (stored != actual) {
+      return Status::Corruption("delta log: checksum mismatch at offset " +
+                                std::to_string(pos));
+    }
+    if (kind < 1 || kind > 4) {
+      return Status::Corruption("delta log: unknown record kind " +
+                                std::to_string(kind));
+    }
+    DeltaRecord record;
+    record.kind = static_cast<DeltaRecord::Kind>(kind);
+    record.lsn = lsn;
+    CCAM_RETURN_NOT_OK(DecodePayload(
+        &record,
+        std::string_view(bytes.data() + pos + kFrameHeaderSize, length)));
+    out.push_back(std::move(record));
+    pos += frame_size;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = pos;
+  return out;
+}
+
+Status DeltaLog::WriteAll(const std::string& path,
+                          const std::vector<DeltaRecord>& records,
+                          size_t truncate_to) {
+  std::string bytes;
+  for (const DeltaRecord& record : records) bytes += EncodeFrame(record);
+  if (truncate_to < bytes.size()) bytes.resize(truncate_to);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("delta log: cannot write " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IOError("delta log: write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace ccam

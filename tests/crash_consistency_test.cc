@@ -202,6 +202,109 @@ TEST(DurableCrashTest, RecoveredImageIsByteIdenticalAcrossRuns) {
   std::remove(opt_b.image_path.c_str());
 }
 
+// --- Snapshot-store mid-swap sweep -----------------------------------------
+// The versioned-swap reorganization protocol: kills inside the delta log,
+// the background image build, the MANIFEST publish and the retire steps.
+// Always strict — every kill point must recover to exactly the old or
+// exactly the new version (never a blend), classified kDurable.
+
+constexpr const char* kSnapshotFailpoints[] = {
+    "snapshot.log.append", "snapshot.log.flush", "snapshot.build",
+    "snapshot.publish",    "snapshot.retire",
+};
+
+SnapshotCrashOptions SnapshotOptionsFor(uint64_t seed,
+                                        const std::string& failpoint) {
+  SnapshotCrashOptions opt;
+  opt.seed = seed;
+  opt.crash_failpoint = failpoint;
+  std::string suffix = failpoint;
+  for (char& c : suffix) {
+    if (c == '.') c = '_';
+  }
+  opt.dir = TempPath("ccam_snap_crash_" + suffix);
+  return opt;
+}
+
+void ExpectAllSnapshotDurable(const SnapshotCrashOptions& opt,
+                              uint64_t points) {
+  auto report = RunSnapshotCrashSim(opt, points);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->points.size(), 0u) << opt.crash_failpoint;
+  for (const CrashPointReport& p : report->points) {
+    EXPECT_EQ(p.result.outcome, CrashOutcome::kDurable)
+        << opt.crash_failpoint << " kill point " << p.crash_point << ": "
+        << CrashOutcomeName(p.result.outcome) << " — " << p.result.detail;
+  }
+}
+
+TEST(SnapshotCrashTest, MidSwapKillPointSpacesHostTheAcceptanceSweep) {
+  // The acceptance criterion wants >= 100 kill points across the
+  // build/publish/retire/log protocol; verify the seeded workload's spaces
+  // are big enough to host them.
+  uint64_t total = 0;
+  for (const char* fp : kSnapshotFailpoints) {
+    auto count = CountSnapshotKillPoints(SnapshotOptionsFor(1995, fp));
+    ASSERT_TRUE(count.ok()) << fp << ": " << count.status().ToString();
+    EXPECT_GT(*count, 0u) << fp;
+    total += *count;
+  }
+  EXPECT_GE(total, 100u);
+}
+
+TEST(SnapshotCrashTest, EveryMidSwapKillPointLandsOnOldOrNewVersion) {
+  // The mid-swap acceptance sweep. Default: an evenly-spread subset per
+  // failpoint; the faults configuration raises CCAM_SNAPSHOT_POINTS so the
+  // five spaces together cover >= 100 kill points.
+  int points = EnvInt("CCAM_SNAPSHOT_POINTS", 6);
+  for (const char* fp : kSnapshotFailpoints) {
+    ExpectAllSnapshotDurable(SnapshotOptionsFor(1995, fp),
+                             static_cast<uint64_t>(points));
+  }
+}
+
+TEST(SnapshotCrashTest, SecondSeedSurvivesPublishAndRetireKills) {
+  for (const char* fp : {"snapshot.publish", "snapshot.retire"}) {
+    ExpectAllSnapshotDurable(SnapshotOptionsFor(2024, fp), 6);
+  }
+}
+
+TEST(SnapshotCrashTest, KillBeforeTheFirstReorganization) {
+  // Kill point 1 of the log path fires before any swap: recovery replays
+  // the delta log against the very first published image.
+  auto result =
+      RunSnapshotCrashOnce(SnapshotOptionsFor(1995, "snapshot.log.flush"), 1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outcome, CrashOutcome::kDurable) << result->detail;
+}
+
+TEST(SnapshotCrashTest, OutcomeIsDeterministicAcrossRuns) {
+  SnapshotCrashOptions opt_a = SnapshotOptionsFor(1995, "snapshot.publish");
+  SnapshotCrashOptions opt_b = SnapshotOptionsFor(1995, "snapshot.publish");
+  opt_b.dir += "_b";
+  for (uint64_t point : {1u, 5u, 9u}) {
+    auto a = RunSnapshotCrashOnce(opt_a, point);
+    auto b = RunSnapshotCrashOnce(opt_b, point);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->outcome, b->outcome) << "point " << point;
+    EXPECT_EQ(a->detail, b->detail) << "point " << point;
+    EXPECT_EQ(a->recovered_nodes, b->recovered_nodes) << "point " << point;
+    EXPECT_EQ(a->recovered_image_crc, b->recovered_image_crc)
+        << "point " << point;
+  }
+}
+
+TEST(SnapshotCrashTest, WideTornPrefixCrossesWriteBoundaries) {
+  // With the torn prefix wider than any log frame or MANIFEST, the
+  // crashing write always lands completely — the power cut falls on a
+  // write boundary. Still strictly durable.
+  SnapshotCrashOptions opt = SnapshotOptionsFor(1995, "snapshot.log.flush");
+  opt.dir += "_wide";
+  opt.torn_bytes = 1 << 20;
+  ExpectAllSnapshotDurable(opt, 6);
+}
+
 TEST(DurableCrashTest, KillPointSpacesAreLargeEnoughForTheAcceptanceSweep) {
   // The acceptance criterion wants >= 200 seeded kill points including
   // kills inside WAL appends and flushes; check the three spaces are big

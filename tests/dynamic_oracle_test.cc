@@ -8,10 +8,13 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "src/common/random.h"
 #include "src/core/ccam.h"
 #include "src/core/file_stats.h"
 #include "src/graph/generator.h"
+#include "src/storage/snapshot_manager.h"
 
 namespace ccam {
 namespace {
@@ -257,6 +260,160 @@ TEST_P(DynamicOracleTest, ImageBytesDeterministicAcrossRunsAndThreads) {
 
 INSTANTIATE_TEST_SUITE_P(PageSizes, DynamicOracleTest,
                          ::testing::Values(1024u, 4096u));
+
+// --- Snapshot store with interleaved background reorganizations -------------
+// The same differential-oracle discipline against the versioned snapshot
+// store: a seeded mutation+query stream runs while background
+// reorganizations build and swap in fully reclustered versions. Every
+// query result must match the in-memory oracle regardless of where the
+// swaps land, every acknowledged mutation must still be visible after each
+// swap, and the whole acked history must survive closing and reopening the
+// store (recovery = image + delta-log replay).
+
+// Full-state audit of the session-visible store against the oracle.
+void ExpectSessionMatchesOracle(SnapshotSession* session, const Network& net,
+                                const std::string& where) {
+  ASSERT_EQ(session->LiveNodeIds(), net.NodeIds()) << where;
+  for (NodeId id : net.NodeIds()) {
+    auto rec = session->Find(id);
+    ASSERT_TRUE(rec.ok()) << where << ": node " << id << ": "
+                          << rec.status().ToString();
+    const NetworkNode& node = net.node(id);
+    EXPECT_EQ(rec->x, node.x) << where << ": node " << id;
+    EXPECT_EQ(rec->payload, node.payload) << where << ": node " << id;
+    EXPECT_EQ(Sorted(rec->succ), Sorted(node.succ))
+        << where << ": succ of " << id;
+    EXPECT_EQ(Sorted(rec->pred), Sorted(node.pred))
+        << where << ": pred of " << id;
+  }
+}
+
+TEST(SnapshotOracleTest, NoDivergenceFromInMemoryReferenceAcrossReorgs) {
+  SnapshotOptions sopt;
+  sopt.am = MakeOptions(1024, 1995, 1);
+  sopt.dir = TempPath("ccam_snap_oracle_store");
+  std::error_code ec;
+  std::filesystem::remove_all(sopt.dir, ec);
+
+  Network net = GenerateRandomGeometricNetwork(64, /*radius=*/200.0,
+                                               /*extent=*/1000.0, 1995);
+  auto created = SnapshotManager::Create(sopt, net);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  SnapshotManager* mgr = created->get();
+  std::unique_ptr<SnapshotSession> session = mgr->OpenSession();
+
+  const int ops = EnvInt("CCAM_ORACLE_OPS", 1500);
+  Random rng(1995 * 0x9e3779b97f4a7c15ULL + 1);
+  NodeId next_id = 0;
+  for (NodeId id : net.NodeIds()) next_id = std::max(next_id, id + 1);
+  int reorgs_started = 0;
+  for (int i = 0; i < ops; ++i) {
+    std::vector<NodeId> live = net.NodeIds();
+    ASSERT_FALSE(live.empty());
+    auto pick = [&] {
+      return live[rng.Uniform(static_cast<uint32_t>(live.size()))];
+    };
+    uint32_t kind = rng.Uniform(100);
+    std::string where = "op " + std::to_string(i);
+    if (kind < 18) {
+      DeltaRecord rec;
+      rec.kind = DeltaRecord::Kind::kInsertNode;
+      rec.node.id = next_id++;
+      rec.node.x = rng.NextDouble() * 1000.0;
+      rec.node.y = rng.NextDouble() * 1000.0;
+      rec.node.payload = std::string(1 + rng.Uniform(24), 'p');
+      NodeId a = pick();
+      float ca = 1.0f + static_cast<float>(rng.Uniform(9));
+      rec.node.succ.push_back({a, ca});
+      rec.node.pred.push_back({a, ca});
+      ASSERT_TRUE(mgr->InsertNode(rec.node).ok()) << where;
+      ASSERT_TRUE(SnapshotManager::ApplyMutation(&net, rec).ok()) << where;
+    } else if (kind < 30) {
+      NodeId victim = pick();
+      ASSERT_TRUE(mgr->DeleteNode(victim).ok()) << where;
+      ASSERT_TRUE(net.RemoveNode(victim).ok());
+    } else if (kind < 48) {
+      NodeId u = pick();
+      NodeId v = pick();
+      float cost = 1.0f + static_cast<float>(rng.Uniform(9));
+      Status st = mgr->InsertEdge(u, v, cost);
+      if (u == v || net.HasEdge(u, v)) {
+        // The oracle predicts rejection; the store must agree.
+        EXPECT_FALSE(st.ok()) << where;
+      } else {
+        ASSERT_TRUE(st.ok()) << where << ": " << st.ToString();
+        ASSERT_TRUE(net.AddEdge(u, v, cost).ok());
+      }
+    } else if (kind < 58) {
+      NodeId u = pick();
+      const auto& succ = net.node(u).succ;
+      if (succ.empty()) {
+        EXPECT_TRUE(mgr->DeleteEdge(u, u + 1000000).IsNotFound()) << where;
+        continue;
+      }
+      NodeId v = succ[rng.Uniform(static_cast<uint32_t>(succ.size()))].node;
+      ASSERT_TRUE(mgr->DeleteEdge(u, v).ok()) << where;
+      ASSERT_TRUE(net.RemoveEdge(u, v).ok());
+    } else if (kind < 75) {
+      // Query ops refresh first — the serve layer's batch-boundary
+      // contract: a session sees every mutation acked before its refresh,
+      // however many background swaps landed in between.
+      session->Refresh();
+      NodeId id = pick();
+      auto rec = session->Find(id);
+      ASSERT_TRUE(rec.ok()) << where << ": " << rec.status().ToString();
+      EXPECT_EQ(Sorted(rec->succ), OracleSucc(net, id)) << where;
+    } else if (kind < 82) {
+      session->Refresh();
+      EXPECT_TRUE(
+          session->Find(next_id + 1 + rng.Uniform(1000)).status().IsNotFound())
+          << where;
+    } else {
+      session->Refresh();
+      NodeId id = pick();
+      auto succs = session->GetSuccessors(id);
+      ASSERT_TRUE(succs.ok()) << where << ": " << succs.status().ToString();
+      std::vector<NodeId> got;
+      for (const NodeRecord& r : *succs) got.push_back(r.id);
+      std::sort(got.begin(), got.end());
+      std::vector<NodeId> want;
+      for (const AdjEntry& e : net.node(id).succ) want.push_back(e.node);
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want) << where;
+    }
+    // Interleave background reorganizations: kick one off every ~150 ops,
+    // right in the middle of the mutation stream.
+    if (i % 150 == 25 && !mgr->ReorgActive()) {
+      Status st = mgr->StartBackgroundReorg();
+      ASSERT_TRUE(st.ok() || st.IsAlreadyExists()) << st.ToString();
+      if (st.ok()) ++reorgs_started;
+    }
+    // Periodically drain the swap and audit the complete state: every
+    // mutation acked before the swap must still be visible after it.
+    if (i % 500 == 499) {
+      ASSERT_TRUE(mgr->WaitForReorg().ok());
+      session->Refresh();
+      ExpectSessionMatchesOracle(session.get(), net, where + " (post-swap)");
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  ASSERT_TRUE(mgr->WaitForReorg().ok());
+  EXPECT_GT(reorgs_started, 0) << "workload never exercised a swap";
+  EXPECT_GE(mgr->ReorgCount(), static_cast<uint64_t>(reorgs_started));
+  session->Refresh();
+  ExpectSessionMatchesOracle(session.get(), net, "final");
+  ASSERT_TRUE(mgr->CheckConsistency().ok());
+
+  // Acked mutations must also survive closing and recovering the store:
+  // reopen from disk alone and audit against the same oracle.
+  session.reset();
+  created->reset();
+  auto reopened = SnapshotManager::Open(sopt);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::unique_ptr<SnapshotSession> again = (*reopened)->OpenSession();
+  ExpectSessionMatchesOracle(again.get(), net, "reopened");
+  ASSERT_TRUE((*reopened)->CheckConsistency().ok());
+}
 
 }  // namespace
 }  // namespace ccam

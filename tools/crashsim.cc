@@ -11,11 +11,23 @@
 //     recover to exactly the acknowledged operations (plus at most the
 //     in-flight one, atomically), with deterministic replay.
 //
+// With --snapshot the system under test is the versioned snapshot store
+// (SnapshotManager): the seeded mutation stream interleaves synchronous
+// reorganizations, and the kill is scheduled on one of the "snapshot.*"
+// protocol failpoints (log.append, log.flush, build, publish, retire).
+// Snapshot mode is always strict — recovery must land on exactly the old
+// or exactly the new version, never a blend.
+//
 // Usage:
 //   crashsim [--seed=N] [--page-size=N] [--ops=N] [--points=N]
 //            [--torn-bytes=N] [--policy=first|second|higher]
 //            [--failpoint=disk.write|wal.append|wal.flush]
 //            [--strict] [--json=PATH] [--image=PATH] [--verbose]
+//   crashsim --snapshot [--seed=N] [--page-size=N] [--ops=N] [--points=N]
+//            [--torn-bytes=N] [--reorg-every=N] [--dir=PATH]
+//            [--failpoint=snapshot.log.append|snapshot.log.flush|
+//                         snapshot.build|snapshot.publish|snapshot.retire]
+//            [--json=PATH] [--verbose]
 
 #include <cstdint>
 #include <cstdio>
@@ -41,9 +53,19 @@ int Usage(const char* argv0) {
       "usage: %s [--seed=N] [--page-size=N] [--ops=N] [--points=N]\n"
       "          [--torn-bytes=N] [--policy=first|second|higher]\n"
       "          [--failpoint=disk.write|wal.append|wal.flush]\n"
-      "          [--strict] [--json=PATH] [--image=PATH] [--verbose]\n",
-      argv0);
+      "          [--strict] [--json=PATH] [--image=PATH] [--verbose]\n"
+      "       %s --snapshot [--seed=N] [--page-size=N] [--ops=N]\n"
+      "          [--points=N] [--torn-bytes=N] [--reorg-every=N]\n"
+      "          [--dir=PATH] [--failpoint=snapshot.*] [--json=PATH]\n"
+      "          [--verbose]\n",
+      argv0, argv0);
   return 2;
+}
+
+bool IsSnapshotFailpoint(const std::string& v) {
+  return v == "snapshot.log.append" || v == "snapshot.log.flush" ||
+         v == "snapshot.build" || v == "snapshot.publish" ||
+         v == "snapshot.retire";
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -115,11 +137,100 @@ bool WriteJsonReport(const std::string& path,
   return static_cast<bool>(out);
 }
 
+bool WriteSnapshotJsonReport(const std::string& path,
+                             const ccam::SnapshotCrashOptions& opt,
+                             const ccam::CrashSimReport& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n"
+      << "  \"mode\": \"snapshot\",\n"
+      << "  \"seed\": " << opt.seed << ",\n"
+      << "  \"page_size\": " << opt.page_size << ",\n"
+      << "  \"ops\": " << opt.ops << ",\n"
+      << "  \"reorg_every\": " << opt.reorg_every << ",\n"
+      << "  \"torn_bytes\": " << opt.torn_bytes << ",\n"
+      << "  \"failpoint\": \"" << JsonEscape(opt.crash_failpoint) << "\",\n"
+      << "  \"total_kill_points\": " << report.total_writes << ",\n"
+      << "  \"swept\": " << report.points.size() << ",\n"
+      << "  \"counts\": {\n"
+      << "    \"no_crash\": " << report.no_crash << ",\n"
+      << "    \"durable\": " << report.durable << ",\n"
+      << "    \"lost_ack\": " << report.lost_ack << ",\n"
+      << "    \"recovery_failed\": " << report.recovery_failed << "\n"
+      << "  },\n"
+      << "  \"failures\": " << report.failures() << ",\n"
+      << "  \"points\": [\n";
+  for (size_t i = 0; i < report.points.size(); ++i) {
+    const ccam::CrashPointReport& p = report.points[i];
+    out << "    {\"point\": " << p.crash_point << ", \"outcome\": \""
+        << ccam::CrashOutcomeName(p.result.outcome)
+        << "\", \"recovered_nodes\": " << p.result.recovered_nodes
+        << ", \"recovered_image_crc\": " << p.result.recovered_image_crc
+        << ", \"detail\": \"" << JsonEscape(p.result.detail) << "\"}"
+        << (i + 1 < report.points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+int RunSnapshotMode(const ccam::SnapshotCrashOptions& opt, uint64_t points,
+                    bool verbose, const std::string& json_path) {
+  auto report = ccam::RunSnapshotCrashSim(opt, points);
+  if (!report.ok()) {
+    std::fprintf(stderr, "crashsim: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "crashsim: snapshot mode seed=%llu page-size=%zu ops=%d "
+      "reorg-every=%d torn-bytes=%d failpoint=%s — %llu kill points, "
+      "%zu swept\n",
+      static_cast<unsigned long long>(opt.seed), opt.page_size, opt.ops,
+      opt.reorg_every, opt.torn_bytes, opt.crash_failpoint.c_str(),
+      static_cast<unsigned long long>(report->total_writes),
+      report->points.size());
+  for (const ccam::CrashPointReport& p : report->points) {
+    bool failed = p.result.outcome == ccam::CrashOutcome::kNoCrash ||
+                  p.result.outcome == ccam::CrashOutcome::kLostAck ||
+                  p.result.outcome == ccam::CrashOutcome::kRecoveryFailed;
+    if (verbose || failed) {
+      std::printf("  point %5llu: %-19s %s\n",
+                  static_cast<unsigned long long>(p.crash_point),
+                  ccam::CrashOutcomeName(p.result.outcome),
+                  p.result.detail.c_str());
+    }
+  }
+  std::printf("crashsim: %zu durable, %zu lost-ack, %zu recovery-failed, "
+              "%zu no-crash\n",
+              report->durable, report->lost_ack, report->recovery_failed,
+              report->no_crash);
+  if (!json_path.empty() &&
+      !WriteSnapshotJsonReport(json_path, opt, *report)) {
+    std::fprintf(stderr, "crashsim: cannot write JSON report to %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  if (report->failures() > 0) {
+    std::fprintf(stderr,
+                 "crashsim: FAIL — %zu kill point(s) recovered to a state "
+                 "that is neither the old nor the new version\n",
+                 report->failures());
+    return 1;
+  }
+  std::printf("crashsim: OK — every kill point recovered to exactly the "
+              "old or exactly the new version\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ccam::CrashSimOptions opt;
   opt.image_path = "/tmp/ccam_crashsim.img";
+  ccam::SnapshotCrashOptions snap_opt;
+  snap_opt.dir = "/tmp/ccam_crashsim_store";
+  bool snapshot_mode = false;
+  bool failpoint_set = false;
   uint64_t points = 64;
   bool verbose = false;
   std::string json_path;
@@ -127,23 +238,36 @@ int main(int argc, char** argv) {
     std::string v;
     if (ParseFlag(argv[i], "seed", &v)) {
       opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+      snap_opt.seed = opt.seed;
     } else if (ParseFlag(argv[i], "page-size", &v)) {
       opt.page_size = std::strtoull(v.c_str(), nullptr, 10);
+      snap_opt.page_size = opt.page_size;
     } else if (ParseFlag(argv[i], "ops", &v)) {
       opt.ops = std::atoi(v.c_str());
+      snap_opt.ops = opt.ops;
     } else if (ParseFlag(argv[i], "points", &v)) {
       points = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "torn-bytes", &v)) {
       opt.torn_bytes = std::atoi(v.c_str());
+      snap_opt.torn_bytes = opt.torn_bytes;
+    } else if (ParseFlag(argv[i], "reorg-every", &v)) {
+      snap_opt.reorg_every = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "image", &v)) {
       opt.image_path = v;
+    } else if (ParseFlag(argv[i], "dir", &v)) {
+      snap_opt.dir = v;
     } else if (ParseFlag(argv[i], "json", &v)) {
       json_path = v;
+    } else if (std::strcmp(argv[i], "--snapshot") == 0) {
+      snapshot_mode = true;
     } else if (ParseFlag(argv[i], "failpoint", &v)) {
-      if (v != "disk.write" && v != "wal.append" && v != "wal.flush") {
+      if (v != "disk.write" && v != "wal.append" && v != "wal.flush" &&
+          !IsSnapshotFailpoint(v)) {
         return Usage(argv[0]);
       }
       opt.crash_failpoint = v;
+      snap_opt.crash_failpoint = v;
+      failpoint_set = true;
     } else if (ParseFlag(argv[i], "policy", &v)) {
       if (v == "first") {
         opt.policy = ccam::ReorgPolicy::kFirstOrder;
@@ -161,6 +285,22 @@ int main(int argc, char** argv) {
     } else {
       return Usage(argv[0]);
     }
+  }
+  if (snapshot_mode) {
+    if (failpoint_set && !IsSnapshotFailpoint(snap_opt.crash_failpoint)) {
+      std::fprintf(stderr,
+                   "crashsim: --snapshot requires a snapshot.* failpoint "
+                   "(got %s)\n",
+                   snap_opt.crash_failpoint.c_str());
+      return 2;
+    }
+    return RunSnapshotMode(snap_opt, points, verbose, json_path);
+  }
+  if (IsSnapshotFailpoint(opt.crash_failpoint)) {
+    std::fprintf(stderr,
+                 "crashsim: --failpoint=%s requires --snapshot\n",
+                 opt.crash_failpoint.c_str());
+    return 2;
   }
   if (opt.crash_failpoint != "disk.write" && !opt.durability) {
     std::fprintf(stderr,
