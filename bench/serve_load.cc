@@ -25,7 +25,11 @@
 // Env knobs: CCAM_SERVE_DURATION_MS (default 1500), CCAM_SERVE_QPS
 // (saturation offered rate, default 24000), CCAM_BENCH_DISK_LAT_US
 // (default 100), CCAM_SERVE_SKIP_GATE=1 (report without gating — for
-// debug-build smoke runs where wall-clock ratios are meaningless).
+// debug-build smoke runs where wall-clock ratios are meaningless),
+// CCAM_SERVE_DEADLINE_US (per-request deadline budget; default 0 = off.
+// When set, an extra `deadline` phase runs batched at the saturation
+// rate with every request carrying submit+budget, reporting the miss
+// rate — off by default so the standard artifact stays bit-identical).
 
 #include <cstdio>
 #include <cstdlib>
@@ -196,6 +200,7 @@ int Run() {
   const double offered_qps =
       static_cast<double>(EnvU64("CCAM_SERVE_QPS", 48000));
   const bool skip_gate = EnvU64("CCAM_SERVE_SKIP_GATE", 0) != 0;
+  const uint64_t deadline_budget_us = EnvU64("CCAM_SERVE_DEADLINE_US", 0);
 
   // ~3.5k-node road map, CCAM-S image (created once, reopened per phase
   // set so the pool capacity and overlay are fresh).
@@ -283,6 +288,34 @@ int Run() {
   serve::LoadReport low_batched = RunPhase(file.get(), pool, true, low);
   emit("low_load", "unbatched", low_unbatched);
   emit("low_load", "batched", low_batched);
+
+  // --- Deadline pressure (opt-in): saturation rate, every request with a
+  // submit+budget deadline. Expired requests are shed at admission or
+  // dequeue rather than executed, so capacity is spent only on traffic
+  // that can still make it. Off by default: the standard BENCH json must
+  // stay bit-identical in its deterministic fields.
+  if (deadline_budget_us != 0) {
+    serve::LoadgenOptions pressured = load;
+    pressured.deadline_budget_us = deadline_budget_us;
+    serve::LoadReport deadline = RunPhase(file.get(), pool, true, pressured);
+    emit("deadline", "batched", deadline);
+    const double miss_rate =
+        deadline.submitted == 0
+            ? 0.0
+            : static_cast<double>(deadline.deadline_failures) /
+                  static_cast<double>(deadline.submitted);
+    std::printf("deadline phase: budget %llu us, %llu missed of %llu "
+                "(%.1f%%)\n",
+                static_cast<unsigned long long>(deadline_budget_us),
+                static_cast<unsigned long long>(deadline.deadline_failures),
+                static_cast<unsigned long long>(deadline.submitted),
+                miss_rate * 100.0);
+    json.AddRecord("deadline_pressure",
+                   {{"budget_us", std::to_string(deadline_budget_us)},
+                    {"deadline_failures",
+                     std::to_string(deadline.deadline_failures)},
+                    {"miss_rate", Fmt(miss_rate, 4)}});
+  }
 
   table.Print();
 

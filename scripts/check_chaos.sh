@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the request-lifecycle chaos battery: the serve-layer chaos hammer
+# (8 workers under deadline pressure with seeded disk.read corruption /
+# short-read schedules — every ticket must come back with a typed status,
+# quarantined pages must never be served, and the IoStats books must
+# balance), plus the quarantine/read-retry unit suite and the delta-log
+# recovery fuzz under a concurrent reader session.
+#
+# All three suites are tier-1 (the default `ctest` run includes them);
+# this script is the focused entry point for iterating on them and the
+# `chaos` CI stage.
+# Usage: scripts/check_chaos.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD="${1:-build}"
+cd "$(dirname "$0")/.."
+
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" --target \
+  chaos_serve_test quarantine_test delta_log_recovery_test -j "$(nproc)"
+
+ctest --test-dir "$BUILD" \
+  -R 'chaos_serve_test|quarantine_test|delta_log_recovery_test' \
+  --output-on-failure
+
+echo "chaos: battery passed — every outcome typed, quarantine contained."

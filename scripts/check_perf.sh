@@ -60,6 +60,17 @@ if [[ $# -lt 2 ]]; then
   exit 2
 fi
 
+# A gate with no history is not a failure: the first run of a new bench
+# (or a fresh checkout with no archived artifacts) has nothing to diff
+# against. Warn loudly and pass, so CI pipelines can wire the gate in
+# before the baseline exists.
+if [[ ! -f "$1" ]]; then
+  echo "check_perf: WARNING: baseline '$1' does not exist — nothing to" \
+       "compare against yet. Passing; archive the current artifact to" \
+       "start the history."
+  exit 0
+fi
+
 BASELINE="$1" CURRENT="$2" TOL="${3:-25}" python3 - <<'EOF'
 import json, os, sys
 
@@ -128,6 +139,16 @@ def load(path):
     return out
 
 base, cur = load(baseline_path), load(current_path)
+
+# An empty baseline is a degenerate history, not a regression: the bench
+# emitted a valid artifact with zero records (e.g. every sweep point was
+# skipped at this scale). Warn and pass rather than flagging every current
+# record as "new".
+if not base:
+    print(f"check_perf: WARNING: baseline {os.path.basename(baseline_path)} "
+          "has no records — empty bench history, nothing to gate. Passing.")
+    sys.exit(0)
+
 failures, compared = [], 0
 
 for key in sorted(base):

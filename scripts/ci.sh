@@ -20,10 +20,14 @@
 #                  new version), and bench/swap_availability emitting
 #                  BENCH_swap_availability.json (reader p99 during reorg
 #                  vs quiesced — scripts/check_perf.sh diffs it)
-#   6. faults    — scripts/check_faults.sh: fault-injection + crash
+#   6. chaos     — scripts/check_chaos.sh: request-lifecycle chaos battery
+#                  (serve hammer under deadline pressure with disk fault
+#                  schedules, quarantine/read-retry suite, delta-log
+#                  recovery fuzz under a concurrent reader)
+#   7. faults    — scripts/check_faults.sh: fault-injection + crash
 #                  consistency sweeps, differential oracle, strict durable
 #                  crashsim with JSON gating
-#   7. tsan      — scripts/check_tsan.sh: concurrency suites under
+#   8. tsan      — scripts/check_tsan.sh: concurrency suites under
 #                  ThreadSanitizer (separate build directory)
 #
 # Usage: scripts/ci.sh [build-dir] [tsan-build-dir]
@@ -86,6 +90,7 @@ run_stage "metrics (tools/stats)" metrics
 run_stage "perf (check_perf.sh --smoke)" scripts/check_perf.sh --smoke "$BUILD"
 run_stage "serve (serve_load smoke)" serve_smoke
 run_stage "swap (hammer + mid-swap crashsim)" swap_stage
+run_stage "chaos (check_chaos.sh)" scripts/check_chaos.sh "$BUILD"
 run_stage "faults (check_faults.sh)" scripts/check_faults.sh "$BUILD"
 run_stage "tsan (check_tsan.sh)" scripts/check_tsan.sh "$TSAN_BUILD"
 

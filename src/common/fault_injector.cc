@@ -197,4 +197,53 @@ Status FaultInjector::Configure(const std::string& spec) {
   return Status::OK();
 }
 
+const std::vector<FailpointInfo>& FaultInjector::Catalog() {
+  // Hand-maintained: the injector has no central registration, so this is
+  // the authoritative list of names code actually passes to Hit().
+  static const std::vector<FailpointInfo> kCatalog = {
+      {"disk.read", "DiskManager::ReadPage (data disk)",
+       "error/short/crash; short fills the buffer tail with garbage"},
+      {"disk.write", "DiskManager::WritePage (data disk)",
+       "error/short(torn)/nospace/crash; torn keeps the page's old tail"},
+      {"disk.alloc", "DiskManager::AllocatePage (data disk)",
+       "error/nospace"},
+      {"disk.free", "DiskManager::FreePage (data disk)", "error"},
+      {"index.read", "ReadPage on the index disk (NetworkFile B+-tree)",
+       "same actions as disk.read"},
+      {"index.write", "WritePage on the index disk",
+       "same actions as disk.write"},
+      {"index.alloc", "AllocatePage on the index disk", "error/nospace"},
+      {"index.free", "FreePage on the index disk", "error"},
+      {"hier.read", "ReadPage on the hierarchy-overlay disk",
+       "same actions as disk.read"},
+      {"hier.write", "WritePage on the hierarchy-overlay disk",
+       "same actions as disk.write"},
+      {"hier.alloc", "AllocatePage on the hierarchy-overlay disk",
+       "error/nospace"},
+      {"hier.free", "FreePage on the hierarchy-overlay disk", "error"},
+      {"wal.append", "Wal::Append record encode+write (data WAL)",
+       "error/short(torn record tail)/nospace/crash"},
+      {"wal.flush", "Wal::Flush durability barrier (data WAL)",
+       "error/crash"},
+      {"hier.wal.append", "Wal::Append on the hierarchy WAL",
+       "same actions as wal.append"},
+      {"hier.wal.flush", "Wal::Flush on the hierarchy WAL",
+       "same actions as wal.flush"},
+      {"snapshot.log.append", "DeltaLog::Append frame write",
+       "error/short(torn frame tail)/nospace/crash"},
+      {"snapshot.log.flush", "DeltaLog::Flush durability barrier",
+       "error/crash"},
+      {"snapshot.build", "SnapshotManager snapshot-image build "
+       "(hit before and after the image write)",
+       "error/crash(torn image)"},
+      {"snapshot.publish", "SnapshotManager publish "
+       "(hit before tmp write, before rename, after commit point)",
+       "error/crash(torn manifest)"},
+      {"snapshot.retire", "SnapshotManager version retirement "
+       "(hit before unlink, around manifest rewrite, after rename)",
+       "error/crash(torn manifest)"},
+  };
+  return kCatalog;
+}
+
 }  // namespace ccam

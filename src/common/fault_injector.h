@@ -54,6 +54,18 @@ struct FaultTrigger {
   double p = 0.0;
 };
 
+/// One row of the failpoint catalog (FaultInjector::Catalog): a failpoint
+/// name as Hit() declares it, the source site that evaluates it, and what
+/// the injected fault models there. The injector itself has no central
+/// registration — failpoints exist wherever code calls Hit() — so the
+/// catalog is the maintained authoring reference for chaos schedules
+/// (tools/crashsim --list-failpoints prints it).
+struct FailpointInfo {
+  const char* name;
+  const char* site;
+  const char* notes;
+};
+
 /// One entry of the firing log: which failpoint fired on which hit.
 struct FaultFiring {
   std::string point;
@@ -110,6 +122,11 @@ class FaultInjector {
 
   /// The deterministic firing sequence so far.
   std::vector<FaultFiring> FiringLog() const;
+
+  /// The full failpoint catalog — every name some device declares via
+  /// Hit(), with its site and semantics. Keep in sync when adding Hit()
+  /// call sites (fault_injector_test cross-checks the known prefixes).
+  static const std::vector<FailpointInfo>& Catalog();
 
   uint64_t seed() const { return seed_; }
 

@@ -28,6 +28,12 @@ const char* CodeName(Status::Code code) {
       return "ShortWrite";
     case Status::Code::kOverloaded:
       return "Overloaded";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kQuarantined:
+      return "Quarantined";
   }
   return "Unknown";
 }

@@ -32,6 +32,19 @@ class Status {
     /// and retry; the typed code lets them tell load shedding from a
     /// real failure.
     kOverloaded = 10,
+    /// The request's deadline elapsed before the operation finished. The
+    /// partial work is discarded; the caller may retry with a fresh
+    /// deadline. Emitted cooperatively at page-I/O and settle-loop
+    /// boundaries, never asynchronously.
+    kDeadlineExceeded = 11,
+    /// The request was cancelled through its RequestContext before the
+    /// operation finished. Terminal: retrying a cancelled request is the
+    /// caller's decision, not the library's.
+    kCancelled = 12,
+    /// The page backing this read is quarantined after repeated checksum
+    /// failures. Requests fail fast instead of re-paying the failed I/O;
+    /// a scrub/repair pass clears the entry.
+    kQuarantined = 13,
   };
 
   /// Constructs an OK status.
@@ -73,6 +86,15 @@ class Status {
   static Status Overloaded(std::string msg) {
     return Status(Code::kOverloaded, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status Quarantined(std::string msg) {
+    return Status(Code::kQuarantined, std::move(msg));
+  }
   /// Builds a status with an arbitrary code (fault injection returns the
   /// configured code of the armed failpoint). `code` must not be kOk.
   static Status FromCode(Code code, std::string msg) {
@@ -90,6 +112,20 @@ class Status {
   bool IsShortRead() const { return code_ == Code::kShortRead; }
   bool IsShortWrite() const { return code_ == Code::kShortWrite; }
   bool IsOverloaded() const { return code_ == Code::kOverloaded; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsQuarantined() const { return code_ == Code::kQuarantined; }
+
+  /// True for statuses where an immediate retry of the same request has a
+  /// reasonable chance of succeeding: transient transport-level failures
+  /// (kIOError, kShortRead, kOverloaded). Deterministic failures
+  /// (kCorruption, kQuarantined, kNotFound, ...) and request-lifecycle
+  /// outcomes (kDeadlineExceeded, kCancelled) are terminal — retrying
+  /// them re-pays the cost for the same answer.
+  bool IsRetryable() const {
+    return code_ == Code::kIOError || code_ == Code::kShortRead ||
+           code_ == Code::kOverloaded;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

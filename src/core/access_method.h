@@ -17,6 +17,7 @@
 namespace ccam {
 
 class MetricsRegistry;
+class RequestContext;
 
 /// Reorganization policies for maintenance operations (paper Table 1).
 /// The policy order is the order of overhead incurred during an update:
@@ -160,6 +161,13 @@ class AccessMethod {
   /// "query.<op>" spans against this — a null registry makes every span
   /// inert, preserving the paper's accounting bit for bit.
   virtual MetricsRegistry* metrics() const { return nullptr; }
+
+  /// The lifecycle context (deadline + cancellation token) governing the
+  /// request currently executing against this access method, or nullptr
+  /// when none is attached (the default). Query operators poll it at
+  /// page-I/O and settle-loop boundaries; a null context makes every poll
+  /// a single branch, preserving the paper's accounting bit for bit.
+  virtual RequestContext* request_context() const { return nullptr; }
 
   /// --- Contraction-hierarchy overlay --------------------------------------
   /// True when a valid hierarchy overlay is attached (built and not

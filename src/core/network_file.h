@@ -13,6 +13,7 @@
 #include "src/storage/buffer_pool.h"
 #include "src/storage/disk_manager.h"
 #include "src/storage/page.h"
+#include "src/storage/page_quarantine.h"
 #include "src/storage/wal.h"
 
 namespace ccam {
@@ -145,6 +146,7 @@ class NetworkFile : public AccessMethod {
     metrics_ = metrics;
     disk_.SetMetrics(metrics);
     pool_.SetMetrics(metrics);
+    quarantine_.SetMetrics(metrics);
     if (index_disk_) index_disk_->SetMetrics(metrics);
     if (wal_) wal_->SetMetrics(metrics);
     if (hierarchy_) hierarchy_->SetMetrics(metrics);
@@ -229,6 +231,20 @@ class NetworkFile : public AccessMethod {
   /// The simulated data disk (throughput experiments configure its
   /// simulated read latency).
   DiskManager* disk() { return &disk_; }
+
+  /// Corruption-containment set of the data pool: pages whose reads kept
+  /// failing the pool's bounded re-reads fail fast with a typed
+  /// Quarantined status until scrubbed. Always attached; empty costs one
+  /// atomic load per pool miss.
+  PageQuarantine* quarantine() { return &quarantine_; }
+
+  /// Scrub/repair pass over the quarantine: verifies each quarantined
+  /// page's stored checksum (no data I/O is charged) and clears the entry
+  /// when the page verifies — e.g. after a transient fault burst or an
+  /// out-of-band restore. `repaired`/`remaining` (optional) receive the
+  /// pass's tally; pages that still fail verification stay quarantined.
+  Status ScrubQuarantined(size_t* repaired = nullptr,
+                          size_t* remaining = nullptr);
 
  protected:
   /// Runs one public maintenance operation as a WAL transaction when
@@ -390,6 +406,9 @@ class NetworkFile : public AccessMethod {
   AccessMethodOptions options_;
   DiskManager disk_;
   BufferPool pool_;
+  /// Containment set for persistently unreadable data pages; the
+  /// constructor attaches it to pool_.
+  PageQuarantine quarantine_;
   NodePageMap page_of_;
   /// In-memory free-space map: bytes available for one more record.
   std::unordered_map<PageId, size_t> free_space_;

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/request_context.h"
 #include "src/core/network_file.h"
 
 namespace ccam {
@@ -44,14 +45,17 @@ class QuerySession : public AccessMethod {
 
   Result<NodeRecord> Find(NodeId id) override {
     DebugCheckThread();
+    if (ctx_ != nullptr) CCAM_RETURN_NOT_OK(ctx_->Check());
     return file_->SharedFind(id, &io_);
   }
   Result<NodeRecord> GetASuccessor(NodeId from, NodeId to) override {
     DebugCheckThread();
+    if (ctx_ != nullptr) CCAM_RETURN_NOT_OK(ctx_->Check());
     return file_->SharedGetASuccessor(from, to, &io_);
   }
   Result<std::vector<NodeRecord>> GetSuccessors(NodeId id) override {
     DebugCheckThread();
+    if (ctx_ != nullptr) CCAM_RETURN_NOT_OK(ctx_->Check());
     return file_->SharedGetSuccessors(id, &io_);
   }
 
@@ -80,6 +84,7 @@ class QuerySession : public AccessMethod {
   bool HasHierarchy() const override { return file_->HasHierarchy(); }
   Result<HierarchyNodeRecord> HierarchyNode(NodeId id) override {
     DebugCheckThread();
+    if (ctx_ != nullptr) CCAM_RETURN_NOT_OK(ctx_->Check());
     return file_->SharedHierarchyNode(id, &hier_io_);
   }
   IoStats HierarchyIoStats() const override { return hier_io_; }
@@ -106,8 +111,16 @@ class QuerySession : public AccessMethod {
   Status PinDataPages(const std::vector<PageId>& ids,
                       std::vector<PageGuard>* guards) {
     DebugCheckThread();
+    if (ctx_ != nullptr) CCAM_RETURN_NOT_OK(ctx_->Check());
     return file_->buffer_pool()->FetchPages(ids, guards, &io_);
   }
+
+  /// Attaches (or with nullptr, detaches) the lifecycle context governing
+  /// reads through this session. The session does not own the context; the
+  /// caller keeps it alive for the duration of the request. Detached is
+  /// the default and costs one branch per read.
+  void SetRequestContext(RequestContext* ctx) { ctx_ = ctx; }
+  RequestContext* request_context() const override { return ctx_; }
 
   /// Transfers the session to the calling thread (debug-build contract
   /// bookkeeping only). Call at a deliberate ownership handoff — e.g. a
@@ -136,6 +149,7 @@ class QuerySession : public AccessMethod {
   }
 
   NetworkFile* file_;
+  RequestContext* ctx_ = nullptr;  // not owned; null = lifecycle checks off
   IoStats io_;       // per-session: the session is single-threaded by contract
   IoStats hier_io_;  // per-session overlay reads, same contract
 #ifndef NDEBUG

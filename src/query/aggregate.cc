@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/common/metrics.h"
+#include "src/common/request_context.h"
 #include "src/query/search.h"
 
 namespace ccam {
@@ -25,7 +26,9 @@ Result<RouteUnitAggregate> AggregateRouteUnit(AccessMethod* am,
     nodes.insert(v);
   }
   std::unordered_map<NodeId, NodeRecord> records;
+  RequestContext* ctx = am->request_context();
   for (NodeId id : nodes) {
+    if (ctx != nullptr) CCAM_RETURN_NOT_OK(ctx->Check());
     NodeRecord rec;
     CCAM_ASSIGN_OR_RETURN(rec, am->Find(id));
     records.emplace(id, std::move(rec));
@@ -76,7 +79,9 @@ Result<TourEvalResult> EvaluateTour(AccessMethod* am, const Route& tour) {
   IoStats before = am->DataIoStats();
   NodeRecord current;
   CCAM_ASSIGN_OR_RETURN(current, am->Find(closed.nodes[0]));
+  RequestContext* ctx = am->request_context();
   for (size_t i = 1; i < closed.nodes.size(); ++i) {
+    if (ctx != nullptr) CCAM_RETURN_NOT_OK(ctx->Check());
     NodeId next = closed.nodes[i];
     auto cost = current.SuccessorCost(next);
     if (!cost.ok()) return cost.status();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/request_context.h"
 #include "src/storage/hierarchy_record.h"
 
 namespace ccam {
@@ -150,7 +151,12 @@ Result<SearchResult> ShortestPathCH(AccessMethod* am, NodeId src,
   // have stopped (the standard CH termination — NOT Dijkstra's, because
   // the meeting node need not be settled by either side).
   bool forward_turn = true;
+  RequestContext* ctx = am->request_context();
   while (!fwd.open.empty() || !bwd.open.empty()) {
+    if (ctx != nullptr) {
+      Status lifecycle = ctx->Check();
+      if (!lifecycle.ok()) return finish(std::move(lifecycle));
+    }
     Direction* dir = forward_turn ? &fwd : &bwd;
     Direction* other = forward_turn ? &bwd : &fwd;
     if (dir->open.empty() || dir->open.top().dist >= best) {

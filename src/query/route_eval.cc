@@ -1,6 +1,7 @@
 #include "src/query/route_eval.h"
 
 #include "src/common/metrics.h"
+#include "src/common/request_context.h"
 
 namespace ccam {
 
@@ -12,7 +13,9 @@ Result<RouteEvalResult> EvaluateRoute(AccessMethod* am, const Route& route) {
   IoStats before = am->DataIoStats();
   NodeRecord current;
   CCAM_ASSIGN_OR_RETURN(current, am->Find(route.nodes[0]));
+  RequestContext* ctx = am->request_context();
   for (size_t i = 1; i < route.nodes.size(); ++i) {
+    if (ctx != nullptr) CCAM_RETURN_NOT_OK(ctx->Check());
     NodeId next = route.nodes[i];
     float cost;
     {

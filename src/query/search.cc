@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/metrics.h"
+#include "src/common/request_context.h"
 
 namespace ccam {
 
@@ -212,7 +213,9 @@ Result<SearchResult> BestFirst(AccessMethod* am, NodeId src, NodeId dst,
     core.HeapPushOrDecrease(s);
   }
 
+  RequestContext* ctx = am->request_context();
   while (!core.HeapEmpty()) {
+    if (ctx != nullptr) CCAM_RETURN_NOT_OK(ctx->Check());
     uint32_t cur = core.HeapPop();
     core.slot(cur).closed = true;
     NodeId node = core.slot(cur).id;
@@ -290,7 +293,9 @@ Result<MultiSourceResult> MultiSourceDistances(
     core.slot(idx).priority = 0.0;
     core.HeapPushOrDecrease(idx);
   }
+  RequestContext* ctx = am->request_context();
   while (!core.HeapEmpty()) {
+    if (ctx != nullptr) CCAM_RETURN_NOT_OK(ctx->Check());
     uint32_t cur = core.HeapPop();
     core.slot(cur).closed = true;
     NodeId node = core.slot(cur).id;

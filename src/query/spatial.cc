@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/metrics.h"
+#include "src/common/request_context.h"
 #include "src/index/zorder.h"
 
 namespace ccam {
@@ -46,7 +47,9 @@ Result<std::unique_ptr<SpatialQueryEngine>> SpatialQueryEngine::Build(
   std::vector<Point> points;
   points.reserve(ids.size());
   bool first = true;
+  RequestContext* ctx = am->request_context();
   for (NodeId id : ids) {
+    if (ctx != nullptr) CCAM_RETURN_NOT_OK(ctx->Check());
     NodeRecord rec;
     CCAM_ASSIGN_OR_RETURN(rec, am->Find(id));
     points.push_back({id, rec.x, rec.y});
@@ -124,7 +127,9 @@ Result<SpatialQueryEngine::WindowResult> SpatialQueryEngine::WindowQuery(
   // Fetch the candidate records through the access method (this is where
   // the clustering pays off) and filter exactly on the coordinates — the
   // Z-cells are quantized, so boundary cells may hold near-misses.
+  RequestContext* ctx = am_->request_context();
   for (NodeId id : candidates) {
+    if (ctx != nullptr) CCAM_RETURN_NOT_OK(ctx->Check());
     NodeRecord rec;
     CCAM_ASSIGN_OR_RETURN(rec, am_->Find(id));
     if (rec.x >= xmin && rec.x <= xmax && rec.y >= ymin && rec.y <= ymax) {
@@ -141,7 +146,9 @@ SpatialQueryEngine::NearestNeighbors(double x, double y, size_t k) {
   NearestResult result;
   QuerySpan span(am_->metrics(), "query.spatial");
   IoStats before = am_->DataIoStats();
+  RequestContext* ctx = am_->request_context();
   for (uint64_t v : rtree_.KNearest(x, y, k)) {
+    if (ctx != nullptr) CCAM_RETURN_NOT_OK(ctx->Check());
     NodeRecord rec;
     CCAM_ASSIGN_OR_RETURN(rec, am_->Find(static_cast<NodeId>(v)));
     result.records.push_back(std::move(rec));

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/common/metrics.h"
+#include "src/common/request_context.h"
 
 namespace ccam {
 
@@ -18,7 +19,9 @@ Result<ReachabilityResult> ReachableFrom(AccessMethod* am, NodeId source,
   CCAM_ASSIGN_OR_RETURN(src, am->Find(source));
   std::unordered_set<NodeId> seen{source};
   std::deque<std::pair<NodeId, int>> frontier{{source, 0}};
+  RequestContext* ctx = am->request_context();
   while (!frontier.empty()) {
+    if (ctx != nullptr) CCAM_RETURN_NOT_OK(ctx->Check());
     auto [cur, depth] = frontier.front();
     frontier.pop_front();
     result.nodes.push_back(cur);
@@ -64,12 +67,14 @@ Result<ComponentsResult> WeaklyConnectedComponents(AccessMethod* am) {
   std::unordered_set<NodeId> live(all.begin(), all.end());
 
   std::unordered_set<NodeId> seen;
+  RequestContext* ctx = am->request_context();
   for (NodeId start : all) {
     if (seen.count(start)) continue;
     size_t size = 0;
     std::deque<NodeId> frontier{start};
     seen.insert(start);
     while (!frontier.empty()) {
+      if (ctx != nullptr) CCAM_RETURN_NOT_OK(ctx->Check());
       NodeId cur = frontier.front();
       frontier.pop_front();
       ++size;

@@ -1,0 +1,84 @@
+#include "src/serve/circuit_breaker.h"
+
+namespace ccam {
+
+bool CircuitBreaker::Classify(const Status& s, FailureClass* out) {
+  switch (s.code()) {
+    case Status::Code::kIOError:
+    case Status::Code::kShortRead:
+      *out = FailureClass::kIo;
+      return true;
+    case Status::Code::kCorruption:
+    case Status::Code::kQuarantined:
+      *out = FailureClass::kCorruption;
+      return true;
+    case Status::Code::kDeadlineExceeded:
+      *out = FailureClass::kDeadline;
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* CircuitBreaker::ClassName(FailureClass c) {
+  switch (c) {
+    case FailureClass::kIo:
+      return "io";
+    case FailureClass::kCorruption:
+      return "corruption";
+    case FailureClass::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+Status CircuitBreaker::Allow(int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < kNumClasses; ++i) {
+    ClassState& cs = classes_[i];
+    if (!cs.open) continue;
+    if (now_us - cs.opened_at_us >= options_.cooldown_us) {
+      // Half-open: admit one probe and restart the window, so at most one
+      // request per cooldown reaches execution while the class is open —
+      // and a probe that never reports back cannot wedge the breaker.
+      cs.opened_at_us = now_us;
+      continue;
+    }
+    return Status::Overloaded(
+        std::string("circuit breaker open (") +
+        ClassName(static_cast<FailureClass>(i)) + ")");
+  }
+  return Status::OK();
+}
+
+void CircuitBreaker::OnResult(const Status& s, int64_t now_us) {
+  FailureClass c;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!Classify(s, &c)) {
+    // A healthy execution: the service is serving again — close every
+    // breaker and forget the streaks.
+    for (ClassState& cs : classes_) {
+      cs.consecutive_failures = 0;
+      cs.open = false;
+    }
+    return;
+  }
+  ClassState& cs = classes_[static_cast<size_t>(c)];
+  ++cs.consecutive_failures;
+  if (!cs.open && cs.consecutive_failures >= options_.trip_threshold) {
+    cs.open = true;
+    cs.opened_at_us = now_us;
+    ++trips_;
+  } else if (cs.open) {
+    // A failed probe re-opens the cooldown window from now.
+    cs.opened_at_us = now_us;
+  }
+}
+
+bool CircuitBreaker::IsOpen(FailureClass c, int64_t now_us) {
+  (void)now_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  return classes_[static_cast<size_t>(c)].open;
+}
+
+}  // namespace ccam

@@ -1,0 +1,90 @@
+#ifndef CCAM_SERVE_CIRCUIT_BREAKER_H_
+#define CCAM_SERVE_CIRCUIT_BREAKER_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace ccam {
+
+/// Per-failure-class circuit breaker for the serving layer. Each class
+/// tracks consecutive failures; when a class reaches its trip threshold
+/// the breaker *opens* for that class and admission sheds matching traffic
+/// with a typed Overloaded rejection — a storage device returning errors
+/// on every read should cost one rejection per request, not a queued
+/// execution that fails the same way. After `cooldown_us` the breaker
+/// goes *half-open*: one probe request per cooldown window is admitted; a
+/// healthy execution closes the breaker, a classified failure restarts
+/// the window. (Granting a probe restarts the window too, so a probe that
+/// never reports — cancelled at shutdown — cannot wedge the breaker.)
+///
+/// Classes (failures elsewhere — NotFound, InvalidArgument — are request
+/// errors, not service health, and never trip anything):
+///   kIo         <- IOError / ShortRead (transport-level read failures)
+///   kCorruption <- Corruption / Quarantined (data damage)
+///   kDeadline   <- DeadlineExceeded (the service can't meet its budgets)
+///
+/// Thread safety: all methods are safe from any thread; one leaf-level
+/// mutex, never held across I/O or another lock.
+class CircuitBreaker {
+ public:
+  enum class FailureClass { kIo = 0, kCorruption = 1, kDeadline = 2 };
+  static constexpr size_t kNumClasses = 3;
+
+  struct Options {
+    /// Consecutive failures of one class that open its breaker.
+    uint64_t trip_threshold = 8;
+    /// Microseconds an open breaker sheds load before probing again.
+    int64_t cooldown_us = 50000;
+  };
+
+  explicit CircuitBreaker(const Options& options) : options_(options) {}
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Classifies a status, or returns false for statuses that are not
+  /// service-health signals.
+  static bool Classify(const Status& s, FailureClass* out);
+
+  static const char* ClassName(FailureClass c);
+
+  /// Admission check at `now_us`: OK to proceed, or a typed Overloaded
+  /// status naming the open class. In the half-open state exactly one
+  /// caller per cooldown window gets through as the probe.
+  Status Allow(int64_t now_us);
+
+  /// Reports the outcome of an executed request. OK (and statuses outside
+  /// every class) reset all consecutive-failure counts and close any
+  /// half-open breaker; a classified failure bumps its class and may trip.
+  void OnResult(const Status& s, int64_t now_us);
+
+  /// True if the class's breaker is currently open (test/metrics view).
+  bool IsOpen(FailureClass c, int64_t now_us);
+
+  /// Number of times any class tripped open (test/metrics view).
+  uint64_t trip_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trips_;
+  }
+
+ private:
+  struct ClassState {
+    uint64_t consecutive_failures = 0;
+    bool open = false;
+    /// Start of the current cooldown window (trip, failed probe, or the
+    /// grant of the previous probe — whichever came last).
+    int64_t opened_at_us = 0;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::array<ClassState, kNumClasses> classes_;
+  uint64_t trips_ = 0;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_SERVE_CIRCUIT_BREAKER_H_

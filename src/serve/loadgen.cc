@@ -177,8 +177,12 @@ LoadReport RunLoad(QueryService* service, NetworkFile* file,
     }
     const uint64_t submit_us = NowMicros();
     if (submit_us >= end_us) break;
-    issued.push_back(
-        {service->Submit(pool[cursor % pool.size()]), submit_us});
+    ServeRequest request = pool[cursor % pool.size()];
+    if (options.deadline_budget_us != 0) {
+      request.deadline_us =
+          static_cast<int64_t>(submit_us + options.deadline_budget_us);
+    }
+    issued.push_back({service->Submit(std::move(request)), submit_us});
     ++cursor;
     double u = rng.NextDouble();
     if (u <= 0.0) u = 1e-12;
@@ -196,6 +200,13 @@ LoadReport RunLoad(QueryService* service, NetworkFile* file,
     const ServeResponse& response = entry.ticket->Wait();
     if (response.status.IsOverloaded()) {
       ++report.rejected;
+      continue;
+    }
+    if (response.status.IsDeadlineExceeded()) {
+      // A missed budget is not a completion and not an admission
+      // rejection: count it separately and keep it out of the latency
+      // percentiles, which are defined over completed requests.
+      ++report.deadline_failures;
       continue;
     }
     ++report.completed;

@@ -41,6 +41,10 @@ struct LoadgenOptions {
   /// Distinct precomputed requests to cycle through.
   size_t pool_size = 4096;
   uint64_t seed = 42;
+  /// Per-request deadline budget in microseconds; each submitted request
+  /// carries deadline = submit time + budget. 0 (the default) submits
+  /// deadline-free traffic — the zero-overhead idle path.
+  uint64_t deadline_budget_us = 0;
 };
 
 /// What one load run measured. Latency percentiles are client-observed
@@ -69,6 +73,10 @@ struct LoadReport {
   bool conserved = false;
   /// Data buffer pool hit rate over the run.
   double hit_rate = 0.0;
+  /// Requests that missed their deadline (shed at admission or dequeue,
+  /// or expired mid-execution). Only populated when deadline_budget_us
+  /// is nonzero; excluded from completed/latency accounting.
+  uint64_t deadline_failures = 0;
 };
 
 /// Builds `options.pool_size` requests whose origins follow the zipf

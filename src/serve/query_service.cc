@@ -1,6 +1,7 @@
 #include "src/serve/query_service.h"
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "src/query/aggregate.h"
@@ -66,10 +67,16 @@ QueryService::QueryService(SnapshotManager* manager,
 void QueryService::StartWorkers(int n) {
   if (n < 1) n = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.retry_max_attempts < 1) options_.retry_max_attempts = 1;
+  if (options_.breaker_trip_threshold > 0) {
+    breaker_ = std::make_unique<CircuitBreaker>(CircuitBreaker::Options{
+        options_.breaker_trip_threshold, options_.breaker_cooldown_us});
+  }
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     auto w = std::make_unique<Worker>();
     w->scheduler = DrrScheduler(options_.drr_quantum);
+    w->rng = Random(options_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
     if (file_ != nullptr) {
       w->session = file_->OpenSession();
     } else {
@@ -90,7 +97,8 @@ void QueryService::SetMetrics(MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     m_submitted_ = m_admitted_ = m_rejected_queue_ = m_rejected_tenant_ =
         m_rejected_rate_ = m_rejected_shutdown_ = m_completed_ = m_batches_ =
-            m_batched_requests_ = nullptr;
+            m_batched_requests_ = m_shed_deadline_ = m_shed_breaker_ =
+                m_retries_ = nullptr;
     g_queue_depth_ = nullptr;
     h_queue_wait_us_ = h_exec_us_ = h_latency_us_ = h_batch_occupancy_ =
         nullptr;
@@ -105,6 +113,9 @@ void QueryService::SetMetrics(MetricsRegistry* metrics) {
   m_completed_ = metrics->GetCounter("serve.completed");
   m_batches_ = metrics->GetCounter("serve.batches");
   m_batched_requests_ = metrics->GetCounter("serve.batched_requests");
+  m_shed_deadline_ = metrics->GetCounter("serve.shed_deadline");
+  m_shed_breaker_ = metrics->GetCounter("serve.shed_breaker");
+  m_retries_ = metrics->GetCounter("serve.retries");
   g_queue_depth_ = metrics->GetGauge("serve.queue_depth");
   h_queue_wait_us_ = metrics->GetHistogram("serve.queue_wait_us");
   h_exec_us_ = metrics->GetHistogram("serve.batch_exec_us");
@@ -154,6 +165,21 @@ ServeTicketPtr QueryService::Submit(ServeRequest request) {
   }
 
   const uint64_t now = NowMicros();
+  // Shed already-expired requests before they cost a queue slot: the
+  // client's budget is gone, executing would only delay live traffic.
+  if (request.deadline_us != 0 &&
+      static_cast<int64_t>(now) >= request.deadline_us) {
+    n_shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    return reject(Status::DeadlineExceeded("expired before admission"),
+                  m_shed_deadline_);
+  }
+  if (breaker_ != nullptr) {
+    Status allow = breaker_->Allow(static_cast<int64_t>(now));
+    if (!allow.ok()) {
+      n_shed_breaker_.fetch_add(1, std::memory_order_relaxed);
+      return reject(std::move(allow), m_shed_breaker_);
+    }
+  }
   Worker* w = nullptr;
   if (options_.region_affinity) {
     w = workers_[region % workers_.size()].get();
@@ -262,43 +288,22 @@ void QueryService::WorkerLoop(Worker* worker) {
   }
 }
 
-void QueryService::ExecuteBatch(Worker* worker,
-                                std::vector<QueuedRequest>* batch) {
-  const uint64_t start_us = NowMicros();
-  {
-    std::lock_guard<std::mutex> lock(admission_mu_);
-    for (const QueuedRequest& item : *batch) {
-      admission_.OnDequeue(item.request.tenant);
-    }
-    if (g_queue_depth_ != nullptr) {
-      g_queue_depth_->Set(static_cast<int64_t>(admission_.queue_depth()));
-    }
+void QueryService::SetSessionContext(Worker* worker, RequestContext* ctx) {
+  if (worker->session != nullptr) {
+    worker->session->SetRequestContext(ctx);
+  } else {
+    worker->snap_session->SetRequestContext(ctx);
   }
+}
 
-  // Pin the batch's region page once through the worker's session: the one
-  // fetch (charged to this session iff it misses the shared pool) then
-  // serves every request of the batch as a buffer hit.
-  std::vector<PageGuard> pins;
-  if (options_.region_batching && batch->front().region != kInvalidPageId) {
-    // In snapshot mode the region was stamped against the version current
-    // at submit time; after a swap the page id may be gone from this
-    // worker's version, in which case the pin simply fails — batching
-    // affinity degrades for that batch, results are untouched.
-    if (worker->snap_session != nullptr) {
-      (void)worker->snap_session->PinDataPages({batch->front().region},
-                                               &pins);
-    } else {
-      (void)worker->session->PinDataPages({batch->front().region}, &pins);
-    }
-  }
-
-  const size_t n = batch->size();
-  std::vector<ServeResponse> responses(n);
+void QueryService::ExecuteOps(AccessMethod* am,
+                              std::vector<QueuedRequest>* batch,
+                              const std::vector<size_t>& indices,
+                              std::vector<ServeResponse>* responses) {
   std::vector<size_t> by_op[4];
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i : indices) {
     by_op[static_cast<size_t>((*batch)[i].request.op)].push_back(i);
   }
-  AccessMethod* am = SessionOf(worker);
 
   const std::vector<size_t>& route_idx =
       by_op[static_cast<size_t>(ServeOp::kRouteEval)];
@@ -308,7 +313,7 @@ void QueryService::ExecuteBatch(Worker* worker,
     for (size_t i : route_idx) routes.push_back(&(*batch)[i].request.route);
     auto results = EvaluateRouteBatch(am, routes);
     for (size_t k = 0; k < route_idx.size(); ++k) {
-      ServeResponse& r = responses[route_idx[k]];
+      ServeResponse& r = (*responses)[route_idx[k]];
       if (results[k].ok()) {
         r.cost = results[k].value().total_cost;
         r.num_edges = results[k].value().num_edges;
@@ -329,7 +334,7 @@ void QueryService::ExecuteBatch(Worker* worker,
     }
     auto results = ShortestPathAStarBatch(am, pairs);
     for (size_t k = 0; k < astar_idx.size(); ++k) {
-      ServeResponse& r = responses[astar_idx[k]];
+      ServeResponse& r = (*responses)[astar_idx[k]];
       if (results[k].ok()) {
         r.cost = results[k].value().cost;
         r.num_edges = results[k].value().path.empty()
@@ -353,7 +358,7 @@ void QueryService::ExecuteBatch(Worker* worker,
     }
     auto results = ShortestPathCHBatch(am, pairs);
     for (size_t k = 0; k < ch_idx.size(); ++k) {
-      ServeResponse& r = responses[ch_idx[k]];
+      ServeResponse& r = (*responses)[ch_idx[k]];
       if (results[k].ok()) {
         r.cost = results[k].value().cost;
         r.num_edges = results[k].value().path.empty()
@@ -374,13 +379,147 @@ void QueryService::ExecuteBatch(Worker* worker,
     for (size_t i : agg_idx) units.push_back(&(*batch)[i].request.unit);
     auto results = AggregateRouteUnitBatch(am, units);
     for (size_t k = 0; k < agg_idx.size(); ++k) {
-      ServeResponse& r = responses[agg_idx[k]];
+      ServeResponse& r = (*responses)[agg_idx[k]];
       if (results[k].ok()) {
         r.cost = results[k].value().total_edge_cost;
         r.num_edges = results[k].value().num_edges;
       } else {
         r.status = results[k].status();
       }
+    }
+  }
+}
+
+void QueryService::ExecuteBatch(Worker* worker,
+                                std::vector<QueuedRequest>* batch) {
+  const uint64_t start_us = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    for (const QueuedRequest& item : *batch) {
+      admission_.OnDequeue(item.request.tenant);
+    }
+    if (g_queue_depth_ != nullptr) {
+      g_queue_depth_->Set(static_cast<int64_t>(admission_.queue_depth()));
+    }
+  }
+
+  // Shed members whose deadline expired while they sat in the queue: they
+  // count as rejected (shed without execution), keeping
+  // completed + rejected == submitted exact.
+  {
+    size_t kept = 0;
+    uint64_t shed = 0;
+    for (size_t i = 0; i < batch->size(); ++i) {
+      QueuedRequest& item = (*batch)[i];
+      if (item.request.deadline_us != 0 &&
+          static_cast<int64_t>(start_us) >= item.request.deadline_us) {
+        ServeResponse response;
+        response.status = Status::DeadlineExceeded("expired in queue");
+        response.done_us = start_us;
+        item.ticket->Fulfill(std::move(response));
+        ++shed;
+        continue;
+      }
+      if (kept != i) (*batch)[kept] = std::move(item);
+      ++kept;
+    }
+    if (shed > 0) {
+      batch->resize(kept);
+      n_rejected_.fetch_add(shed, std::memory_order_relaxed);
+      n_shed_deadline_.fetch_add(shed, std::memory_order_relaxed);
+      if (m_shed_deadline_ != nullptr) m_shed_deadline_->Inc(shed);
+    }
+    if (batch->empty()) return;
+  }
+
+  // Pin the batch's region page once through the worker's session: the one
+  // fetch (charged to this session iff it misses the shared pool) then
+  // serves every request of the batch as a buffer hit.
+  std::vector<PageGuard> pins;
+  if (options_.region_batching && batch->front().region != kInvalidPageId) {
+    // In snapshot mode the region was stamped against the version current
+    // at submit time; after a swap the page id may be gone from this
+    // worker's version, in which case the pin simply fails — batching
+    // affinity degrades for that batch, results are untouched. A
+    // quarantined or corrupt region page also fails the pin; the requests
+    // still execute and surface their own typed statuses.
+    if (worker->snap_session != nullptr) {
+      (void)worker->snap_session->PinDataPages({batch->front().region},
+                                               &pins);
+    } else {
+      (void)worker->session->PinDataPages({batch->front().region}, &pins);
+    }
+  }
+
+  const size_t n = batch->size();
+  std::vector<ServeResponse> responses(n);
+  AccessMethod* am = SessionOf(worker);
+
+  // Deadline-free requests execute with no context attached — exactly the
+  // pre-lifecycle code path, so healthy traffic keeps serial-oracle
+  // results even when deadlined requests share its batch. The deadlined
+  // subset runs under the tightest member deadline (the batch shares page
+  // fetches, so the strictest budget governs the shared work).
+  std::vector<size_t> free_idx;
+  std::vector<size_t> dl_idx;
+  int64_t tightest = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t d = (*batch)[i].request.deadline_us;
+    if (d == 0) {
+      free_idx.push_back(i);
+    } else {
+      dl_idx.push_back(i);
+      if (tightest == 0 || d < tightest) tightest = d;
+    }
+  }
+  if (!free_idx.empty()) ExecuteOps(am, batch, free_idx, &responses);
+  if (!dl_idx.empty()) {
+    worker->ctx.Reset(tightest);
+    SetSessionContext(worker, &worker->ctx);
+    ExecuteOps(am, batch, dl_idx, &responses);
+    SetSessionContext(worker, nullptr);
+  }
+
+  // Retry retryable failures (transient transport faults) individually
+  // with jittered backoff. Deterministic failures and lifecycle statuses
+  // never re-execute, and a retry is skipped once the request's own
+  // deadline passed or the service is stopping. Without faults no status
+  // is retryable and this costs one branch per batch.
+  if (options_.retry_max_attempts > 1) {
+    std::vector<size_t> one(1);
+    for (size_t i = 0; i < n; ++i) {
+      for (int attempt = 1; attempt < options_.retry_max_attempts &&
+                            responses[i].status.IsRetryable();
+           ++attempt) {
+        if (stop_.load(std::memory_order_acquire)) break;
+        const int64_t deadline = (*batch)[i].request.deadline_us;
+        if (deadline != 0 && RequestContext::NowMicros() >= deadline) break;
+        if (options_.retry_backoff_us > 0) {
+          const uint32_t cap =
+              options_.retry_backoff_us * static_cast<uint32_t>(attempt);
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(worker->rng.Uniform(cap) + 1));
+        }
+        n_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (m_retries_ != nullptr) m_retries_->Inc();
+        responses[i] = ServeResponse();
+        one[0] = i;
+        if (deadline != 0) {
+          worker->ctx.Reset(deadline);
+          SetSessionContext(worker, &worker->ctx);
+        }
+        ExecuteOps(am, batch, one, &responses);
+        if (deadline != 0) SetSessionContext(worker, nullptr);
+      }
+    }
+  }
+
+  // Executed outcomes feed the per-class breaker: streaks of I/O,
+  // corruption, or deadline failures trip admission into shedding.
+  if (breaker_ != nullptr) {
+    const int64_t now = RequestContext::NowMicros();
+    for (size_t i = 0; i < n; ++i) {
+      breaker_->OnResult(responses[i].status, now);
     }
   }
 
@@ -493,6 +632,9 @@ QueryService::Stats QueryService::GetStats() const {
   stats.completed = n_completed_.load(std::memory_order_relaxed);
   stats.batches = n_batches_.load(std::memory_order_relaxed);
   stats.batched_requests = n_batched_requests_.load(std::memory_order_relaxed);
+  stats.shed_deadline = n_shed_deadline_.load(std::memory_order_relaxed);
+  stats.shed_breaker = n_shed_breaker_.load(std::memory_order_relaxed);
+  stats.retries = n_retries_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -9,11 +9,14 @@
 #include <vector>
 
 #include "src/common/metrics.h"
+#include "src/common/random.h"
+#include "src/common/request_context.h"
 #include "src/common/thread_pool.h"
 #include "src/core/network_file.h"
 #include "src/core/query_session.h"
 #include "src/storage/snapshot_manager.h"
 #include "src/serve/admission.h"
+#include "src/serve/circuit_breaker.h"
 #include "src/serve/request.h"
 #include "src/serve/scheduler.h"
 
@@ -48,6 +51,25 @@ struct QueryServiceOptions {
   /// Dispatch requests to the worker owning their origin page (true), or
   /// spray them round-robin (false, the affinity-free baseline).
   bool region_affinity = true;
+  /// Total execution attempts per request for retryable failures (IOError
+  /// / ShortRead — transient transport faults). 1 (the default) disables
+  /// retries; larger values re-execute a failed request individually with
+  /// jittered backoff, skipping the retry when the request's deadline
+  /// passed or the service is stopping. Deterministic failures
+  /// (Corruption, Quarantined) and lifecycle statuses are never retried.
+  int retry_max_attempts = 1;
+  /// Upper bound of the jittered backoff before each retry attempt; the
+  /// k-th retry sleeps uniform(0, k * retry_backoff_us].
+  uint32_t retry_backoff_us = 200;
+  /// Circuit breaker: consecutive same-class failures (I/O, corruption,
+  /// deadline — see CircuitBreaker) that trip admission into shedding
+  /// matching load with typed Overloaded rejections. 0 (the default)
+  /// disables the breaker entirely.
+  uint64_t breaker_trip_threshold = 0;
+  /// Microseconds an open breaker sheds before admitting a probe.
+  int64_t breaker_cooldown_us = 50000;
+  /// Seed of the retry-backoff jitter streams.
+  uint64_t seed = 42;
 };
 
 /// Multi-tenant serving front end over one read-only NetworkFile — the
@@ -129,10 +151,14 @@ class QueryService {
     uint64_t submitted = 0;
     uint64_t admitted = 0;
     uint64_t rejected = 0;   // refused without execution: admission
-                             // rejections, invalid requests, cancellations
-    uint64_t completed = 0;  // executed requests
+                             // rejections, invalid requests, cancellations,
+                             // deadline/breaker shedding
+    uint64_t completed = 0;  // executed requests (any typed outcome)
     uint64_t batches = 0;    // batches executed (incl. singletons)
     uint64_t batched_requests = 0;  // requests that shared a batch (size>1)
+    uint64_t shed_deadline = 0;     // of rejected: expired before execution
+    uint64_t shed_breaker = 0;      // of rejected: circuit breaker open
+    uint64_t retries = 0;           // re-execution attempts performed
   };
   Stats GetStats() const;
 
@@ -150,11 +176,24 @@ class QueryService {
     /// `snap_session` against a SnapshotManager.
     std::unique_ptr<QuerySession> session;
     std::unique_ptr<SnapshotSession> snap_session;
+    /// Lifecycle context re-stamped per batch (deadlined subsets execute
+    /// under the tightest member deadline) and jitter stream for retry
+    /// backoff. Worker-thread-only.
+    RequestContext ctx;
+    Random rng;
   };
 
   void StartWorkers(int n);
   void WorkerLoop(Worker* worker);
   void ExecuteBatch(Worker* worker, std::vector<QueuedRequest>* batch);
+  /// Executes the requests at `indices` of `batch` through the drivers'
+  /// batch entry points, writing each result into `responses`. The
+  /// lifecycle context (if any) is already attached to the session.
+  void ExecuteOps(AccessMethod* am, std::vector<QueuedRequest>* batch,
+                  const std::vector<size_t>& indices,
+                  std::vector<ServeResponse>* responses);
+  /// Attaches/detaches the worker's RequestContext on its session.
+  void SetSessionContext(Worker* worker, RequestContext* ctx);
   void CancelBatch(std::vector<QueuedRequest>* batch, const char* why);
   AccessMethod* SessionOf(Worker* worker) const {
     return worker->session != nullptr
@@ -173,6 +212,10 @@ class QueryService {
   AdmissionController admission_;
   bool accepting_ = true;
 
+  /// Per-failure-class load shedding; non-null iff breaker_trip_threshold
+  /// > 0. Leaf-level lock, consulted at admission and fed by executions.
+  std::unique_ptr<CircuitBreaker> breaker_;
+
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> round_robin_{0};
@@ -186,6 +229,9 @@ class QueryService {
   std::atomic<uint64_t> n_completed_{0};
   std::atomic<uint64_t> n_batches_{0};
   std::atomic<uint64_t> n_batched_requests_{0};
+  std::atomic<uint64_t> n_shed_deadline_{0};
+  std::atomic<uint64_t> n_shed_breaker_{0};
+  std::atomic<uint64_t> n_retries_{0};
 
   /// Cached "serve.*" metric handles (null = metrics detached).
   MetricCounter* m_submitted_ = nullptr;
@@ -197,6 +243,9 @@ class QueryService {
   MetricCounter* m_completed_ = nullptr;
   MetricCounter* m_batches_ = nullptr;
   MetricCounter* m_batched_requests_ = nullptr;
+  MetricCounter* m_shed_deadline_ = nullptr;
+  MetricCounter* m_shed_breaker_ = nullptr;
+  MetricCounter* m_retries_ = nullptr;
   MetricGauge* g_queue_depth_ = nullptr;
   MetricHistogram* h_queue_wait_us_ = nullptr;
   MetricHistogram* h_exec_us_ = nullptr;

@@ -49,6 +49,14 @@ struct ServeRequest {
   /// Route-unit for kAggregate.
   RouteUnit unit;
 
+  /// Absolute completion deadline in steady-clock microseconds
+  /// (RequestContext::NowMicros scale); 0 = no deadline. An expired
+  /// request is shed at admission or dequeue with a typed
+  /// DeadlineExceeded rejection; one that expires mid-execution unwinds
+  /// cooperatively with the same status (the batch runs under the
+  /// tightest deadline of its deadlined members).
+  int64_t deadline_us = 0;
+
   /// The node whose data page defines the request's region.
   NodeId Origin() const {
     if (op == ServeOp::kAggregate) {

@@ -152,6 +152,12 @@ Result<char*> BufferPool::FetchPage(PageId id, bool* was_miss) {
     if (was_miss != nullptr) *was_miss = false;
     return frame.data.get();
   }
+  // Quarantined pages fail fast before a frame or disk read is spent on
+  // them: their reads already failed the bounded retries, so re-paying the
+  // I/O would only stall this request behind a known-bad page.
+  if (quarantine_ != nullptr) {
+    CCAM_RETURN_NOT_OK(quarantine_->Check(id));
+  }
   if (shard.frames.size() >= shard.capacity) {
     CCAM_RETURN_NOT_OK(EvictOneLocked(&shard));
   }
@@ -168,7 +174,7 @@ Result<char*> BufferPool::FetchPage(PageId id, bool* was_miss) {
   // io_pending flag. `frame` stays valid across the unlock because
   // unordered_map never moves its nodes.
   lock.unlock();
-  Status read_status = disk_->ReadPage(id, frame.data.get());
+  Status read_status = ReadWithRetry(id, frame.data.get());
   lock.lock();
   frame.io_pending = false;
   shard.io_cv.notify_all();
@@ -186,6 +192,33 @@ Result<char*> BufferPool::FetchPage(PageId id, bool* was_miss) {
   if (m_miss_ != nullptr) m_miss_->Inc();
   if (was_miss != nullptr) *was_miss = true;
   return frame.data.get();
+}
+
+Status BufferPool::ReadWithRetry(PageId id, char* data) {
+  Status read_status = disk_->ReadPage(id, data);
+  if (read_status.ok() || quarantine_ == nullptr) return read_status;
+  // Only damage-shaped failures are worth re-reading: a torn transfer or a
+  // checksum mismatch may be a transient fault (the injector's whole
+  // point), while e.g. NotFound is deterministic.
+  if (!read_status.IsCorruption() && !read_status.IsShortRead() &&
+      !read_status.IsIOError()) {
+    return read_status;
+  }
+  for (int attempt = 0; attempt < read_retries_; ++attempt) {
+    Status retry_status = disk_->ReadPage(id, data);
+    if (retry_status.ok()) {
+      quarantine_->NoteRetrySuccess();
+      return retry_status;
+    }
+    read_status = std::move(retry_status);
+  }
+  // Persistent damage: quarantine the page so later fetches fail fast
+  // (this caller still sees the original typed failure). Device-level
+  // IOError is not page damage — retried above, but never quarantined.
+  if (read_status.IsCorruption() || read_status.IsShortRead()) {
+    quarantine_->Add(id, read_status.ToString());
+  }
+  return read_status;
 }
 
 Status BufferPool::UnpinPage(PageId id, bool dirty) {

@@ -14,6 +14,7 @@
 #include "src/common/status.h"
 #include "src/storage/disk_manager.h"
 #include "src/storage/io_stats.h"
+#include "src/storage/page_quarantine.h"
 
 namespace ccam {
 
@@ -155,6 +156,22 @@ class BufferPool {
   /// Like the disk's SetMetrics, attach while the pool is quiescent.
   void SetMetrics(MetricsRegistry* metrics);
 
+  /// Attaches (or with nullptr detaches) the corruption-containment set.
+  /// With a quarantine attached, a fetch miss first fast-fails if the page
+  /// is quarantined; a miss read that fails with Corruption or ShortRead is
+  /// re-read up to the bounded retry budget (distinguishing a transient
+  /// torn transfer from persistent damage), and on exhaustion the page id
+  /// is quarantined so later fetches fail fast. Detached (the default) the
+  /// fetch path is byte-for-byte the old single-attempt behavior. Attach
+  /// while quiescent.
+  void SetQuarantine(PageQuarantine* quarantine) { quarantine_ = quarantine; }
+  PageQuarantine* quarantine() const { return quarantine_; }
+
+  /// Re-reads attempted after a failed miss read before quarantining
+  /// (default 2, i.e. up to 3 attempts total). Only meaningful with a
+  /// quarantine attached.
+  void SetReadRetries(int retries) { read_retries_ = retries < 0 ? 0 : retries; }
+
   int PinCount(PageId id) const;
 
  private:
@@ -203,6 +220,11 @@ class BufferPool {
   Status EvictOneLocked(Shard* shard);
   Status EvictFrameLocked(Shard* shard, Frame* frame);
 
+  /// The miss read plus its bounded retries; runs outside the shard latch.
+  /// Reports whether a retry rescued the fetch and, via quarantine_, files
+  /// persistent failures.
+  Status ReadWithRetry(PageId id, char* data);
+
   DiskManager* disk_;
   size_t capacity_;
   ReplacementPolicy policy_;
@@ -213,6 +235,10 @@ class BufferPool {
   MetricCounter* m_miss_ = nullptr;
   MetricCounter* m_eviction_ = nullptr;
   MetricCounter* m_writeback_ = nullptr;
+
+  /// Corruption containment (null = detached, the default).
+  PageQuarantine* quarantine_ = nullptr;
+  int read_retries_ = 2;
 };
 
 /// RAII pin: fetches a page on construction and unpins on destruction.

@@ -1,0 +1,35 @@
+#include "src/storage/page_quarantine.h"
+
+#include <algorithm>
+
+namespace ccam {
+
+std::vector<std::pair<PageId, std::string>> PageQuarantine::Entries() const {
+  std::vector<std::pair<PageId, std::string>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& kv : entries_) out.emplace_back(kv.first, kv.second.reason);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void PageQuarantine::SetMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_added_ = nullptr;
+    m_fastfail_ = nullptr;
+    m_cleared_ = nullptr;
+    m_retry_success_ = nullptr;
+    g_size_ = nullptr;
+    return;
+  }
+  m_added_ = metrics->GetCounter("storage.quarantine.added");
+  m_fastfail_ = metrics->GetCounter("storage.quarantine.fastfail");
+  m_cleared_ = metrics->GetCounter("storage.quarantine.cleared");
+  m_retry_success_ = metrics->GetCounter("storage.quarantine.retry_success");
+  g_size_ = metrics->GetGauge("storage.quarantine.size");
+}
+
+}  // namespace ccam

@@ -1,0 +1,125 @@
+#ifndef CCAM_STORAGE_PAGE_QUARANTINE_H_
+#define CCAM_STORAGE_PAGE_QUARANTINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/storage/disk_manager.h"
+
+namespace ccam {
+
+/// Containment set for pages whose reads keep failing checksum or transfer
+/// validation. After the buffer pool exhausts its bounded re-reads of a
+/// page, the page id lands here; every later fetch of it fails fast with a
+/// typed Quarantined status instead of re-paying the doomed I/O — one bad
+/// page cannot keep stalling healthy traffic on retries of a read that
+/// cannot succeed. A scrub/repair pass (NetworkFile::ScrubQuarantined, or
+/// Clear() after an out-of-band fix) removes entries, at which point reads
+/// flow again.
+///
+/// State machine per page: healthy → (re-reads exhausted) quarantined →
+/// (scrub verifies or operator clears) healthy. Quarantined is sticky until
+/// explicitly cleared: retries are the pool's job, not the caller's.
+///
+/// Thread safety: all methods are safe from any thread. The empty case —
+/// every healthy deployment, all the time — is one relaxed atomic load, so
+/// an idle quarantine adds no measurable cost to the fetch path.
+class PageQuarantine {
+ public:
+  PageQuarantine() = default;
+  PageQuarantine(const PageQuarantine&) = delete;
+  PageQuarantine& operator=(const PageQuarantine&) = delete;
+
+  /// True if `id` is quarantined. One atomic load when the set is empty.
+  bool Contains(PageId id) const {
+    if (count_.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.find(id) != entries_.end();
+  }
+
+  /// Fast-fail check for the fetch path: OK when the page is clean, a
+  /// typed Quarantined status (carrying the original failure) otherwise.
+  Status Check(PageId id) const {
+    if (count_.load(std::memory_order_acquire) == 0) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return Status::OK();
+    if (m_fastfail_ != nullptr) m_fastfail_->Inc();
+    return Status::Quarantined("page " + std::to_string(id) +
+                               " quarantined: " + it->second.reason);
+  }
+
+  /// Quarantines `id`, remembering why. Idempotent (the first reason wins).
+  void Add(PageId id, std::string reason) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto inserted = entries_.emplace(id, Entry{std::move(reason)});
+    if (!inserted.second) return;
+    count_.store(entries_.size(), std::memory_order_release);
+    if (m_added_ != nullptr) m_added_->Inc();
+    if (g_size_ != nullptr) g_size_->Set(entries_.size());
+  }
+
+  /// Removes `id` after a repair; returns whether it was present.
+  bool Clear(PageId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.erase(id) == 0) return false;
+    count_.store(entries_.size(), std::memory_order_release);
+    if (m_cleared_ != nullptr) m_cleared_->Inc();
+    if (g_size_ != nullptr) g_size_->Set(entries_.size());
+    return true;
+  }
+
+  void ClearAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (m_cleared_ != nullptr && !entries_.empty()) {
+      m_cleared_->Inc(entries_.size());
+    }
+    entries_.clear();
+    count_.store(0, std::memory_order_release);
+    if (g_size_ != nullptr) g_size_->Set(0);
+  }
+
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+
+  /// Snapshot of (page, reason) pairs, ascending page id — the scrub
+  /// pass's worklist and the operator-facing damage report.
+  std::vector<std::pair<PageId, std::string>> Entries() const;
+
+  /// Called by the buffer pool when a bounded re-read rescued a fetch (the
+  /// fault was transient, nothing was quarantined).
+  void NoteRetrySuccess() {
+    if (m_retry_success_ != nullptr) m_retry_success_->Inc();
+  }
+
+  /// Attaches "storage.quarantine.{added,fastfail,cleared,retry_success}"
+  /// counters and the "storage.quarantine.size" gauge. Null detaches;
+  /// attach while quiescent, like every other SetMetrics in the repo.
+  void SetMetrics(MetricsRegistry* metrics);
+
+ private:
+  struct Entry {
+    std::string reason;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, Entry> entries_;
+  /// Mirrors entries_.size(); lets Contains/Check skip the lock when empty.
+  std::atomic<size_t> count_{0};
+
+  MetricCounter* m_added_ = nullptr;
+  mutable MetricCounter* m_fastfail_ = nullptr;
+  MetricCounter* m_cleared_ = nullptr;
+  MetricCounter* m_retry_success_ = nullptr;
+  MetricGauge* g_size_ = nullptr;
+};
+
+}  // namespace ccam
+
+#endif  // CCAM_STORAGE_PAGE_QUARANTINE_H_

@@ -82,6 +82,7 @@ void SnapshotSession::Refresh() {
 
 Result<NodeRecord> SnapshotSession::Find(NodeId id) {
   DebugCheckThread();
+  if (ctx_ != nullptr) CCAM_RETURN_NOT_OK(ctx_->Check());
   std::optional<NodeRecord> overlay;
   if (version_->OverlayLookup(id, &overlay)) {
     if (!overlay.has_value()) {
@@ -94,6 +95,7 @@ Result<NodeRecord> SnapshotSession::Find(NodeId id) {
 
 Result<NodeRecord> SnapshotSession::GetASuccessor(NodeId from, NodeId to) {
   DebugCheckThread();
+  if (ctx_ != nullptr) CCAM_RETURN_NOT_OK(ctx_->Check());
   std::optional<NodeRecord> overlay;
   if (version_->OverlayLookup(to, &overlay)) {
     if (!overlay.has_value()) {
@@ -106,6 +108,7 @@ Result<NodeRecord> SnapshotSession::GetASuccessor(NodeId from, NodeId to) {
 
 Result<std::vector<NodeRecord>> SnapshotSession::GetSuccessors(NodeId id) {
   DebugCheckThread();
+  if (ctx_ != nullptr) CCAM_RETURN_NOT_OK(ctx_->Check());
   std::optional<NodeRecord> overlay;
   if (version_->OverlayLookup(id, &overlay)) {
     if (!overlay.has_value()) {

@@ -16,6 +16,7 @@
 
 #include "src/common/fault_injector.h"
 #include "src/common/metrics.h"
+#include "src/common/request_context.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/core/ccam.h"
@@ -421,8 +422,14 @@ class SnapshotSession : public AccessMethod {
   Status PinDataPages(const std::vector<PageId>& ids,
                       std::vector<PageGuard>* guards) {
     DebugCheckThread();
+    if (ctx_ != nullptr) CCAM_RETURN_NOT_OK(ctx_->Check());
     return version_->file()->buffer_pool()->FetchPages(ids, guards, &io_);
   }
+
+  /// Lifecycle context for reads through this session, exactly like
+  /// QuerySession::SetRequestContext: not owned, nullptr = checks off.
+  void SetRequestContext(RequestContext* ctx) { ctx_ = ctx; }
+  RequestContext* request_context() const override { return ctx_; }
 
   void RebindToCurrentThread() {
 #ifndef NDEBUG
@@ -444,6 +451,7 @@ class SnapshotSession : public AccessMethod {
 
   SnapshotManager* manager_;
   std::shared_ptr<SnapshotVersion> version_;
+  RequestContext* ctx_ = nullptr;  // not owned; null = lifecycle checks off
   IoStats io_;  // per-session: the session is single-threaded by contract
 #ifndef NDEBUG
   std::thread::id bound_thread_{};

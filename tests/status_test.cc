@@ -24,6 +24,35 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::ShortRead("x").IsShortRead());
   EXPECT_TRUE(Status::ShortWrite("x").IsShortWrite());
+  EXPECT_TRUE(Status::Overloaded("x").IsOverloaded());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::Quarantined("x").IsQuarantined());
+}
+
+TEST(StatusTest, LifecycleStatusToString) {
+  EXPECT_EQ(Status::DeadlineExceeded("budget 5ms").ToString(),
+            "DeadlineExceeded: budget 5ms");
+  EXPECT_EQ(Status::Cancelled("shutdown").ToString(), "Cancelled: shutdown");
+  EXPECT_EQ(Status::Quarantined("page 7").ToString(), "Quarantined: page 7");
+  EXPECT_FALSE(Status::DeadlineExceeded("").IsCancelled());
+  EXPECT_FALSE(Status::Quarantined("").IsCorruption());
+  EXPECT_TRUE(
+      Status::FromCode(Status::Code::kQuarantined, "x").IsQuarantined());
+}
+
+TEST(StatusTest, RetryableClassification) {
+  // Transient transport failures are retryable.
+  EXPECT_TRUE(Status::IOError("").IsRetryable());
+  EXPECT_TRUE(Status::ShortRead("").IsRetryable());
+  EXPECT_TRUE(Status::Overloaded("").IsRetryable());
+  // Deterministic failures and lifecycle outcomes are terminal.
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::Corruption("").IsRetryable());
+  EXPECT_FALSE(Status::Quarantined("").IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("").IsRetryable());
+  EXPECT_FALSE(Status::Cancelled("").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("").IsRetryable());
 }
 
 TEST(StatusTest, ShortTransferStatuses) {

@@ -28,6 +28,11 @@
 //            [--failpoint=snapshot.log.append|snapshot.log.flush|
 //                         snapshot.build|snapshot.publish|snapshot.retire]
 //            [--json=PATH] [--verbose]
+//   crashsim --list-failpoints
+//
+// --list-failpoints prints the full failpoint catalog (name, site, what the
+// injected fault models) plus the fault-schedule syntax, so chaos schedules
+// can be authored without reading source.
 
 #include <cstdint>
 #include <cstdio>
@@ -36,9 +41,28 @@
 #include <fstream>
 #include <string>
 
+#include "src/common/fault_injector.h"
 #include "src/core/crash_harness.h"
 
 namespace {
+
+int ListFailpoints() {
+  std::printf("failpoint catalog (name — site — injected fault):\n");
+  for (const ccam::FailpointInfo& fp : ccam::FaultInjector::Catalog()) {
+    std::printf("  %-22s %s\n  %-22s   %s\n", fp.name, fp.site, "", fp.notes);
+  }
+  std::printf(
+      "\nschedule syntax (FaultInjector::Configure; comma-separated):\n"
+      "  <point>=<action>[@<trigger>]\n"
+      "  actions:  error[:<code>]   (code: io, corruption, notfound;"
+      " default io)\n"
+      "            short:<bytes>  |  torn:<bytes>  |  nospace  |"
+      "  crash:<bytes>\n"
+      "  triggers: @<n> (once, on hit n)   @<n>+ (from hit n on)\n"
+      "            @every<n>               @p<prob>        (default: @1)\n"
+      "  example:  disk.write=crash:96@17,disk.read=error@p0.01\n");
+  return 0;
+}
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   std::string prefix = std::string("--") + name + "=";
@@ -57,8 +81,10 @@ int Usage(const char* argv0) {
       "       %s --snapshot [--seed=N] [--page-size=N] [--ops=N]\n"
       "          [--points=N] [--torn-bytes=N] [--reorg-every=N]\n"
       "          [--dir=PATH] [--failpoint=snapshot.*] [--json=PATH]\n"
-      "          [--verbose]\n",
-      argv0, argv0);
+      "          [--verbose]\n"
+      "       %s --list-failpoints   (print the failpoint catalog and the\n"
+      "          fault-schedule syntax, then exit)\n",
+      argv0, argv0, argv0);
   return 2;
 }
 
@@ -260,6 +286,8 @@ int main(int argc, char** argv) {
       json_path = v;
     } else if (std::strcmp(argv[i], "--snapshot") == 0) {
       snapshot_mode = true;
+    } else if (std::strcmp(argv[i], "--list-failpoints") == 0) {
+      return ListFailpoints();
     } else if (ParseFlag(argv[i], "failpoint", &v)) {
       if (v != "disk.write" && v != "wal.append" && v != "wal.flush" &&
           !IsSnapshotFailpoint(v)) {
