@@ -24,9 +24,11 @@
 #   scripts/check_perf.sh baseline.json current.json [tolerance-pct]
 #   scripts/check_perf.sh --smoke [build-dir]
 #       builds the fastest bench plus the hierarchy-speedup bench (at its
-#       smallest scale point), runs each twice, and diffs the artifact
-#       pairs — a self-test that the gate and the writers agree, and that
-#       the CH overlay's page-access counts are run-to-run deterministic.
+#       smallest scale point) and the shard-scaling bench (at a reduced
+#       route count), runs each twice, and diffs the artifact pairs — a
+#       self-test that the gate and the writers agree, and that the CH
+#       overlay's page accesses and the sharded file's read/cut/halo
+#       counts are run-to-run deterministic.
 set -uo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
@@ -35,7 +37,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
   BUILD="${2:-build}"
   cmake -B "$BUILD" -S . >/dev/null &&
     cmake --build "$BUILD" --target fig5_crr hierarchy_speedup \
-      -j "$(nproc)" >/dev/null ||
+      shard_scaling -j "$(nproc)" >/dev/null ||
     { echo "check_perf: smoke build failed"; exit 1; }
   TMP="$(mktemp -d)"
   trap 'rm -rf "$TMP"' EXIT
@@ -51,6 +53,15 @@ if [[ "${1:-}" == "--smoke" ]]; then
   # still required to match exactly.
   "$0" "$TMP/a/BENCH_hierarchy_speedup.json" \
        "$TMP/b/BENCH_hierarchy_speedup.json" 75 || exit 1
+  # Shard scaling at a reduced route count; the deterministic columns
+  # (reads, cut edges, halo, crossings, mismatches) must self-diff
+  # exactly, and the tiny eval times get the same widened tolerance.
+  CCAM_BENCH_JSON_DIR="$TMP/a" CCAM_SHARD_ROUTES=40 \
+    "$BUILD/bench/shard_scaling" >/dev/null || exit 1
+  CCAM_BENCH_JSON_DIR="$TMP/b" CCAM_SHARD_ROUTES=40 \
+    "$BUILD/bench/shard_scaling" >/dev/null || exit 1
+  "$0" "$TMP/a/BENCH_shard_scaling.json" \
+       "$TMP/b/BENCH_shard_scaling.json" 75 || exit 1
   set -- "$TMP/a/BENCH_fig5_crr.json" "$TMP/b/BENCH_fig5_crr.json"
 fi
 

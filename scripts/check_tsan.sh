@@ -9,19 +9,21 @@
 # store's swap hammer (8 reader threads across 50 back-to-back version
 # swaps — snapshot_swap_test), and the request-lifecycle chaos battery
 # (8 workers under deadline pressure with disk fault schedules, retries,
-# breaker trips and mid-flight cancellation — chaos_serve_test).
+# breaker trips and mid-flight cancellation — chaos_serve_test), and the
+# sharded network file's 8-thread reader hammer (per-thread facade
+# sessions over 4 shards, with exact IoStats conservation — shard_test).
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
 
 BUILD="${1:-build-tsan}"
-TESTS='thread_pool_test|cluster_determinism_test|buffer_pool_concurrency_test|metrics_test|hierarchy_test|serve_test|snapshot_swap_test|chaos_serve_test'
+TESTS='thread_pool_test|cluster_determinism_test|buffer_pool_concurrency_test|metrics_test|hierarchy_test|serve_test|snapshot_swap_test|chaos_serve_test|shard_test'
 
 # No explicit generator: reuse whatever an existing cache was made with.
 cmake -B "$BUILD" -S . -DCCAM_TSAN=ON
 cmake --build "$BUILD" --target \
   thread_pool_test cluster_determinism_test buffer_pool_concurrency_test \
   metrics_test hierarchy_test serve_test snapshot_swap_test \
-  chaos_serve_test
+  chaos_serve_test shard_test
 ctest --test-dir "$BUILD" -R "$TESTS" --output-on-failure
 
 echo "TSan: all concurrency tests passed with zero reported races."

@@ -20,14 +20,20 @@
 #                  new version), and bench/swap_availability emitting
 #                  BENCH_swap_availability.json (reader p99 during reorg
 #                  vs quiesced — scripts/check_perf.sh diffs it)
-#   6. chaos     — scripts/check_chaos.sh: request-lifecycle chaos battery
+#   6. shard     — sharded network file: the differential oracle + reader
+#                  hammer suite (tests/shard_test), the ccam_cli shard
+#                  subcommand's sharded-vs-unsharded check, and
+#                  bench/shard_scaling emitting BENCH_shard_scaling.json
+#                  (route results and the 1-shard accounting are gated in
+#                  the binary; the artifact is diffed by check_perf.sh)
+#   7. chaos     — scripts/check_chaos.sh: request-lifecycle chaos battery
 #                  (serve hammer under deadline pressure with disk fault
 #                  schedules, quarantine/read-retry suite, delta-log
 #                  recovery fuzz under a concurrent reader)
-#   7. faults    — scripts/check_faults.sh: fault-injection + crash
+#   8. faults    — scripts/check_faults.sh: fault-injection + crash
 #                  consistency sweeps, differential oracle, strict durable
 #                  crashsim with JSON gating
-#   8. tsan      — scripts/check_tsan.sh: concurrency suites under
+#   9. tsan      — scripts/check_tsan.sh: concurrency suites under
 #                  ThreadSanitizer (separate build directory)
 #
 # Usage: scripts/ci.sh [build-dir] [tsan-build-dir]
@@ -71,6 +77,18 @@ serve_smoke() {
     "$BUILD/bench/serve_load"
 }
 
+shard_stage() {
+  cmake --build "$BUILD" --target shard_test ccam_cli shard_scaling \
+    -j "$(nproc)" || return 1
+  "$BUILD/tests/shard_test" || return 1
+  local net="${TMPDIR:-/tmp}/ccam_ci_shard.net"
+  "$BUILD/tools/ccam_cli" generate --out "$net" --rows 16 --cols 16 \
+    --seed 5 > /dev/null || return 1
+  "$BUILD/tools/ccam_cli" shard --net "$net" --page-size 512 --shards 4 \
+    --routes 32 || return 1
+  CCAM_SHARD_ROUTES=60 "$BUILD/bench/shard_scaling"
+}
+
 swap_stage() {
   cmake --build "$BUILD" --target snapshot_swap_test crashsim \
     swap_availability -j "$(nproc)" || return 1
@@ -90,6 +108,7 @@ run_stage "metrics (tools/stats)" metrics
 run_stage "perf (check_perf.sh --smoke)" scripts/check_perf.sh --smoke "$BUILD"
 run_stage "serve (serve_load smoke)" serve_smoke
 run_stage "swap (hammer + mid-swap crashsim)" swap_stage
+run_stage "shard (oracle + hammer + bench)" shard_stage
 run_stage "chaos (check_chaos.sh)" scripts/check_chaos.sh "$BUILD"
 run_stage "faults (check_faults.sh)" scripts/check_faults.sh "$BUILD"
 run_stage "tsan (check_tsan.sh)" scripts/check_tsan.sh "$TSAN_BUILD"

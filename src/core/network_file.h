@@ -114,7 +114,10 @@ class NetworkFile : public AccessMethod {
   /// predecessor with cost c). The crash-recovery harness runs this after
   /// OpenImage: a crash mid-maintenance leaves either a consistent file or
   /// a typed Corruption here — never a silently half-patched graph.
-  Status CheckGraphInvariants();
+  /// Virtual: shard files store halo copies whose adjacency deliberately
+  /// references nodes owned by other shards, so their override relaxes the
+  /// every-endpoint-present check (see src/shard/sharded_network_file.h).
+  virtual Status CheckGraphInvariants();
 
   /// Attaches a fault injector to every simulated device of this file
   /// (nullptr detaches): the data disk ("disk.*" failpoints), the index

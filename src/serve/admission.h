@@ -14,32 +14,68 @@ namespace serve {
 /// to a cap of `burst`; a request consumes one token or is refused. Time
 /// is passed in explicitly (microseconds on any monotonic scale), which
 /// keeps the arithmetic deterministic and unit-testable without sleeping.
+///
+/// The ledger is integer micro-tokens (1 token = 10^6 micro-tokens) with
+/// an explicit sub-micro-token carry: each refill accrues
+/// `rate_micro_per_sec * dt_us + carry` and keeps the remainder modulo
+/// 10^6 for the next refill, so no fraction of a token is ever truncated
+/// away — over any horizon the admitted count is exactly
+/// floor(rate * elapsed) + initial burst, drift-free at high rates and
+/// fine ticks alike. The burst capacity is floored at one token: a cap
+/// below the cost of a single request could otherwise never admit
+/// anything (the default burst is `rate` seconds' worth, so sub-1-qps
+/// tenants used to starve permanently).
+///
 /// Not thread-safe: the admission controller serializes access.
 class TokenBucket {
  public:
+  /// Micro-tokens per token: the ledger's fixed-point scale.
+  static constexpr uint64_t kScale = 1'000'000;
+
   /// `rate` <= 0 disables limiting (TryAcquire always succeeds).
   TokenBucket(double rate, double burst)
-      : rate_(rate), burst_(burst > 0 ? burst : 1.0), tokens_(burst_) {}
+      : rate_upus_(rate <= 0.0 ? 0
+                               : static_cast<uint64_t>(rate * 1e6 + 0.5)),
+        capacity_u_(burst <= 1.0
+                        ? kScale
+                        : static_cast<uint64_t>(burst * kScale + 0.5)),
+        tokens_u_(capacity_u_) {}
 
   /// Consumes one token accrued by `now_us` if available.
   bool TryAcquire(uint64_t now_us) {
-    if (rate_ <= 0.0) return true;
+    if (rate_upus_ == 0) return true;
     if (now_us > last_us_) {
-      tokens_ += rate_ * static_cast<double>(now_us - last_us_) * 1e-6;
-      if (tokens_ > burst_) tokens_ = burst_;
+      // rate_upus_ is micro-tokens per second; dt is microseconds. The
+      // product is micro-token-microseconds, divided down by 10^6 with
+      // the remainder carried — never truncated — into the next refill.
+      unsigned __int128 accrued =
+          static_cast<unsigned __int128>(rate_upus_) * (now_us - last_us_) +
+          carry_upus_;
+      unsigned __int128 whole = accrued / kScale;
+      if (whole >= capacity_u_ - tokens_u_) {
+        tokens_u_ = capacity_u_;  // full bucket forfeits the remainder
+        carry_upus_ = 0;
+      } else {
+        tokens_u_ += static_cast<uint64_t>(whole);
+        carry_upus_ = static_cast<uint64_t>(accrued % kScale);
+      }
       last_us_ = now_us;
     }
-    if (tokens_ < 1.0) return false;
-    tokens_ -= 1.0;
+    if (tokens_u_ < kScale) return false;
+    tokens_u_ -= kScale;
     return true;
   }
 
-  double tokens() const { return tokens_; }
+  /// Whole-token view of the ledger (tests, introspection).
+  double tokens() const {
+    return static_cast<double>(tokens_u_) / static_cast<double>(kScale);
+  }
 
  private:
-  double rate_;
-  double burst_;
-  double tokens_;
+  uint64_t rate_upus_;    // micro-tokens accrued per second; 0 = unlimited
+  uint64_t capacity_u_;   // burst cap in micro-tokens, >= one token
+  uint64_t tokens_u_;     // current balance in micro-tokens
+  uint64_t carry_upus_ = 0;  // sub-micro-token remainder of the last refill
   uint64_t last_us_ = 0;
 };
 

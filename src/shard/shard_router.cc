@@ -1,0 +1,70 @@
+#include "src/shard/shard_router.h"
+
+#include <algorithm>
+
+namespace ccam {
+namespace {
+
+/// splitmix64 finalizer — the same mixing the clustering pipeline uses for
+/// content-derived seeds, duplicated here to keep the layers decoupled.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardPlan ShardRouter::PlanFor(const std::vector<NodeId>& ids) const {
+  ShardPlan plan;
+  for (NodeId id : ids) {
+    uint32_t s = ShardOf(id);
+    if (s == kInvalidShard) continue;
+    if (std::find(plan.shards.begin(), plan.shards.end(), s) ==
+        plan.shards.end()) {
+      plan.shards.push_back(s);
+    }
+  }
+  std::sort(plan.shards.begin(), plan.shards.end());
+  if (h_fanout_ != nullptr) h_fanout_->Record(plan.shards.size());
+  if (plan.single()) {
+    if (m_single_ != nullptr) m_single_->Inc();
+  } else if (plan.shards.size() > 1) {
+    if (m_multi_ != nullptr) m_multi_->Inc();
+  }
+  return plan;
+}
+
+std::vector<NodeId> ShardRouter::OwnedBy(uint32_t s) const {
+  std::vector<NodeId> ids;
+  for (const auto& kv : owner_) {
+    if (kv.second == s) ids.push_back(kv.first);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+uint64_t ShardRouter::Fingerprint() const {
+  // Commutative combine (sum of per-entry hashes) so hash-map iteration
+  // order cannot leak into the value.
+  uint64_t h = Mix64(num_shards_) + Mix64(owner_.size());
+  for (const auto& kv : owner_) {
+    h += Mix64((static_cast<uint64_t>(kv.first) << 8) ^ kv.second);
+  }
+  return h;
+}
+
+void ShardRouter::SetMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    h_fanout_ = nullptr;
+    m_single_ = nullptr;
+    m_multi_ = nullptr;
+    return;
+  }
+  h_fanout_ = metrics->GetHistogram("shard.router.fanout");
+  m_single_ = metrics->GetCounter("shard.router.single");
+  m_multi_ = metrics->GetCounter("shard.router.multi");
+}
+
+}  // namespace ccam

@@ -30,6 +30,11 @@ void PageQuarantine::SetMetrics(MetricsRegistry* metrics) {
   m_cleared_ = metrics->GetCounter("storage.quarantine.cleared");
   m_retry_success_ = metrics->GetCounter("storage.quarantine.retry_success");
   g_size_ = metrics->GetGauge("storage.quarantine.size");
+  // Sync the gauge to the live set: attaching after pages were already
+  // quarantined must not leave it stale (a later Clear would then walk
+  // it below the truth, reading like an underflow).
+  std::lock_guard<std::mutex> lock(mu_);
+  g_size_->Set(static_cast<int64_t>(entries_.size()));
 }
 
 }  // namespace ccam

@@ -56,21 +56,30 @@ class PageQuarantine {
                                " quarantined: " + it->second.reason);
   }
 
-  /// Quarantines `id`, remembering why. Idempotent (the first reason wins).
+  /// Quarantines `id`, remembering why. Idempotent under the quarantine
+  /// lock: a duplicate add (two readers losing the same page's re-read
+  /// race, or a fast-fail path re-observing an entry a concurrent scrub
+  /// is clearing) changes neither the set, the conservation counters, nor
+  /// the gauge — so `added() - cleared() == size()` holds at every
+  /// quiescent point. The first reason wins.
   void Add(PageId id, std::string reason) {
     std::lock_guard<std::mutex> lock(mu_);
     auto inserted = entries_.emplace(id, Entry{std::move(reason)});
     if (!inserted.second) return;
     count_.store(entries_.size(), std::memory_order_release);
+    added_.fetch_add(1, std::memory_order_relaxed);
     if (m_added_ != nullptr) m_added_->Inc();
     if (g_size_ != nullptr) g_size_->Set(entries_.size());
   }
 
   /// Removes `id` after a repair; returns whether it was present.
+  /// Idempotent like Add: clearing an absent page (a scrub racing an
+  /// operator Clear) is a no-op on every ledger.
   bool Clear(PageId id) {
     std::lock_guard<std::mutex> lock(mu_);
     if (entries_.erase(id) == 0) return false;
     count_.store(entries_.size(), std::memory_order_release);
+    cleared_.fetch_add(1, std::memory_order_relaxed);
     if (m_cleared_ != nullptr) m_cleared_->Inc();
     if (g_size_ != nullptr) g_size_->Set(entries_.size());
     return true;
@@ -78,8 +87,9 @@ class PageQuarantine {
 
   void ClearAll() {
     std::lock_guard<std::mutex> lock(mu_);
-    if (m_cleared_ != nullptr && !entries_.empty()) {
-      m_cleared_->Inc(entries_.size());
+    if (!entries_.empty()) {
+      cleared_.fetch_add(entries_.size(), std::memory_order_relaxed);
+      if (m_cleared_ != nullptr) m_cleared_->Inc(entries_.size());
     }
     entries_.clear();
     count_.store(0, std::memory_order_release);
@@ -87,6 +97,15 @@ class PageQuarantine {
   }
 
   size_t size() const { return count_.load(std::memory_order_acquire); }
+
+  /// Lifetime conservation ledger, maintained under the quarantine lock
+  /// whether or not metrics are attached: successful transitions only, so
+  /// `added() - cleared() == size()` is an invariant (the 8-thread hammer
+  /// in quarantine_test asserts it under add/clear/scrub races).
+  uint64_t added() const { return added_.load(std::memory_order_relaxed); }
+  uint64_t cleared() const {
+    return cleared_.load(std::memory_order_relaxed);
+  }
 
   /// Snapshot of (page, reason) pairs, ascending page id — the scrub
   /// pass's worklist and the operator-facing damage report.
@@ -99,8 +118,12 @@ class PageQuarantine {
   }
 
   /// Attaches "storage.quarantine.{added,fastfail,cleared,retry_success}"
-  /// counters and the "storage.quarantine.size" gauge. Null detaches;
-  /// attach while quiescent, like every other SetMetrics in the repo.
+  /// counters and the "storage.quarantine.size" gauge. The gauge is
+  /// synced to the current set size on attach — attaching after pages
+  /// were already quarantined used to leave it stale at zero (and a later
+  /// Clear then published a wrapped-looking negative walk). Null
+  /// detaches; attach while quiescent, like every other SetMetrics in
+  /// the repo.
   void SetMetrics(MetricsRegistry* metrics);
 
  private:
@@ -112,6 +135,9 @@ class PageQuarantine {
   std::unordered_map<PageId, Entry> entries_;
   /// Mirrors entries_.size(); lets Contains/Check skip the lock when empty.
   std::atomic<size_t> count_{0};
+  /// Lifetime successful adds/clears (see added()/cleared()).
+  std::atomic<uint64_t> added_{0};
+  std::atomic<uint64_t> cleared_{0};
 
   MetricCounter* m_added_ = nullptr;
   mutable MetricCounter* m_fastfail_ = nullptr;

@@ -1,11 +1,14 @@
 // End-to-end tests of the ccam_cli binary: generate -> create -> stats ->
-// find -> route -> window -> replay, checking exit codes and key output
-// fragments. The binary path is injected by CMake (CCAM_CLI_PATH).
+// find -> route -> window -> replay -> shard, checking exit codes and key
+// output fragments, plus the crashsim --json contract (the report file is
+// valid JSON even when the sweep itself fails). Binary paths are injected
+// by CMake (CCAM_CLI_PATH, CCAM_CRASHSIM_PATH).
 
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace ccam {
@@ -13,6 +16,9 @@ namespace {
 
 #ifndef CCAM_CLI_PATH
 #error "CCAM_CLI_PATH must be defined by the build"
+#endif
+#ifndef CCAM_CRASHSIM_PATH
+#error "CCAM_CRASHSIM_PATH must be defined by the build"
 #endif
 
 struct CommandResult {
@@ -153,6 +159,89 @@ TEST_F(CliTest, MissingRequiredFlagFails) {
   auto res = RunCli("create --net " + net_);
   EXPECT_EQ(res.exit_code, 2);
   EXPECT_NE(res.output.find("--image"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownSubcommandNamesItselfBeforeFlagParsing) {
+  auto res = RunCli("sttas --net " + net_);
+  EXPECT_EQ(res.exit_code, 2);
+  EXPECT_NE(res.output.find("unknown subcommand 'sttas'"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("usage"), std::string::npos);
+}
+
+TEST_F(CliTest, NonNumericFlagValueFailsTyped) {
+  auto res = RunCli("find " + Common() + " --id twelve");
+  EXPECT_EQ(res.exit_code, 2);
+  EXPECT_NE(res.output.find("is not an integer"), std::string::npos)
+      << res.output;
+}
+
+TEST_F(CliTest, GenerateRejectsDegenerateGrid) {
+  auto res = RunCli("generate --out " + net_ + " --rows 1 --cols 8 --seed 3");
+  EXPECT_EQ(res.exit_code, 2);
+}
+
+TEST_F(CliTest, MissingNetworkFileFailsNonzero) {
+  auto res = RunCli("stats --net /nonexistent/no.net --image " + img_ +
+                    " --page-size 512");
+  EXPECT_NE(res.exit_code, 0);
+  EXPECT_NE(res.output.find("/nonexistent/no.net"), std::string::npos)
+      << res.output;
+}
+
+TEST_F(CliTest, ShardMatchesUnshardedAndReportsLayout) {
+  auto res = RunCli("shard --net " + net_ +
+                    " --page-size 512 --shards 2 --routes 24");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("2 shards"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("0 mismatches"), std::string::npos) << res.output;
+}
+
+TEST_F(CliTest, ShardRejectsNonPowerOfTwo) {
+  auto res = RunCli("shard --net " + net_ + " --shards 3");
+  EXPECT_EQ(res.exit_code, 2);
+  EXPECT_NE(res.output.find("power of two"), std::string::npos) << res.output;
+}
+
+// --- crashsim --json contract --------------------------------------------
+
+CommandResult RunCrashsim(const std::string& args) {
+  std::string cmd = std::string(CCAM_CRASHSIM_PATH) + " " + args + " 2>&1";
+  std::array<char, 512> buf;
+  std::string output;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    output += buf.data();
+  }
+  int status = pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+bool IsValidJsonFile(const std::string& path) {
+  std::string cmd = "python3 -m json.tool " + path + " > /dev/null 2>&1";
+  return system(cmd.c_str()) == 0;
+}
+
+TEST_F(CliTest, CrashsimJsonReportIsValidJson) {
+  std::string json = ::testing::TempDir() + "/crashsim_ok.json";
+  auto res = RunCrashsim("--ops=40 --points=3 --json=" + json + " --image=" +
+                         ::testing::TempDir() + "/crashsim_ok.img");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_TRUE(IsValidJsonFile(json)) << "unparseable report: " << json;
+  std::remove(json.c_str());
+}
+
+TEST_F(CliTest, CrashsimJsonIsValidEvenWhenTheSweepFails) {
+  // The sweep cannot even start (unwritable image path); the --json
+  // consumer must still get a parseable document, not a missing or
+  // truncated file.
+  std::string json = ::testing::TempDir() + "/crashsim_err.json";
+  auto res = RunCrashsim("--ops=20 --points=2 --json=" + json +
+                         " --image=/nonexistent_dir/x.img");
+  EXPECT_NE(res.exit_code, 0);
+  EXPECT_TRUE(IsValidJsonFile(json)) << "unparseable error report: " << json;
+  std::remove(json.c_str());
 }
 
 }  // namespace

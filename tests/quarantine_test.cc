@@ -8,6 +8,8 @@
 
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/common/fault_injector.h"
 #include "src/common/metrics.h"
@@ -74,6 +76,75 @@ TEST(PageQuarantineTest, MetricsCountEveryTransition) {
   EXPECT_EQ(metrics.GetCounter("storage.quarantine.retry_success")->value(),
             1u);
   EXPECT_EQ(metrics.GetGauge("storage.quarantine.size")->value(), 1);
+}
+
+TEST(PageQuarantineTest, GaugeSyncsToLiveSetOnAttach) {
+  // Regression: attaching metrics after pages were already quarantined
+  // left the size gauge stale at zero; the next Clear then published a
+  // negative-walking value that read like an underflow. SetMetrics now
+  // syncs the gauge to the live set.
+  PageQuarantine q;
+  q.Add(3, "bad");
+  q.Add(4, "bad");
+  MetricsRegistry metrics;
+  q.SetMetrics(&metrics);
+  EXPECT_EQ(metrics.GetGauge("storage.quarantine.size")->value(), 2);
+  EXPECT_TRUE(q.Clear(3));
+  EXPECT_EQ(metrics.GetGauge("storage.quarantine.size")->value(), 1);
+  EXPECT_GE(metrics.GetGauge("storage.quarantine.size")->value(), 0);
+}
+
+// 8 threads race Add / Clear / ClearAll / Check over a small page-id
+// space, maximizing duplicate adds and clears of absent pages. The
+// conservation ledger must balance exactly — idempotent no-ops touch
+// nothing — and the gauge must equal the surviving set. Run under TSan
+// via scripts/check_tsan.sh.
+TEST(PageQuarantineTest, EightThreadHammerConservesAddedMinusCleared) {
+  MetricsRegistry metrics;
+  PageQuarantine q;
+  q.SetMetrics(&metrics);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr PageId kPages = 17;  // small space: plenty of collisions
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&q, t] {
+      uint64_t rng = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        PageId id = static_cast<PageId>((rng >> 33) % kPages);
+        switch ((rng >> 60) & 3) {
+          case 0:
+            q.Add(id, "hammer");
+            break;
+          case 1:
+            q.Clear(id);
+            break;
+          case 2:
+            (void)q.Check(id);
+            break;
+          default:
+            if (i % 512 == 0) {
+              q.ClearAll();
+            } else {
+              q.Add(id, "hammer");
+            }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(q.added() - q.cleared(), q.size());
+  EXPECT_EQ(q.Entries().size(), q.size());
+  EXPECT_EQ(metrics.GetGauge("storage.quarantine.size")->value(),
+            static_cast<int64_t>(q.size()));
+  EXPECT_EQ(metrics.GetCounter("storage.quarantine.added")->value(),
+            q.added());
+  EXPECT_EQ(metrics.GetCounter("storage.quarantine.cleared")->value(),
+            q.cleared());
+  EXPECT_GT(q.added(), 0u);
 }
 
 // --- Bounded re-read at the buffer pool ----------------------------------

@@ -136,6 +136,64 @@ TEST(TokenBucketTest, RefillsAtRateUpToBurst) {
   EXPECT_FALSE(bucket.TryAcquire(10000000));
 }
 
+TEST(TokenBucketTest, FractionalAccrualIsNeverTruncatedOverTenThousandTicks) {
+  // Accrual regression: an awkward rate polled at an awkward interval, so
+  // every refill leaves a fractional remainder. The integer ledger carries
+  // the remainder instead of truncating it, keeping the admitted count
+  // within 1% of configured-rate * elapsed (here it is exact up to the
+  // final partial token).
+  const double rate = 7.3;
+  const double burst = 2.0;
+  TokenBucket bucket(rate, burst);
+  // Drain the burst first so the bucket is never full mid-run (a full
+  // bucket legitimately forfeits accrual; that is policy, not loss).
+  uint64_t admitted = 0;
+  while (bucket.TryAcquire(0)) ++admitted;
+  EXPECT_EQ(admitted, 2u);
+  const uint64_t tick_us = 1370;  // 0.010001 tokens per tick
+  const int kTicks = 10000;
+  for (int i = 1; i <= kTicks; ++i) {
+    if (bucket.TryAcquire(static_cast<uint64_t>(i) * tick_us)) ++admitted;
+  }
+  const double elapsed_s = kTicks * tick_us / 1e6;  // 13.7 s
+  const double expected = burst + rate * elapsed_s;  // 102.01
+  EXPECT_NEAR(static_cast<double>(admitted), expected, 0.01 * rate * elapsed_s)
+      << "admitted rate drifted more than 1% from configured";
+  EXPECT_EQ(admitted, 102u);  // exact: the carry loses nothing
+}
+
+TEST(TokenBucketTest, SubUnitBurstNeverStarves) {
+  // Regression: a burst below one token used to cap the bucket beneath
+  // the cost of a single request, so the balance could never reach 1 and
+  // a positive-rate tenant was starved forever. Capacity is now floored
+  // at one token: one initial admit, then exactly the configured rate.
+  TokenBucket bucket(/*rate=*/0.5, /*burst=*/0.5);
+  uint64_t admitted = 0;
+  for (int i = 0; i <= 1000; ++i) {  // 100 s in 100 ms ticks
+    if (bucket.TryAcquire(static_cast<uint64_t>(i) * 100000)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 51u);  // 1 (floored burst) + 0.5/s * 100 s
+}
+
+TEST(AdmissionControllerTest, SubQpsTenantIsAdmittedAtItsConfiguredRate) {
+  // Controller-level view of the same regression: tenant_burst defaults
+  // to tenant_rate, so every sub-1-qps tenant used to inherit a
+  // sub-unit burst and never pass the rate gate.
+  AdmissionController::Options options;
+  options.tenant_rate = 0.25;
+  AdmissionController admission(options);
+  AdmissionController::RejectGate gate;
+  uint64_t admitted = 0;
+  for (int i = 0; i <= 1200; ++i) {  // 120 s in 100 ms ticks
+    if (admission.Admit(7, static_cast<uint64_t>(i) * 100000, &gate).ok()) {
+      ++admitted;
+      admission.OnEnqueue(7);
+      admission.OnDequeue(7);
+    }
+  }
+  EXPECT_EQ(admitted, 31u);  // 1 (floored burst) + 0.25/s * 120 s
+}
+
 TEST(AdmissionControllerTest, ThreeGatesRejectTyped) {
   AdmissionController::Options options;
   options.max_queue_depth = 4;

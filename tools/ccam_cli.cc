@@ -18,10 +18,16 @@
 //                     (open-loop load against the in-process QueryService;
 //                     reports qps, latency percentiles, reject rate,
 //                     batch occupancy, and the conservation check)
+//   ccam_cli shard    --net map.net [--shards 4] [--routes 64]
+//                     (coarse-partitions the network into N shard files,
+//                     evaluates sample routes sharded vs unsharded, and
+//                     reports per-shard occupancy, halo counts and cut
+//                     crossings; nonzero exit on any result mismatch)
 //
 // The `.net` file is the text network format (src/graph/graph_io.h); the
 // `.img` file is a CCAM disk image (NetworkFile::SaveImage).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +44,7 @@
 #include "src/query/trace.h"
 #include "src/serve/loadgen.h"
 #include "src/serve/query_service.h"
+#include "src/shard/shard_query.h"
 
 namespace ccam {
 namespace cli {
@@ -68,13 +75,34 @@ class Args {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
   }
+  /// Strict numeric parsing: atol/atof silently read garbage as 0, which
+  /// let a typo'd flag value run a different query and exit 0. A value
+  /// that does not parse in full is a usage error (exit 2, stderr).
   long GetInt(const std::string& key, long fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    long v = std::strtol(it->second.c_str(), &end, 10);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "flag --%s: '%s' is not an integer\n",
+                   key.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return v;
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == values_.end()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "flag --%s: '%s' is not a number\n", key.c_str(),
+                   it->second.c_str());
+      std::exit(2);
+    }
+    return v;
   }
   bool GetFlag(const std::string& key) const { return flags_.count(key) > 0; }
 
@@ -142,6 +170,10 @@ int CmdGenerate(const Args& args) {
   RoadMapOptions gen;
   gen.rows = static_cast<int>(args.GetInt("rows", 33));
   gen.cols = static_cast<int>(args.GetInt("cols", 33));
+  if (gen.rows < 2 || gen.cols < 2) {
+    std::fprintf(stderr, "generate: --rows/--cols must be >= 2\n");
+    return 2;
+  }
   gen.seed = static_cast<uint64_t>(args.GetInt("seed", 1995));
   gen.nodes_to_remove = static_cast<int>(
       args.GetInt("remove", gen.rows * gen.cols / 100));
@@ -206,7 +238,7 @@ int CmdRoute(const Args& args) {
   auto res = ShortestPathAStar(am.get(), from, to);
   Die(res.status(), "route");
   if (!res->Found()) {
-    std::printf("no route from %u to %u\n", from, to);
+    std::fprintf(stderr, "no route from %u to %u\n", from, to);
     return 1;
   }
   std::printf("route %u -> %u: cost %.2f, %zu hops, %zu nodes expanded, "
@@ -305,10 +337,72 @@ int CmdServe(const Args& args) {
   return report.conserved && report.completed > 0 ? 0 : 1;
 }
 
+int CmdShard(const Args& args) {
+  Network net = LoadNet(args.Require("net"));
+  long shards = args.GetInt("shards", 4);
+  if (shards < 1 || (shards & (shards - 1)) != 0) {
+    std::fprintf(stderr, "shard: --shards must be a power of two >= 1\n");
+    return 2;
+  }
+  ShardedOptions sopts;
+  sopts.num_shards = static_cast<uint32_t>(shards);
+  sopts.am = OptionsFrom(args);
+  ShardedNetworkFile sharded(sopts);
+  Die(sharded.Create(net), "create shards");
+
+  Ccam baseline(sopts.am, CcamCreateMode::kStatic);
+  Die(baseline.Create(net), "create baseline");
+
+  int count = static_cast<int>(args.GetInt("routes", 64));
+  std::vector<Route> routes = GenerateShortestPathRoutes(
+      net, count, /*min_length=*/4, sopts.am.seed);
+  auto session = sharded.OpenSession();
+  auto oracle = baseline.OpenSession();
+  size_t mismatches = 0;
+  size_t multi = 0;
+  uint64_t crossings = 0;
+  for (const Route& route : routes) {
+    auto got = EvaluateRouteSharded(session.get(), route);
+    auto want = EvaluateRoute(oracle.get(), route);
+    Die(got.status(), "sharded route");
+    Die(want.status(), "baseline route");
+    if (got->fanout > 1) ++multi;
+    crossings += got->cut_crossings;
+    if (got->eval.total_cost != want->total_cost ||
+        got->eval.num_edges != want->num_edges) {
+      ++mismatches;
+    }
+  }
+
+  std::printf("%u shards over %zu nodes / %zu edges "
+              "(%llu directed cut edges)\n",
+              sharded.num_shards(), net.NumNodes(), net.NumEdges(),
+              static_cast<unsigned long long>(sharded.NumCutEdges()));
+  for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    std::printf("  shard %u: %zu owned, %zu halo, %zu pages, "
+                "%llu session reads\n",
+                s, sharded.router().OwnedBy(s).size(),
+                sharded.NumHaloRecords(s), sharded.shard(s)->NumDataPages(),
+                static_cast<unsigned long long>(
+                    session->ShardIoStats(s).reads));
+  }
+  std::printf("%d routes evaluated (%zu cross-shard), %llu cut crossings, "
+              "%zu mismatches vs unsharded\n",
+              count, multi, static_cast<unsigned long long>(crossings),
+              mismatches);
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "shard: %zu routes disagreed with the unsharded file\n",
+                 mismatches);
+    return 1;
+  }
+  return 0;
+}
+
 int Usage() {
   std::fputs(
       "usage: ccam_cli <generate|create|stats|find|route|window|replay|"
-      "serve> [--flag value ...]\n"
+      "serve|shard> [--flag value ...]\n"
       "see the header comment of tools/ccam_cli.cc for details\n",
       stderr);
   return 2;
@@ -317,6 +411,17 @@ int Usage() {
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
+  // Reject unknown subcommands before flag parsing, so a typo'd command
+  // reports itself instead of a confusing flag error (and always exits 2).
+  static const char* kCommands[] = {"generate", "create", "stats",
+                                    "find",     "route",  "window",
+                                    "replay",   "serve",  "shard"};
+  bool known = false;
+  for (const char* c : kCommands) known = known || cmd == c;
+  if (!known) {
+    std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+    return Usage();
+  }
   Args args(argc, argv);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "create") return CmdCreate(args);
@@ -326,7 +431,7 @@ int Main(int argc, char** argv) {
   if (cmd == "window") return CmdWindow(args);
   if (cmd == "replay") return CmdReplay(args);
   if (cmd == "serve") return CmdServe(args);
-  return Usage();
+  return CmdShard(args);
 }
 
 }  // namespace

@@ -39,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "src/common/fault_injector.h"
@@ -124,11 +125,41 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// Publishes `body` at `path` via a temp file and an atomic rename: the
+/// report either appears whole and parseable or not at all — an
+/// interrupted or failed sweep can never leave a partial JSON object
+/// where a gating script would try to parse it.
+bool AtomicWriteFile(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << body;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Valid error-report JSON for a sweep that died before producing a
+/// report (--json consumers get a parseable document either way).
+bool WriteJsonError(const std::string& path, const std::string& message) {
+  std::ostringstream out;
+  out << "{\n  \"error\": \"" << JsonEscape(message) << "\"\n}\n";
+  return AtomicWriteFile(path, out.str());
+}
+
 bool WriteJsonReport(const std::string& path,
                      const ccam::CrashSimOptions& opt,
                      const ccam::CrashSimReport& report) {
-  std::ofstream out(path);
-  if (!out) return false;
+  std::ostringstream out;
   out << "{\n"
       << "  \"seed\": " << opt.seed << ",\n"
       << "  \"page_size\": " << opt.page_size << ",\n"
@@ -160,14 +191,13 @@ bool WriteJsonReport(const std::string& path,
         << (i + 1 < report.points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  return static_cast<bool>(out);
+  return AtomicWriteFile(path, out.str());
 }
 
 bool WriteSnapshotJsonReport(const std::string& path,
                              const ccam::SnapshotCrashOptions& opt,
                              const ccam::CrashSimReport& report) {
-  std::ofstream out(path);
-  if (!out) return false;
+  std::ostringstream out;
   out << "{\n"
       << "  \"mode\": \"snapshot\",\n"
       << "  \"seed\": " << opt.seed << ",\n"
@@ -196,7 +226,7 @@ bool WriteSnapshotJsonReport(const std::string& path,
         << (i + 1 < report.points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  return static_cast<bool>(out);
+  return AtomicWriteFile(path, out.str());
 }
 
 int RunSnapshotMode(const ccam::SnapshotCrashOptions& opt, uint64_t points,
@@ -205,6 +235,9 @@ int RunSnapshotMode(const ccam::SnapshotCrashOptions& opt, uint64_t points,
   if (!report.ok()) {
     std::fprintf(stderr, "crashsim: %s\n",
                  report.status().ToString().c_str());
+    if (!json_path.empty()) {
+      WriteJsonError(json_path, report.status().ToString());
+    }
     return 1;
   }
   std::printf(
@@ -342,6 +375,9 @@ int main(int argc, char** argv) {
   if (!report.ok()) {
     std::fprintf(stderr, "crashsim: %s\n",
                  report.status().ToString().c_str());
+    if (!json_path.empty()) {
+      WriteJsonError(json_path, report.status().ToString());
+    }
     return 1;
   }
   std::printf(
